@@ -1,0 +1,58 @@
+// Command analyze reconstructs an incident from a gateway event log
+// (the JSONL produced by potemkind -eventlog or gateway.JSONLSink):
+// binding statistics, compromised-VM timeline, and the infection chains
+// internal reflection captured.
+//
+// Usage:
+//
+//	analyze [-chains] [FILE]     (reads stdin when FILE is omitted)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"potemkin/internal/analysis"
+)
+
+func main() {
+	chains := flag.Bool("chains", false, "also dump the reflection chain edges in time order")
+	csvOut := flag.String("csv", "", "write the per-address timeline table as CSV to this file")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "analyze: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	rep, err := analysis.Analyze(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "analyze: %v\n", err)
+		os.Exit(1)
+	}
+	rep.Render(os.Stdout)
+	if *chains {
+		fmt.Println("\nreflection chains:")
+		rep.DumpChains(os.Stdout)
+	}
+	if *csvOut != "" {
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "analyze: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := rep.TimelinesTable().WriteCSV(f); err != nil {
+			fmt.Fprintf(os.Stderr, "analyze: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n[csv] %s\n", *csvOut)
+	}
+}

@@ -1,0 +1,181 @@
+// Command ckpt inspects and compares VM delta checkpoints (the .ckpt
+// files written by potemkind -checkpoints / Options.CheckpointDir).
+//
+// Usage:
+//
+//	ckpt info FILE             summary: identity, delta size, page list
+//	ckpt dump FILE PAGE        hex dump of one captured page
+//	ckpt diff FILE1 FILE2      pages/blocks present or differing between two checkpoints
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+
+	"potemkin/internal/vmm"
+)
+
+func main() {
+	if len(os.Args) < 3 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "info":
+		cmdInfo(os.Args[2])
+	case "dump":
+		if len(os.Args) < 4 {
+			usage()
+		}
+		cmdDump(os.Args[2], os.Args[3])
+	case "diff":
+		if len(os.Args) < 4 {
+			usage()
+		}
+		cmdDiff(os.Args[2], os.Args[3])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: ckpt {info FILE | dump FILE PAGE | diff FILE1 FILE2}")
+	os.Exit(2)
+}
+
+func load(path string) *vmm.Checkpoint {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ckpt: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	ck, err := vmm.ReadCheckpoint(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ckpt: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	return ck
+}
+
+func sortedPages(ck *vmm.Checkpoint) []uint64 {
+	out := make([]uint64, 0, len(ck.Pages))
+	for vpn := range ck.Pages {
+		out = append(out, vpn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func cmdInfo(path string) {
+	ck := load(path)
+	fmt.Printf("image:       %s\n", ck.ImageName)
+	fmt.Printf("address:     %s\n", ck.IP)
+	fmt.Printf("delta pages: %d (%d KiB)\n", len(ck.Pages), len(ck.Pages)*4)
+	fmt.Printf("disk blocks: %d (%d KiB)\n", len(ck.DiskBlocks), len(ck.DiskBlocks)*64)
+	fmt.Printf("total delta: %d KiB\n", ck.Bytes()>>10)
+	pages := sortedPages(ck)
+	fmt.Printf("pages:      ")
+	for i, vpn := range pages {
+		if i == 16 {
+			fmt.Printf(" … (+%d more)", len(pages)-16)
+			break
+		}
+		fmt.Printf(" %d", vpn)
+	}
+	fmt.Println()
+}
+
+func cmdDump(path, pageStr string) {
+	ck := load(path)
+	vpn, err := strconv.ParseUint(pageStr, 10, 64)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ckpt: bad page %q\n", pageStr)
+		os.Exit(1)
+	}
+	content, ok := ck.Pages[vpn]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ckpt: page %d not in delta (have %v...)\n", vpn, sortedPages(ck)[:min(8, len(ck.Pages))])
+		os.Exit(1)
+	}
+	// Hex dump, eliding all-zero runs.
+	for off := 0; off < len(content); off += 16 {
+		row := content[off : off+16]
+		allZero := true
+		for _, b := range row {
+			if b != 0 {
+				allZero = false
+				break
+			}
+		}
+		if allZero {
+			continue
+		}
+		fmt.Printf("%08x ", off)
+		for _, b := range row {
+			fmt.Printf(" %02x", b)
+		}
+		fmt.Printf("  |")
+		for _, b := range row {
+			if b >= 0x20 && b < 0x7f {
+				fmt.Printf("%c", b)
+			} else {
+				fmt.Print(".")
+			}
+		}
+		fmt.Println("|")
+	}
+}
+
+func cmdDiff(pathA, pathB string) {
+	a, b := load(pathA), load(pathB)
+	onlyA, onlyB, differ, same := 0, 0, 0, 0
+	for _, vpn := range sortedPages(a) {
+		cb, ok := b.Pages[vpn]
+		switch {
+		case !ok:
+			onlyA++
+		case !equal(a.Pages[vpn], cb):
+			differ++
+			fmt.Printf("page %d differs\n", vpn)
+		default:
+			same++
+		}
+	}
+	for vpn := range b.Pages {
+		if _, ok := a.Pages[vpn]; !ok {
+			onlyB++
+		}
+	}
+	fmt.Printf("pages: %d same, %d differ, %d only in %s, %d only in %s\n",
+		same, differ, onlyA, pathA, onlyB, pathB)
+
+	blockChanges := 0
+	for blk, va := range a.DiskBlocks {
+		if vb, ok := b.DiskBlocks[blk]; ok && va != vb {
+			blockChanges++
+		}
+	}
+	fmt.Printf("disk:  %d blocks in %s, %d in %s, %d changed\n",
+		len(a.DiskBlocks), pathA, len(b.DiskBlocks), pathB, blockChanges)
+}
+
+func equal(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

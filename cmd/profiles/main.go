@@ -1,0 +1,64 @@
+// Command profiles lists the stock guest personalities and exports
+// them as JSON templates for customization (see potemkind -profile).
+//
+// Usage:
+//
+//	profiles list
+//	profiles dump NAME [> custom.json]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"potemkin/internal/guest"
+	"potemkin/internal/netsim"
+)
+
+func stock() map[string]*guest.Profile {
+	return map[string]*guest.Profile{
+		"winxp":                guest.WindowsXP(),
+		"sqlserver":            guest.SQLServer(),
+		"linux":                guest.LinuxServer(),
+		"winxp-multistage":     guest.MultiStage(netsim.MustParseAddr("66.6.6.6")),
+		"winxp-multistage-dns": guest.MultiStageDNS("update.evil.example"),
+	}
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "list":
+		for name, p := range stock() {
+			vuln := "hardened"
+			for _, s := range p.Services {
+				if s.Vulnerable {
+					vuln = fmt.Sprintf("vulnerable on %v/%d", s.Proto, s.Port)
+				}
+			}
+			fmt.Printf("%-22s ttl=%-4d services=%-2d %s\n", name, p.TTL, len(p.Services), vuln)
+		}
+	case "dump":
+		if len(os.Args) < 3 {
+			usage()
+		}
+		p, ok := stock()[os.Args[2]]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "profiles: unknown profile %q (try 'profiles list')\n", os.Args[2])
+			os.Exit(1)
+		}
+		if err := guest.SaveProfile(os.Stdout, p); err != nil {
+			fmt.Fprintf(os.Stderr, "profiles: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: profiles {list | dump NAME}")
+	os.Exit(2)
+}

@@ -1,0 +1,178 @@
+// Command telescope generates, inspects, and converts synthetic
+// network-telescope traces in the repository's binary trace format.
+//
+// Usage:
+//
+//	telescope gen  [-out FILE] [-space CIDR] [-duration D] [-rate PPS] [-seed N]
+//	telescope info [-in FILE]
+//	telescope dump [-in FILE] [-n N]          (human-readable records)
+//	telescope csv  [-in FILE]                 (CSV to stdout)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"potemkin/internal/netsim"
+	"potemkin/internal/telescope"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		cmdGen(os.Args[2:])
+	case "info":
+		cmdInfo(os.Args[2:])
+	case "dump":
+		cmdDump(os.Args[2:])
+	case "csv":
+		cmdCSV(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: telescope {gen|info|dump|csv} [flags]")
+	os.Exit(2)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "telescope: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func cmdGen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	out := fs.String("out", "trace.potm", "output file")
+	space := fs.String("space", "10.5.0.0/16", "monitored space")
+	duration := fs.Duration("duration", 10*time.Minute, "trace duration")
+	rate := fs.Float64("rate", 200, "aggregate packets/second")
+	sweep := fs.Float64("sweep", 0.35, "fraction of packets in sweep sessions")
+	seed := fs.Uint64("seed", 1, "generator seed")
+	fs.Parse(args)
+
+	prefix, err := netsim.ParsePrefix(*space)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	cfg := telescope.DefaultGenConfig()
+	cfg.Space = prefix
+	cfg.Duration = *duration
+	cfg.Rate = *rate
+	cfg.SweepFrac = *sweep
+	cfg.Seed = *seed
+
+	recs, err := telescope.Generate(cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	if err := telescope.WriteAll(f, recs); err != nil {
+		fatalf("writing: %v", err)
+	}
+	st := telescope.Summarize(recs)
+	fmt.Printf("wrote %s: %d packets, %d sources, %d destinations, %v, %.0f pps\n",
+		*out, st.Packets, st.UniqueSources, st.UniqueDests,
+		st.Duration.Truncate(time.Second), st.RatePPS)
+}
+
+func readTrace(fs *flag.FlagSet, args []string) []telescope.Record {
+	in := fs.String("in", "trace.potm", "input file")
+	n := fs.Int("n", 20, "records to dump (dump only)")
+	fs.Parse(args)
+	_ = n
+	f, err := os.Open(*in)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	recs, err := telescope.ReadAll(f)
+	if err != nil {
+		fatalf("reading %s: %v", *in, err)
+	}
+	return recs
+}
+
+func cmdInfo(args []string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	recs := readTrace(fs, args)
+	st := telescope.Summarize(recs)
+	fmt.Printf("packets:       %d\n", st.Packets)
+	fmt.Printf("sources:       %d\n", st.UniqueSources)
+	fmt.Printf("destinations:  %d\n", st.UniqueDests)
+	fmt.Printf("duration:      %v\n", st.Duration.Truncate(time.Millisecond))
+	fmt.Printf("rate:          %.1f pps\n", st.RatePPS)
+
+	byProto := map[netsim.Proto]int{}
+	byPort := map[uint16]int{}
+	for i := range recs {
+		byProto[recs[i].Proto]++
+		byPort[recs[i].DstPort]++
+	}
+	fmt.Printf("protocols:    ")
+	for p, c := range byProto {
+		fmt.Printf(" %s=%d", p, c)
+	}
+	fmt.Println()
+	// Top 5 ports.
+	fmt.Printf("top ports:    ")
+	for i := 0; i < 5; i++ {
+		best, bestC := uint16(0), 0
+		for p, c := range byPort {
+			if c > bestC {
+				best, bestC = p, c
+			}
+		}
+		if bestC == 0 {
+			break
+		}
+		fmt.Printf(" %d=%d", best, bestC)
+		delete(byPort, best)
+	}
+	fmt.Println()
+}
+
+func cmdDump(args []string) {
+	fs := flag.NewFlagSet("dump", flag.ExitOnError)
+	in := fs.String("in", "trace.potm", "input file")
+	n := fs.Int("n", 20, "records to dump")
+	fs.Parse(args)
+	f, err := os.Open(*in)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	recs, err := telescope.ReadAll(f)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	for i := 0; i < len(recs) && i < *n; i++ {
+		r := &recs[i]
+		fmt.Printf("%-14v %s\n", time.Duration(r.At).Truncate(time.Microsecond), r.Packet())
+	}
+	if len(recs) > *n {
+		fmt.Printf("... %d more\n", len(recs)-*n)
+	}
+}
+
+func cmdCSV(args []string) {
+	fs := flag.NewFlagSet("csv", flag.ExitOnError)
+	recs := readTrace(fs, args)
+	fmt.Println("t_seconds,src,dst,proto,sport,dport,flags,paylen")
+	for i := range recs {
+		r := &recs[i]
+		fmt.Printf("%.6f,%s,%s,%s,%d,%d,%s,%d\n",
+			r.At.Seconds(), r.Src, r.Dst, r.Proto, r.SrcPort, r.DstPort,
+			netsim.FlagString(r.Flags), r.PayLen)
+	}
+}

@@ -1,0 +1,65 @@
+// Outbreak: a worm epidemic rages on the (simulated) Internet; the
+// honeyfarm's telescope space catches stray scans, captures a live
+// infection within seconds, and its detector flags the compromised VM —
+// while containment keeps every worm byte inside.
+//
+//	go run ./examples/outbreak
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"potemkin"
+	"potemkin/internal/guest"
+	"potemkin/internal/netsim"
+	"potemkin/internal/sim"
+	"potemkin/internal/worm"
+)
+
+func main() {
+	hf := potemkin.MustNew(potemkin.Options{
+		Seed:   7,
+		Policy: potemkin.DropAll,
+		OnInfected: func(addr string, gen int) {
+			fmt.Printf("  ** honeyfarm captured live malware on %s (chain depth %d)\n", addr, gen)
+		},
+		OnDetected: func(addr string, n int) {
+			fmt.Printf("  !! detector: %s began scanning (%d distinct targets)\n", addr, n)
+		},
+	})
+	defer hf.Close()
+	in := hf.Internals()
+
+	// An epidemic on the outside: 2,000 hosts already infected, each
+	// scanning 50 addresses per second, out of a million vulnerable.
+	wcfg := worm.DefaultConfig()
+	wcfg.Seed = 7
+	wcfg.InitialInfected = 2000
+	wcfg.ScanRate = 50
+	wcfg.ExploitPayload = guest.WindowsXP().ExploitPayload(0)
+	wcfg.Deliver = func(now sim.Time, pkt *netsim.Packet) {
+		in.Gateway.HandleInbound(now, pkt)
+	}
+	e := worm.New(in.Kernel, wcfg)
+
+	fmt.Printf("outbreak begins: %d infected on the Internet, honeyfarm watching %s\n\n",
+		e.Infected(), "10.5.0.0/16")
+	e.Start()
+
+	for minute := 1; minute <= 5; minute++ {
+		hf.RunFor(time.Minute)
+		st := hf.Stats()
+		fmt.Printf("t=%dm: internet infected=%d | honeyfarm: vms=%d infected=%d dropped=%d\n",
+			minute, e.Infected(), st.LiveVMs, st.InfectedVMs, st.OutboundDropped)
+	}
+	e.Stop()
+
+	st := hf.Stats()
+	fmt.Printf("\ncaptures: %d infected honeypots, %d flagged by the scan detector\n",
+		st.InfectedVMs, st.DetectedInfected)
+	fmt.Printf("containment: %d worm packets dropped at the gateway, zero escaped\n",
+		st.OutboundDropped)
+	fmt.Printf("first capture happened %v after patient zero's scan hit the telescope\n",
+		time.Duration(e.Stats().FirstTelescopeHit).Truncate(time.Millisecond))
+}

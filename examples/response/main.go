@@ -1,0 +1,34 @@
+// Response: why build a honeyfarm at all? Because capture time bounds
+// response time. This example races one worm outbreak against four
+// response postures and shows the final damage for each — the E10
+// experiment as a story.
+//
+//	go run ./examples/response
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"potemkin/internal/core"
+)
+
+func main() {
+	fmt.Println("one worm (2^20 vulnerable hosts, 30 scans/s each), four response postures,")
+	fmt.Println("2 simulated hours; the countermeasure immunizes 0.5% of remaining hosts/second")
+	fmt.Println("once it deploys:")
+	fmt.Println()
+
+	res := core.RunE10(7, []core.E10Arm{
+		{Name: "no honeyfarm, no response"},
+		{Name: "/16 telescope, 1h to build+ship a fix", TelescopeBits: 16, ReactionDelay: time.Hour},
+		{Name: "/16 telescope, 10min automated response", TelescopeBits: 16, ReactionDelay: 10 * time.Minute},
+		{Name: "/8 telescope, 10min automated response", TelescopeBits: 8, ReactionDelay: 10 * time.Minute},
+	}, 2*time.Hour, 0.005)
+
+	fmt.Println(res.Table)
+	fmt.Println(`Reading the table: every minute between outbreak and response deployment is
+spent on the worm's exponential curve. A bigger telescope captures earlier;
+automation reacts faster; both shrink the final infected population — that
+difference is the honeyfarm's entire value proposition.`)
+}

@@ -1,0 +1,3 @@
+module potemkin
+
+go 1.24

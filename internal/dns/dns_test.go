@@ -1,0 +1,248 @@
+package dns
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"potemkin/internal/netsim"
+)
+
+func TestQueryRoundTrip(t *testing.T) {
+	q, err := NewQuery(0x1234, "evil.example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ID != 0x1234 || m.Response() {
+		t.Errorf("header: %+v", m)
+	}
+	if len(m.Questions) != 1 || m.Questions[0].Name != "evil.example.com" ||
+		m.Questions[0].Type != TypeA {
+		t.Errorf("questions: %+v", m.Questions)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	m := &Message{
+		ID:    7,
+		Flags: FlagQR | FlagAA,
+		Questions: []Question{
+			{Name: "a.b.c", Type: TypeA, Class: ClassIN},
+		},
+		Answers: []Answer{
+			{Name: "a.b.c", TTL: 300, Addr: netsim.MustParseAddr("10.5.1.2")},
+		},
+	}
+	b, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Response() || len(got.Answers) != 1 {
+		t.Fatalf("parsed: %+v", got)
+	}
+	a := got.Answers[0]
+	if a.Name != "a.b.c" || a.TTL != 300 || a.Addr != netsim.MustParseAddr("10.5.1.2") {
+		t.Errorf("answer: %+v", a)
+	}
+}
+
+func TestNameRoundTripProperty(t *testing.T) {
+	err := quick.Check(func(raw []byte) bool {
+		// Build a plausible name from raw bytes.
+		var labels []string
+		for i := 0; i < len(raw) && len(labels) < 5; i += 4 {
+			end := i + 4
+			if end > len(raw) {
+				end = len(raw)
+			}
+			label := strings.Map(func(r rune) rune {
+				if (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9') {
+					return r
+				}
+				return 'x'
+			}, strings.ToLower(string(raw[i:end])))
+			if label != "" {
+				labels = append(labels, label)
+			}
+		}
+		if len(labels) == 0 {
+			return true
+		}
+		name := strings.Join(labels, ".")
+		q, err := NewQuery(1, name)
+		if err != nil {
+			return false
+		}
+		m, err := Parse(q)
+		return err == nil && m.Questions[0].Name == name
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRejectsBadLabels(t *testing.T) {
+	if _, err := NewQuery(1, "a..b"); err != ErrBadName {
+		t.Errorf("empty label: %v", err)
+	}
+	if _, err := NewQuery(1, strings.Repeat("a", 64)+".com"); err != ErrBadName {
+		t.Errorf("oversize label: %v", err)
+	}
+}
+
+func TestCompressionPointerParse(t *testing.T) {
+	// Hand-built response with a compressed answer name pointing at the
+	// question name (offset 12).
+	var b []byte
+	b = put16(b, 9)                 // ID
+	b = put16(b, FlagQR)            // flags
+	b = put16(b, 1)                 // qdcount
+	b = put16(b, 1)                 // ancount
+	b = put16(b, 0)                 // ns
+	b = put16(b, 0)                 // ar
+	b, _ = encodeName(b, "foo.com") // at offset 12
+	b = put16(b, TypeA)
+	b = put16(b, ClassIN)
+	b = append(b, 0xc0, 12) // pointer to offset 12
+	b = put16(b, TypeA)
+	b = put16(b, ClassIN)
+	b = put32(b, 60)
+	b = put16(b, 4)
+	b = append(b, 10, 5, 0, 1)
+
+	m, err := Parse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Answers) != 1 || m.Answers[0].Name != "foo.com" {
+		t.Errorf("answers: %+v", m.Answers)
+	}
+	if m.Answers[0].Addr != netsim.MustParseAddr("10.5.0.1") {
+		t.Errorf("addr: %v", m.Answers[0].Addr)
+	}
+}
+
+func TestPointerLoopRejected(t *testing.T) {
+	var b []byte
+	b = put16(b, 9)
+	b = put16(b, 0)
+	b = put16(b, 1)
+	b = put16(b, 0)
+	b = put16(b, 0)
+	b = put16(b, 0)
+	// Name at 12 that points at itself... forward/self pointers are
+	// rejected outright.
+	b = append(b, 0xc0, 12)
+	b = put16(b, TypeA)
+	b = put16(b, ClassIN)
+	if _, err := Parse(b); err == nil {
+		t.Error("self-pointer accepted")
+	}
+}
+
+func TestParseTruncated(t *testing.T) {
+	q, _ := NewQuery(3, "x.y")
+	for _, n := range []int{0, 5, 11, len(q) - 1} {
+		if _, err := Parse(q[:n]); err == nil {
+			t.Errorf("truncated at %d accepted", n)
+		}
+	}
+}
+
+func TestResolverZoneAndSynthesis(t *testing.T) {
+	space := netsim.MustParsePrefix("10.5.0.0/16")
+	r := NewResolver(space)
+	r.Zone["known.example"] = netsim.MustParseAddr("10.5.9.9")
+
+	if a, ok := r.Lookup("KNOWN.example."); !ok || a != netsim.MustParseAddr("10.5.9.9") {
+		t.Errorf("zone lookup: %v %v", a, ok)
+	}
+	a1, ok := r.Lookup("unknown.evil.com")
+	if !ok || !space.Contains(a1) {
+		t.Errorf("synthesis: %v %v", a1, ok)
+	}
+	a2, _ := r.Lookup("unknown.evil.com")
+	if a1 != a2 {
+		t.Error("synthesis not deterministic")
+	}
+	b, _ := r.Lookup("other.evil.com")
+	if b == a1 {
+		t.Error("distinct names collided (unlucky but suspicious)")
+	}
+}
+
+func TestResolverNXDomainWhenNotSynthesizing(t *testing.T) {
+	r := NewResolver(netsim.MustParsePrefix("10.5.0.0/16"))
+	r.Synthesize = false
+	q, _ := NewQuery(5, "nope.example")
+	resp, err := r.Serve(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := Parse(resp)
+	if m.RCode() != RCodeNXDomain || len(m.Answers) != 0 {
+		t.Errorf("rcode=%d answers=%d", m.RCode(), len(m.Answers))
+	}
+}
+
+func TestResolverServeEndToEnd(t *testing.T) {
+	space := netsim.MustParsePrefix("10.5.0.0/16")
+	r := NewResolver(space)
+	q, _ := NewQuery(0xbeef, "stage2.evil.com")
+	resp, err := r.Serve(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Parse(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ID != 0xbeef || !m.Response() || m.RCode() != RCodeOK {
+		t.Fatalf("header: %+v", m)
+	}
+	if len(m.Answers) != 1 || !space.Contains(m.Answers[0].Addr) {
+		t.Errorf("answers: %+v", m.Answers)
+	}
+	if r.Queries != 1 {
+		t.Errorf("Queries = %d", r.Queries)
+	}
+}
+
+func TestResolverRejectsResponses(t *testing.T) {
+	r := NewResolver(netsim.MustParsePrefix("10.5.0.0/16"))
+	m := &Message{ID: 1, Flags: FlagQR, Questions: []Question{{Name: "x", Type: TypeA, Class: ClassIN}}}
+	b, _ := m.Marshal()
+	if _, err := r.Serve(b); err == nil {
+		t.Error("resolver answered a response")
+	}
+	if _, err := r.Serve([]byte("garbage")); err == nil {
+		t.Error("resolver answered garbage")
+	}
+}
+
+func TestServePacket(t *testing.T) {
+	r := NewResolver(netsim.MustParsePrefix("10.5.0.0/16"))
+	q, _ := NewQuery(1, "x.example")
+	pkt := netsim.UDPDatagram(netsim.MustParseAddr("10.5.1.1"), netsim.MustParseAddr("172.16.0.53"), 5353, 53, q)
+	resp := r.ServePacket(pkt)
+	if resp == nil {
+		t.Fatal("no response packet")
+	}
+	if resp.Src != pkt.Dst || resp.Dst != pkt.Src || resp.SrcPort != 53 || resp.DstPort != 5353 {
+		t.Errorf("response addressing: %s", resp)
+	}
+	if m, err := Parse(resp.Payload); err != nil || len(m.Answers) != 1 {
+		t.Errorf("response payload: %v %v", m, err)
+	}
+	if r.ServePacket(netsim.TCPSyn(1, 2, 3, 53, 1)) != nil {
+		t.Error("TCP packet answered")
+	}
+}

@@ -1,0 +1,86 @@
+package dns
+
+import (
+	"testing"
+
+	"potemkin/internal/netsim"
+)
+
+// FuzzParse: the resolver parses queries straight from (simulated)
+// malware; hostile bytes must neither panic nor hang (compression
+// pointer loops are the classic DNS parser trap).
+func FuzzParse(f *testing.F) {
+	q, _ := NewQuery(1, "evil.example.com")
+	f.Add(q)
+	m := &Message{ID: 2, Flags: FlagQR, Questions: []Question{{Name: "a.b", Type: TypeA, Class: ClassIN}},
+		Answers: []Answer{{Name: "a.b", TTL: 60, Addr: 0x0a050001}}}
+	resp, _ := m.Marshal()
+	f.Add(resp)
+	f.Add([]byte{0xc0, 0x0c})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := Parse(data)
+		if err != nil {
+			return
+		}
+		// Accepted messages must re-marshal and re-parse to the same
+		// question/answer structure (names may differ only if the
+		// original used compression, which Marshal does not emit).
+		re, err := msg.Marshal()
+		if err != nil {
+			// Parsed names can be unmarshalable only if a label came in
+			// oversized — the parser must not have allowed that.
+			for _, q := range msg.Questions {
+				for _, label := range splitLabels(q.Name) {
+					if len(label) > 63 {
+						t.Fatalf("parser admitted oversize label %q", label)
+					}
+				}
+			}
+			return
+		}
+		m2, err := Parse(re)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if len(m2.Questions) != len(msg.Questions) || len(m2.Answers) != len(msg.Answers) {
+			t.Fatalf("structure diverged: %+v vs %+v", msg, m2)
+		}
+	})
+}
+
+func splitLabels(name string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(name); i++ {
+		if i == len(name) || name[i] == '.' {
+			out = append(out, name[start:i])
+			start = i + 1
+		}
+	}
+	return out
+}
+
+// FuzzResolverServe: end-to-end resolver robustness.
+func FuzzResolverServe(f *testing.F) {
+	q, _ := NewQuery(7, "x.example")
+	f.Add(q)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewResolver(netsim.MustParsePrefix("10.5.0.0/16"))
+		resp, err := r.Serve(data)
+		if err != nil {
+			return
+		}
+		m, err := Parse(resp)
+		if err != nil {
+			t.Fatalf("resolver emitted unparsable response: %v", err)
+		}
+		if !m.Response() {
+			t.Fatal("resolver response without QR bit")
+		}
+		for _, a := range m.Answers {
+			if !r.Sinkhole.Contains(a.Addr) {
+				t.Fatalf("resolver leaked address outside sinkhole: %v", a.Addr)
+			}
+		}
+	})
+}

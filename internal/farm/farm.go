@@ -1,0 +1,450 @@
+// Package farm is the honeyfarm control plane: a pool of simulated
+// physical servers (internal/vmm hosts) behind the gateway. It
+// implements gateway.Backend — flash-cloning a VM whenever the gateway
+// binds a new address, attaching a guest personality to it, wiring the
+// guest's outbound traffic back through the gateway's containment
+// engine, and reclaiming VMs the gateway recycles.
+package farm
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"potemkin/internal/gateway"
+	"potemkin/internal/guest"
+	"potemkin/internal/netsim"
+	"potemkin/internal/sim"
+	"potemkin/internal/vmm"
+)
+
+// ImageSpec describes the reference image every server registers.
+type ImageSpec struct {
+	Name          string
+	NumPages      uint64
+	ResidentPages uint64
+	DiskBlocks    uint64
+	Seed          uint64
+}
+
+// DefaultImage is a 128 MiB guest of which 32 MiB is resident after
+// boot — small enough to simulate densely, large enough that full-copy
+// baselines visibly exhaust hosts.
+func DefaultImage() ImageSpec {
+	return ImageSpec{
+		Name:          "winxp",
+		NumPages:      32768, // 128 MiB
+		ResidentPages: 8192,  // 32 MiB
+		DiskBlocks:    16384, // 1 GiB
+		Seed:          42,
+	}
+}
+
+// Placement selects how VMs map onto servers.
+type Placement int
+
+// Placement policies.
+const (
+	// PlaceLeastLoaded puts each VM on the server with the most free
+	// memory.
+	PlaceLeastLoaded Placement = iota
+	// PlaceFirstFit fills servers in order.
+	PlaceFirstFit
+)
+
+// Config parameterizes a farm.
+type Config struct {
+	Servers    int
+	HostConfig vmm.HostConfig // template; Name is suffixed per server
+	Image      ImageSpec
+	Profile    *guest.Profile
+	// Profiles, when non-empty, runs a heterogeneous population:
+	// each address deterministically picks one of these personalities
+	// (by address hash), overriding Profile. The paper's farm mixed
+	// guest images the same way to present a believable population.
+	Profiles  []*guest.Profile
+	Placement Placement
+
+	// FullBoot switches to the no-flash-cloning baseline.
+	FullBoot bool
+
+	// UplinkLatency delays guest-originated packets on their way to the
+	// gateway (intra-farm network hop).
+	UplinkLatency time.Duration
+	// DownlinkLatency delays gateway-to-VM delivery (the same hop,
+	// inbound).
+	DownlinkLatency time.Duration
+
+	// PickTarget chooses scan destinations for infected guests; nil
+	// defaults to uniform over the IPv4 space.
+	PickTarget guest.TargetPicker
+
+	// OnInfected observes guest compromises (experiments hook this).
+	OnInfected func(now sim.Time, in *guest.Instance)
+}
+
+// DefaultConfig returns a 4-server farm of 16 GiB hosts running the
+// default image with the Windows XP personality.
+func DefaultConfig() Config {
+	return Config{
+		Servers:         4,
+		HostConfig:      vmm.DefaultHostConfig("server"),
+		Image:           DefaultImage(),
+		Profile:         guest.WindowsXP(),
+		UplinkLatency:   100 * time.Microsecond,
+		DownlinkLatency: 100 * time.Microsecond,
+	}
+}
+
+// Stats aggregates farm-level counters.
+type Stats struct {
+	Spawns        uint64
+	SpawnFailures uint64
+	Reclaims      uint64
+	Infections    uint64
+	PeakLiveVMs   int
+}
+
+// ErrFarmFull reports that no server could admit a VM.
+var ErrFarmFull = errors.New("farm: all servers at capacity")
+
+// Farm is the server pool. It implements gateway.Backend.
+type Farm struct {
+	Cfg Config
+	K   *sim.Kernel
+
+	hosts []*vmm.VMHost
+	gw    gateway.Egress
+
+	// byAddr tracks the live VM for each bound address.
+	byAddr map[netsim.Addr]*FarmVM
+
+	stats Stats
+	rr    int // round-robin cursor for tie-breaking
+}
+
+// New builds the server pool. Call SetGateway before traffic flows.
+func New(k *sim.Kernel, cfg Config) *Farm {
+	if cfg.Servers <= 0 {
+		panic("farm: no servers")
+	}
+	if cfg.Profile == nil && len(cfg.Profiles) == 0 {
+		panic("farm: nil guest profile")
+	}
+	if cfg.PickTarget == nil {
+		cfg.PickTarget = func(r *sim.RNG) netsim.Addr { return netsim.Addr(r.Uint64n(1 << 32)) }
+	}
+	f := &Farm{Cfg: cfg, K: k, byAddr: make(map[netsim.Addr]*FarmVM)}
+	for i := 0; i < cfg.Servers; i++ {
+		hc := cfg.HostConfig
+		hc.Name = fmt.Sprintf("%s-%d", cfg.HostConfig.Name, i)
+		h := vmm.NewHost(k, hc)
+		h.RegisterImage(cfg.Image.Name, cfg.Image.NumPages, cfg.Image.ResidentPages,
+			cfg.Image.DiskBlocks, cfg.Image.Seed)
+		f.hosts = append(f.hosts, h)
+	}
+	return f
+}
+
+// SetGateway wires the gateway (or sharded gateway set) guests send
+// their traffic through.
+func (f *Farm) SetGateway(g gateway.Egress) { f.gw = g }
+
+// Hosts returns the server pool.
+func (f *Farm) Hosts() []*vmm.VMHost { return f.hosts }
+
+// Stats returns a copy of the farm counters.
+func (f *Farm) Stats() Stats { return f.stats }
+
+// LiveVMs returns the number of VMs currently running across servers.
+func (f *Farm) LiveVMs() int {
+	n := 0
+	for _, h := range f.hosts {
+		n += h.NumVMs()
+	}
+	return n
+}
+
+// MemoryInUse sums modeled memory across servers.
+func (f *Farm) MemoryInUse() uint64 {
+	var b uint64
+	for _, h := range f.hosts {
+		b += h.MemoryInUse()
+	}
+	return b
+}
+
+// InfectedVMs counts live guests in the infected state.
+func (f *Farm) InfectedVMs() int {
+	n := 0
+	for _, fv := range f.byAddr {
+		if fv.Guest.Infected {
+			n++
+		}
+	}
+	return n
+}
+
+// Instance returns the live guest bound to addr, or nil.
+func (f *Farm) Instance(addr netsim.Addr) *guest.Instance {
+	if fv, ok := f.byAddr[addr]; ok {
+		return fv.Guest
+	}
+	return nil
+}
+
+// VMAt returns the live VM bound to addr, or nil (checkpointing and
+// forensics).
+func (f *Farm) VMAt(addr netsim.Addr) *vmm.VM {
+	if fv, ok := f.byAddr[addr]; ok {
+		return fv.VM
+	}
+	return nil
+}
+
+// EachInstance visits every live guest.
+func (f *Farm) EachInstance(fn func(*guest.Instance)) {
+	for _, fv := range f.byAddr {
+		fn(fv.Guest)
+	}
+}
+
+// GuestTotals sums the per-guest counters across live instances
+// (recycled guests' counters leave with them).
+func (f *Farm) GuestTotals() guest.Stats {
+	var sum guest.Stats
+	for _, fv := range f.byAddr {
+		st := fv.Guest.Stats()
+		sum.PacketsIn += st.PacketsIn
+		sum.RepliesOut += st.RepliesOut
+		sum.ScansOut += st.ScansOut
+		sum.PagesDirty += st.PagesDirty
+		sum.ExploitHits += st.ExploitHits
+		sum.ConnsAccepted += st.ConnsAccepted
+		sum.ConnsEstablished += st.ConnsEstablished
+		sum.ConnsClosed += st.ConnsClosed
+		sum.ExploitsSent += st.ExploitsSent
+		sum.AppResponses += st.AppResponses
+		sum.DNSQueries += st.DNSQueries
+		sum.DNSResponses += st.DNSResponses
+		sum.Stage2Fetches += st.Stage2Fetches
+	}
+	return sum
+}
+
+// pickHost selects a server with capacity.
+func (f *Farm) pickHost() *vmm.VMHost {
+	switch f.Cfg.Placement {
+	case PlaceFirstFit:
+		for _, h := range f.hosts {
+			if h.MemoryFree() > h.Cfg.PerVMOverheadBytes {
+				return h
+			}
+		}
+		return nil
+	default: // least loaded
+		var best *vmm.VMHost
+		for i := range f.hosts {
+			h := f.hosts[(f.rr+i)%len(f.hosts)]
+			if best == nil || h.MemoryFree() > best.MemoryFree() {
+				best = h
+			}
+		}
+		f.rr++
+		if best != nil && best.MemoryFree() <= best.Cfg.PerVMOverheadBytes {
+			return nil
+		}
+		return best
+	}
+}
+
+// PrepareSnapshotImages runs the paper's image-preparation flow on
+// every server: full-boot a reference VM, run the guest personality's
+// workload for warmup (so the snapshot contains a *settled* system, not
+// a freshly-booted one), snapshot it as name, destroy the reference VM,
+// and switch the farm to clone from the snapshot. It must run before
+// traffic flows and advances the simulation clock by roughly
+// boot+warmup.
+func (f *Farm) PrepareSnapshotImages(name string, warmup time.Duration) error {
+	if len(f.byAddr) != 0 {
+		return errors.New("farm: PrepareSnapshotImages after traffic started")
+	}
+	type prep struct {
+		h  *vmm.VMHost
+		vm *vmm.VM
+		in *guest.Instance
+	}
+	var preps []prep
+	for _, h := range f.hosts {
+		vm, err := h.FullBoot(f.Cfg.Image.Name, 0, nil)
+		if err != nil {
+			return fmt.Errorf("farm: reference boot on %s: %w", h.Cfg.Name, err)
+		}
+		preps = append(preps, prep{h: h, vm: vm})
+	}
+	// Let every boot complete, then run the guest workload to settle.
+	f.K.RunFor(f.Cfg.HostConfig.Latency.FullBoot * 2)
+	for i := range preps {
+		profile := f.Cfg.Profile
+		if profile == nil {
+			profile = f.Cfg.Profiles[0]
+		}
+		preps[i].in = guest.New(f.K, preps[i].vm, profile, func(*netsim.Packet) {}, nil, guest.Hooks{})
+		preps[i].in.Start()
+	}
+	f.K.RunFor(warmup)
+	for _, p := range preps {
+		p.in.Stop()
+		if _, err := p.h.SnapshotVM(p.vm.ID, name); err != nil {
+			return fmt.Errorf("farm: snapshot on %s: %w", p.h.Cfg.Name, err)
+		}
+		p.h.Destroy(p.vm.ID)
+	}
+	f.Cfg.Image.Name = name
+	return nil
+}
+
+// RequestVM implements gateway.Backend: flash-clone (or full-boot) a VM
+// for addr and hand the gateway a reference when it is runnable.
+func (f *Farm) RequestVM(now sim.Time, addr netsim.Addr, hint gateway.SpawnHint, ready func(gateway.VMRef, error)) {
+	h := f.pickHost()
+	if h == nil {
+		f.stats.SpawnFailures++
+		f.K.After(0, func(sim.Time) { ready(nil, ErrFarmFull) })
+		return
+	}
+	onReady := func(vm *vmm.VM) {
+		fv := f.attachGuest(h, vm, addr)
+		f.stats.Spawns++
+		if live := f.LiveVMs(); live > f.stats.PeakLiveVMs {
+			f.stats.PeakLiveVMs = live
+		}
+		ready(fv, nil)
+	}
+	var err error
+	if f.Cfg.FullBoot {
+		_, err = h.FullBoot(f.Cfg.Image.Name, addr, onReady)
+	} else {
+		_, err = h.FlashClone(f.Cfg.Image.Name, addr, onReady)
+	}
+	if err != nil {
+		f.stats.SpawnFailures++
+		f.K.After(0, func(sim.Time) { ready(nil, err) })
+		return
+	}
+	// Count VMs still mid-clone toward the peak: they hold memory.
+	if live := f.LiveVMs(); live > f.stats.PeakLiveVMs {
+		f.stats.PeakLiveVMs = live
+	}
+}
+
+// attachGuest builds the guest instance for a freshly-ready VM.
+func (f *Farm) attachGuest(h *vmm.VMHost, vm *vmm.VM, addr netsim.Addr) *FarmVM {
+	fv := &FarmVM{farm: f, VM: vm, Host: h}
+	send := func(pkt *netsim.Packet) {
+		f.K.After(f.Cfg.UplinkLatency, func(now sim.Time) {
+			if f.gw != nil {
+				f.gw.HandleOutbound(now, pkt)
+			}
+		})
+	}
+	hooks := guest.Hooks{OnInfected: func(in *guest.Instance) {
+		f.stats.Infections++
+		if f.Cfg.OnInfected != nil {
+			f.Cfg.OnInfected(f.K.Now(), in)
+		}
+	}}
+	fv.Guest = guest.New(f.K, vm, f.profileFor(addr), send, f.Cfg.PickTarget, hooks)
+	fv.Guest.Start()
+	// A late clone for a recycled-and-rebound address must not displace
+	// the current holder's registration; it will be destroyed right after
+	// the gateway sees it.
+	if _, taken := f.byAddr[addr]; !taken {
+		f.byAddr[addr] = fv
+	}
+	return fv
+}
+
+// profileFor picks the guest personality for an address: the fixed
+// Profile, or — for heterogeneous populations — a deterministic,
+// address-keyed choice from Profiles (the same address always presents
+// the same personality, as a real population would).
+func (f *Farm) profileFor(addr netsim.Addr) *guest.Profile {
+	if len(f.Cfg.Profiles) == 0 {
+		return f.Cfg.Profile
+	}
+	h := uint64(addr) * 0x9e3779b97f4a7c15
+	h ^= h >> 29
+	return f.Cfg.Profiles[h%uint64(len(f.Cfg.Profiles))]
+}
+
+// FarmVM adapts a (VM, guest) pair to gateway.VMRef.
+type FarmVM struct {
+	VM    *vmm.VM
+	Host  *vmm.VMHost
+	Guest *guest.Instance
+
+	farm *Farm
+}
+
+// Deliver implements gateway.VMRef: the packet crosses the intra-farm
+// hop, then the guest handles it (if the VM is still running by then).
+func (fv *FarmVM) Deliver(now sim.Time, pkt *netsim.Packet) {
+	if fv.VM.State != vmm.StateRunning {
+		return
+	}
+	fv.Host.ChargeCPU(now, fv.Host.Cfg.CPU.PerPacket)
+	if d := fv.farm.Cfg.DownlinkLatency; d > 0 {
+		fv.farm.K.After(d, func(then sim.Time) {
+			if fv.VM.State == vmm.StateRunning {
+				fv.Guest.HandlePacket(then, pkt)
+			}
+		})
+		return
+	}
+	fv.Guest.HandlePacket(now, pkt)
+}
+
+// Destroy implements gateway.VMRef: stop the guest and reclaim the VM.
+func (fv *FarmVM) Destroy(_ sim.Time) {
+	fv.Guest.Stop()
+	fv.Host.Destroy(fv.VM.ID)
+	// Another VM may already hold this address (a late clone destroyed
+	// after its binding was recycled and re-bound); only unregister if
+	// the entry is ours.
+	if cur, ok := fv.farm.byAddr[fv.VM.IP]; ok && cur == fv {
+		delete(fv.farm.byAddr, fv.VM.IP)
+	}
+	fv.farm.stats.Reclaims++
+}
+
+// CheckInvariants verifies memory refcount consistency on every server.
+func (f *Farm) CheckInvariants() error {
+	for _, h := range f.hosts {
+		if err := h.CheckMemoryInvariants(); err != nil {
+			return fmt.Errorf("%s: %w", h.Cfg.Name, err)
+		}
+	}
+	return nil
+}
+
+// ServersNeeded is the provisioning arithmetic the paper's scalability
+// argument rests on: how many servers of memBytes cover peakVMs
+// concurrent VMs at the measured per-VM footprint (private bytes +
+// hypervisor overhead), with the reference image charged once per
+// server.
+func ServersNeeded(peakVMs int, perVMFootprint, imageBytes, memBytes uint64) int {
+	if peakVMs <= 0 {
+		return 0
+	}
+	usable := int64(memBytes) - int64(imageBytes)
+	if usable <= 0 || perVMFootprint == 0 {
+		return -1 // image alone does not fit, or degenerate input
+	}
+	perServer := usable / int64(perVMFootprint)
+	if perServer <= 0 {
+		return -1
+	}
+	n := (int64(peakVMs) + perServer - 1) / perServer
+	return int(n)
+}

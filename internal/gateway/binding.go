@@ -1,0 +1,89 @@
+package gateway
+
+import (
+	"potemkin/internal/netsim"
+	"potemkin/internal/sim"
+)
+
+// BindingState tracks a binding's lifecycle.
+type BindingState int
+
+// Binding states.
+const (
+	// BindingPending: a VM is being flash-cloned; packets queue.
+	BindingPending BindingState = iota
+	// BindingActive: the VM is live and receiving.
+	BindingActive
+)
+
+// Binding is the gateway's per-address state: the IP→VM mapping plus
+// the flow context containment decisions need.
+type Binding struct {
+	Addr  netsim.Addr
+	State BindingState
+	VM    VMRef
+	Hint  SpawnHint
+
+	CreatedAt  sim.Time
+	LastActive sim.Time
+
+	// pending queues inbound packets while the clone is in flight.
+	pending []*netsim.Packet
+
+	// peers are remotes that sent traffic to this binding; outbound
+	// replies to them are permitted under PolicyReflectSource and up.
+	// peerOrder tracks insertion order for oldest-first eviction.
+	peers     map[netsim.Addr]struct{}
+	peerOrder []netsim.Addr
+
+	// outTargets are distinct remotes this VM attempted to contact —
+	// the scan detector's input.
+	outTargets map[netsim.Addr]struct{}
+	detected   bool
+
+	// rate is the outbound token bucket (lazily created).
+	rate *bucket
+}
+
+func newBinding(now sim.Time, addr netsim.Addr, hint SpawnHint) *Binding {
+	return &Binding{
+		Addr:       addr,
+		State:      BindingPending,
+		Hint:       hint,
+		CreatedAt:  now,
+		LastActive: now,
+		peers:      make(map[netsim.Addr]struct{}),
+		outTargets: make(map[netsim.Addr]struct{}),
+	}
+}
+
+// notePeer remembers a remote that contacted this binding, evicting the
+// oldest peer when the table is full (replies answer recent contacts,
+// so recency is what fidelity needs).
+func (b *Binding) notePeer(addr netsim.Addr, limit int) {
+	if _, ok := b.peers[addr]; ok {
+		return
+	}
+	for len(b.peers) >= limit && len(b.peerOrder) > 0 {
+		oldest := b.peerOrder[0]
+		b.peerOrder = b.peerOrder[1:]
+		delete(b.peers, oldest)
+	}
+	b.peers[addr] = struct{}{}
+	b.peerOrder = append(b.peerOrder, addr)
+}
+
+// isPeer reports whether addr previously contacted this binding.
+func (b *Binding) isPeer(addr netsim.Addr) bool {
+	_, ok := b.peers[addr]
+	return ok
+}
+
+// Peers returns the number of remembered peers.
+func (b *Binding) Peers() int { return len(b.peers) }
+
+// Detected reports whether the scan detector flagged this binding.
+func (b *Binding) Detected() bool { return b.detected }
+
+// OutTargets returns the number of distinct outbound targets attempted.
+func (b *Binding) OutTargets() int { return len(b.outTargets) }

@@ -1,0 +1,53 @@
+package gateway
+
+import (
+	"potemkin/internal/netsim"
+	"potemkin/internal/sim"
+)
+
+// Packet capture: the gateway is the one place every honeyfarm packet
+// crosses, so a tap here is the farm's tcpdump. The tap sees three
+// vantage points — telescope-side arrivals, VM-bound deliveries, and
+// externalized egress — so an analyst can replay exactly what the
+// malware saw and sent. Capture records are (direction, time, packet)
+// tuples; cmd/potemkind writes them in the telescope trace format for
+// inspection with cmd/telescope.
+
+// Direction classifies a captured packet's vantage point.
+type Direction int
+
+// Capture vantage points.
+const (
+	// CapInbound: packet arrived from outside (or was re-injected by
+	// reflection) and entered the dispatch path.
+	CapInbound Direction = iota
+	// CapToVM: packet was delivered to a VM.
+	CapToVM
+	// CapEgress: packet was externalized by the containment policy.
+	CapEgress
+)
+
+// String names the direction.
+func (d Direction) String() string {
+	switch d {
+	case CapInbound:
+		return "in"
+	case CapToVM:
+		return "to-vm"
+	case CapEgress:
+		return "out"
+	default:
+		return "unknown"
+	}
+}
+
+// CaptureSink consumes tapped packets. The packet must not be retained
+// or mutated (clone it if needed).
+type CaptureSink func(now sim.Time, dir Direction, pkt *netsim.Packet)
+
+// capture taps a packet if a sink is configured.
+func (g *Gateway) capture(now sim.Time, dir Direction, pkt *netsim.Packet) {
+	if g.Cfg.Capture != nil {
+		g.Cfg.Capture(now, dir, pkt)
+	}
+}

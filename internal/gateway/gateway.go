@@ -1,0 +1,349 @@
+// Package gateway implements the Potemkin gateway router — the control
+// point the paper's architecture hangs on. The gateway:
+//
+//   - receives telescope traffic (GRE-tunnelled from border routers),
+//     binds destination IPs to VMs on demand, and queues packets while a
+//     flash clone is in flight (scalability: physical resources are
+//     committed only to addresses that receive traffic);
+//   - tracks per-binding peers so honeypot replies reach the scanner
+//     that elicited them (fidelity);
+//   - enforces containment on all VM-originated traffic: deny by
+//     default, allow replies to the eliciting source, proxy DNS to a
+//     safe resolver, and optionally reflect other outbound connections
+//     back into the honeyfarm so the next stage of a multi-stage
+//     infection is captured rather than released;
+//   - recycles idle VMs so a small farm covers a large address space.
+//
+// The gateway operates on real wire bytes at its edges (GRE decap,
+// header parse) so its throughput benchmarks (E4) measure honest work.
+package gateway
+
+import (
+	"time"
+
+	"potemkin/internal/netsim"
+	"potemkin/internal/sim"
+)
+
+// Policy selects the outbound-containment mode.
+type Policy int
+
+// Containment policies, in decreasing order of permissiveness.
+const (
+	// PolicyOpen forwards all outbound traffic to the real network —
+	// the dangerous baseline the paper argues against. Only for
+	// experiments measuring leakage.
+	PolicyOpen Policy = iota
+	// PolicyDropAll drops every VM-originated packet that is not
+	// addressed inside the honeyfarm. Maximum containment, minimum
+	// fidelity (even replies to the scanner are lost).
+	PolicyDropAll
+	// PolicyReflectSource additionally allows packets addressed to a
+	// remote that previously contacted the same VM (replies/handshakes).
+	PolicyReflectSource
+	// PolicyInternalReflect additionally redirects other outbound
+	// connections to fresh honeyfarm addresses, spawning new VMs to
+	// play the remote side — capturing multi-stage behaviour without
+	// leaking a byte.
+	PolicyInternalReflect
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case PolicyOpen:
+		return "open"
+	case PolicyDropAll:
+		return "drop-all"
+	case PolicyReflectSource:
+		return "reflect-source"
+	case PolicyInternalReflect:
+		return "internal-reflect"
+	default:
+		return "unknown"
+	}
+}
+
+// VMRef is the gateway's handle on a farm VM.
+type VMRef interface {
+	// Deliver hands the VM an inbound packet.
+	Deliver(now sim.Time, pkt *netsim.Packet)
+	// Destroy reclaims the VM.
+	Destroy(now sim.Time)
+}
+
+// SpawnHint tells the backend why a VM is being created.
+type SpawnHint struct {
+	// Reflected marks VMs created by internal reflection.
+	Reflected bool
+	// Source is the address whose traffic triggered the spawn.
+	Source netsim.Addr
+}
+
+// Backend creates VMs on demand. The farm implements it; tests use
+// fakes. ready must eventually be called exactly once, with either a
+// VMRef or an error (capacity exhausted).
+type Backend interface {
+	RequestVM(now sim.Time, addr netsim.Addr, hint SpawnHint, ready func(VMRef, error))
+}
+
+// Config parameterizes a gateway.
+type Config struct {
+	// Space is the monitored address range the gateway answers for.
+	Space netsim.Prefix
+
+	Policy Policy
+
+	// AllowDNS permits VM-originated UDP/53, rewritten to Resolver.
+	AllowDNS bool
+	Resolver netsim.Addr
+
+	// IdleTimeout recycles a binding after this much inactivity.
+	// Zero disables idle recycling.
+	IdleTimeout time.Duration
+	// MaxLifetime recycles a binding regardless of activity. Zero
+	// disables the cap.
+	MaxLifetime time.Duration
+
+	// PendingLimit bounds packets queued per binding during cloning.
+	PendingLimit int
+	// MaxPeers bounds remembered remote peers per binding.
+	MaxPeers int
+	// ReflectionLimit bounds live internally-reflected bindings.
+	ReflectionLimit int
+
+	// DetectThreshold flags a VM as compromised after it attempts
+	// outbound contact with this many distinct remotes. Zero disables
+	// detection.
+	DetectThreshold int
+
+	// PinDetected exempts bindings flagged by the scan detector from
+	// idle/lifetime recycling, quarantining the infected VM for
+	// analysis instead of destroying the evidence.
+	PinDetected bool
+
+	// ScanFilter, when positive, sheds load from repeat scanners: once
+	// a source has had N probes to the same destination port answered,
+	// further probes from it to *unbound* addresses are dropped without
+	// instantiating a VM. (The paper argues a honeyfarm must filter
+	// redundant scans or a single loud scanner will consume the farm.)
+	// Probes to already-bound addresses always pass, so an established
+	// conversation is never cut. Zero disables filtering.
+	ScanFilter int
+
+	// ExternalOut receives packets the policy allows to leave (open
+	// policy, reflect-to-source, DNS). Nil means count-and-drop.
+	ExternalOut func(now sim.Time, pkt *netsim.Packet)
+
+	// OnDetected fires when the scan detector flags a binding.
+	OnDetected func(now sim.Time, addr netsim.Addr, distinctTargets int)
+
+	// ProxyRules forwards VM-originated traffic on specific destination
+	// ports to sacrificial hosts (NATed through ProxyAddr), the paper's
+	// containment option for protocols too rich to fake. Applies under
+	// ReflectSource and InternalReflect before reflection/drop.
+	ProxyRules map[uint16]ProxyRule
+	// ProxyAddr is the gateway-owned external address proxy flows are
+	// NATed through; returns addressed to it are rewritten back.
+	ProxyAddr netsim.Addr
+
+	// OutboundLimit rate-limits externalized packets per binding (the
+	// containment middle ground: worms throttle to uselessness, real
+	// sessions barely notice). The zero value disables limiting.
+	OutboundLimit RateLimit
+
+	// EventSink, when set, receives the forensic event log (see
+	// JSONLSink). Nil disables logging.
+	EventSink EventSink
+
+	// Capture, when set, taps every packet crossing the gateway (see
+	// CaptureSink). Nil disables capture.
+	Capture CaptureSink
+}
+
+// DefaultConfig returns the standard experiment configuration: a /16,
+// internal reflection, DNS allowed, 60 s idle recycling.
+func DefaultConfig() Config {
+	return Config{
+		Space:           netsim.MustParsePrefix("10.5.0.0/16"),
+		Policy:          PolicyInternalReflect,
+		AllowDNS:        true,
+		Resolver:        netsim.MustParseAddr("172.16.0.53"),
+		IdleTimeout:     60 * time.Second,
+		PendingLimit:    64,
+		MaxPeers:        64,
+		ReflectionLimit: 4096,
+		DetectThreshold: 5,
+	}
+}
+
+// Stats counts gateway activity. All counters are cumulative.
+type Stats struct {
+	// Inbound path.
+	InboundPackets   uint64
+	InboundNonIP     uint64 // undecodable frames
+	InboundOutside   uint64 // destination outside the monitored space
+	BindingsCreated  uint64
+	BindingsRecycled uint64
+	SpawnFailures    uint64
+	PendingDropped   uint64 // queue overflow during clone
+	DeliveredToVM    uint64
+
+	// Outbound path, by disposition.
+	OutAllowedOpen    uint64 // PolicyOpen pass-through
+	OutToSource       uint64 // replies to eliciting remote
+	OutDNSProxied     uint64
+	OutInternal       uint64 // dst already inside the honeyfarm
+	OutReflected      uint64 // redirected by internal reflection
+	OutDropped        uint64
+	OutReflectDenied  uint64 // reflection limit hit
+	DetectedInfected  uint64
+	ScanFiltered      uint64 // inbound probes shed by the scan filter
+	OutRateLimited    uint64 // externalized packets dropped by the rate limit
+	OutProxied        uint64 // packets NATed to sacrificial hosts
+	ProxyReturns      uint64 // sacrificial-host replies rewritten back
+	PeakBindings      int
+	ReflectionsActive int
+}
+
+// Gateway is the honeyfarm's routing and containment engine. It is
+// single-threaded under the sim kernel, like the rest of the simulated
+// control plane; the wire-level entry points used by benchmarks are
+// pure functions of gateway state.
+type Gateway struct {
+	Cfg Config
+	K   *sim.Kernel
+
+	backend  Backend
+	bindings map[netsim.Addr]*Binding
+	// reflections maps external destination -> honeyfarm address chosen
+	// for it, so one remote endpoint is impersonated by one stable VM.
+	reflections map[netsim.Addr]netsim.Addr
+	// scanSeen counts serviced probes per (source, dstPort) for the
+	// scan filter.
+	scanSeen map[scanKey]int
+	// Proxy NAT state: gateway port <-> proxied flow.
+	nat      map[uint16]natEntry
+	natPorts map[natEntry]uint16
+	rng      *sim.RNG
+	stats    Stats
+	scrub    *sim.Ticker
+
+	// Sharding hooks (set by Sharded; nil for a standalone gateway):
+	// owns restricts which monitored addresses this instance may bind,
+	// and reinject routes internal traffic for addresses it does not
+	// own back through the shard router.
+	owns     func(netsim.Addr) bool
+	reinject func(now sim.Time, pkt *netsim.Packet)
+}
+
+// scanKey identifies a scanner's probe signature.
+type scanKey struct {
+	src  netsim.Addr
+	port uint16
+}
+
+// New creates a gateway over backend.
+func New(k *sim.Kernel, cfg Config, backend Backend) *Gateway {
+	if cfg.PendingLimit <= 0 {
+		cfg.PendingLimit = 64
+	}
+	if cfg.MaxPeers <= 0 {
+		cfg.MaxPeers = 64
+	}
+	if cfg.ReflectionLimit <= 0 {
+		cfg.ReflectionLimit = 4096
+	}
+	g := &Gateway{
+		Cfg:         cfg,
+		K:           k,
+		backend:     backend,
+		bindings:    make(map[netsim.Addr]*Binding),
+		reflections: make(map[netsim.Addr]netsim.Addr),
+		scanSeen:    make(map[scanKey]int),
+		nat:         make(map[uint16]natEntry),
+		natPorts:    make(map[natEntry]uint16),
+		rng:         k.Stream("gateway"),
+	}
+	g.startScrubber()
+	return g
+}
+
+// Stats returns a copy of the counters.
+func (g *Gateway) Stats() Stats {
+	s := g.stats
+	s.ReflectionsActive = len(g.reflections)
+	return s
+}
+
+// NumBindings returns the number of live bindings (pending + active).
+func (g *Gateway) NumBindings() int { return len(g.bindings) }
+
+// Binding returns the binding for addr, or nil.
+func (g *Gateway) Binding(addr netsim.Addr) *Binding { return g.bindings[addr] }
+
+// Close stops background recycling.
+func (g *Gateway) Close() {
+	if g.scrub != nil {
+		g.scrub.Stop()
+	}
+}
+
+func (g *Gateway) startScrubber() {
+	if g.Cfg.IdleTimeout == 0 && g.Cfg.MaxLifetime == 0 {
+		return
+	}
+	period := g.Cfg.IdleTimeout / 4
+	if period == 0 || (g.Cfg.MaxLifetime > 0 && g.Cfg.MaxLifetime/4 < period) {
+		period = g.Cfg.MaxLifetime / 4
+	}
+	if period < 50*time.Millisecond {
+		period = 50 * time.Millisecond
+	}
+	g.scrub = g.K.Every(period, g.scrubOnce)
+}
+
+// Scrub runs one recycling pass immediately (operational tooling and
+// benchmarks; the background ticker calls the same pass).
+func (g *Gateway) Scrub(now sim.Time) { g.scrubOnce(now) }
+
+// scrubOnce recycles bindings that exceeded idle or lifetime limits.
+func (g *Gateway) scrubOnce(now sim.Time) {
+	for addr, b := range g.bindings {
+		if b.State != BindingActive {
+			continue // never recycle mid-clone
+		}
+		if g.Cfg.PinDetected && b.detected {
+			continue // quarantined for analysis
+		}
+		idleOut := g.Cfg.IdleTimeout > 0 && now.Sub(b.LastActive) >= g.Cfg.IdleTimeout
+		lifeOut := g.Cfg.MaxLifetime > 0 && now.Sub(b.CreatedAt) >= g.Cfg.MaxLifetime
+		if idleOut || lifeOut {
+			g.recycle(now, addr, b)
+		}
+	}
+}
+
+func (g *Gateway) recycle(now sim.Time, addr netsim.Addr, b *Binding) {
+	g.logEvent(now, EvRecycled, addr, 0, "")
+	if b.VM != nil {
+		b.VM.Destroy(now)
+	}
+	delete(g.bindings, addr)
+	if b.Hint.Reflected {
+		// Drop the reflection route so a later contact re-instantiates.
+		for ext, internal := range g.reflections {
+			if internal == addr {
+				delete(g.reflections, ext)
+			}
+		}
+	}
+	g.stats.BindingsRecycled++
+}
+
+// RecycleAll destroys every binding (end of experiment).
+func (g *Gateway) RecycleAll(now sim.Time) {
+	for addr, b := range g.bindings {
+		g.recycle(now, addr, b)
+	}
+}

@@ -1,0 +1,128 @@
+package gateway
+
+import (
+	"potemkin/internal/gre"
+	"potemkin/internal/netsim"
+	"potemkin/internal/sim"
+)
+
+// HandleGREFrame is the wire-level inbound entry point: a GRE frame as
+// received from a telescope border router. It decapsulates, parses the
+// inner IPv4 packet, and dispatches. This is the path the E4 throughput
+// benchmark drives.
+func (g *Gateway) HandleGREFrame(now sim.Time, frame []byte) {
+	_, inner, err := gre.Decap(frame)
+	if err != nil {
+		g.stats.InboundNonIP++
+		return
+	}
+	pkt, err := netsim.Unmarshal(inner)
+	if err != nil {
+		g.stats.InboundNonIP++
+		return
+	}
+	g.HandleInbound(now, pkt)
+}
+
+// HandleInbound dispatches a parsed packet arriving from outside the
+// honeyfarm (or re-injected by internal reflection).
+func (g *Gateway) HandleInbound(now sim.Time, pkt *netsim.Packet) {
+	g.stats.InboundPackets++
+	g.capture(now, CapInbound, pkt)
+	if g.handleProxyReturn(now, pkt) {
+		return
+	}
+	if !g.Cfg.Space.Contains(pkt.Dst) {
+		g.stats.InboundOutside++
+		return
+	}
+	b, ok := g.bindings[pkt.Dst]
+	if !ok {
+		if g.filterScan(pkt) {
+			g.stats.ScanFiltered++
+			return
+		}
+		b = g.bind(now, pkt.Dst, SpawnHint{Source: pkt.Src})
+		if b == nil {
+			return // spawn failed synchronously
+		}
+	}
+	b.LastActive = now
+	b.notePeer(pkt.Src, g.Cfg.MaxPeers)
+
+	switch b.State {
+	case BindingPending:
+		if len(b.pending) >= g.Cfg.PendingLimit {
+			g.stats.PendingDropped++
+			return
+		}
+		b.pending = append(b.pending, pkt)
+	case BindingActive:
+		g.stats.DeliveredToVM++
+		g.capture(now, CapToVM, pkt)
+		b.VM.Deliver(now, pkt)
+	}
+}
+
+// filterScan implements the redundant-scan shed: it reports whether
+// this probe, which would otherwise instantiate a fresh VM, comes from
+// a source whose probes to this port have already been serviced
+// Cfg.ScanFilter times. Sources inside the monitored space (reflected
+// or internal traffic) are never filtered — containment must observe
+// them in full.
+func (g *Gateway) filterScan(pkt *netsim.Packet) bool {
+	if g.Cfg.ScanFilter <= 0 || g.Cfg.Space.Contains(pkt.Src) {
+		return false
+	}
+	key := scanKey{src: pkt.Src, port: pkt.DstPort}
+	if g.scanSeen[key] >= g.Cfg.ScanFilter {
+		return true
+	}
+	g.scanSeen[key]++
+	return false
+}
+
+// bind creates a pending binding for addr and requests a VM. Returns
+// nil if the backend failed synchronously.
+func (g *Gateway) bind(now sim.Time, addr netsim.Addr, hint SpawnHint) *Binding {
+	b := newBinding(now, addr, hint)
+	g.bindings[addr] = b
+	g.stats.BindingsCreated++
+	if n := len(g.bindings); n > g.stats.PeakBindings {
+		g.stats.PeakBindings = n
+	}
+	detail := ""
+	if hint.Reflected {
+		detail = "reflected"
+	}
+	g.logEvent(now, EvBound, addr, hint.Source, detail)
+	g.backend.RequestVM(now, addr, hint, func(vm VMRef, err error) {
+		// The binding may have been recycled while the clone was in
+		// flight; in that case destroy the late VM.
+		cur, ok := g.bindings[addr]
+		if !ok || cur != b {
+			if vm != nil {
+				vm.Destroy(g.K.Now())
+			}
+			return
+		}
+		if err != nil {
+			g.stats.SpawnFailures++
+			g.stats.PendingDropped += uint64(len(b.pending))
+			delete(g.bindings, addr)
+			g.logEvent(g.K.Now(), EvSpawnFail, addr, 0, err.Error())
+			return
+		}
+		b.VM = vm
+		b.State = BindingActive
+		g.logEvent(g.K.Now(), EvActive, addr, 0, "")
+		flushAt := g.K.Now()
+		for _, queued := range b.pending {
+			g.stats.DeliveredToVM++
+			g.capture(flushAt, CapToVM, queued)
+			vm.Deliver(flushAt, queued)
+		}
+		b.pending = nil
+	})
+	return g.bindings[addr]
+}

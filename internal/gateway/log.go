@@ -1,0 +1,67 @@
+package gateway
+
+import (
+	"encoding/json"
+	"io"
+
+	"potemkin/internal/netsim"
+	"potemkin/internal/sim"
+)
+
+// The event log is the honeyfarm's forensic record: who was bound when,
+// which VMs were flagged, what was reflected where. Operators replay it
+// to reconstruct an incident after the VMs themselves have been
+// recycled — checkpoints capture state, the log captures history.
+
+// EventKind classifies a logged event.
+type EventKind string
+
+// Logged event kinds.
+const (
+	EvBound      EventKind = "bound"       // address bound, clone requested
+	EvActive     EventKind = "active"      // VM live, queued packets flushed
+	EvSpawnFail  EventKind = "spawn-fail"  // backend could not provide a VM
+	EvRecycled   EventKind = "recycled"    // binding reclaimed
+	EvDetected   EventKind = "detected"    // scan detector flagged the VM
+	EvReflected  EventKind = "reflected"   // outbound redirected into the farm
+	EvDNSProxied EventKind = "dns-proxied" // lookup rewritten to the safe resolver
+)
+
+// Event is one log record.
+type Event struct {
+	T    float64   `json:"t"` // seconds of simulated time
+	Kind EventKind `json:"kind"`
+	// Addr is the honeyfarm address the event concerns.
+	Addr string `json:"addr"`
+	// Peer is the relevant remote address, when there is one.
+	Peer string `json:"peer,omitempty"`
+	// Detail carries kind-specific context (target count, error text…).
+	Detail string `json:"detail,omitempty"`
+}
+
+// EventSink consumes log records.
+type EventSink func(Event)
+
+// JSONLSink returns a sink that writes one JSON object per line to w.
+// Encoding errors are reported through errFn (nil to ignore), never by
+// panicking — logging must not take the gateway down.
+func JSONLSink(w io.Writer, errFn func(error)) EventSink {
+	enc := json.NewEncoder(w)
+	return func(ev Event) {
+		if err := enc.Encode(ev); err != nil && errFn != nil {
+			errFn(err)
+		}
+	}
+}
+
+// logEvent emits a record if a sink is configured.
+func (g *Gateway) logEvent(now sim.Time, kind EventKind, addr netsim.Addr, peer netsim.Addr, detail string) {
+	if g.Cfg.EventSink == nil {
+		return
+	}
+	ev := Event{T: now.Seconds(), Kind: kind, Addr: addr.String(), Detail: detail}
+	if peer != 0 {
+		ev.Peer = peer.String()
+	}
+	g.Cfg.EventSink(ev)
+}

@@ -1,0 +1,123 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"potemkin/internal/netsim"
+	"potemkin/internal/sim"
+)
+
+func TestEventLogLifecycle(t *testing.T) {
+	var events []Event
+	g, fb, k := newTestGateway(t, func(c *Config) {
+		c.IdleTimeout = 5 * time.Second
+		c.EventSink = func(ev Event) { events = append(events, ev) }
+	})
+	g.HandleInbound(k.Now(), syn(ext(0), mon(0)))
+	k.RunUntil(sim.Start.Add(time.Minute))
+	g.Close()
+	_ = fb
+
+	var kinds []EventKind
+	for _, ev := range events {
+		kinds = append(kinds, ev.Kind)
+	}
+	want := []EventKind{EvBound, EvActive, EvRecycled}
+	if len(kinds) != len(want) {
+		t.Fatalf("events = %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("events = %v, want %v", kinds, want)
+		}
+	}
+	if events[0].Addr != mon(0).String() || events[0].Peer != ext(0).String() {
+		t.Errorf("bound event: %+v", events[0])
+	}
+	// Times are non-decreasing and in seconds.
+	if events[2].T < events[0].T {
+		t.Error("event times out of order")
+	}
+}
+
+func TestEventLogSpawnFail(t *testing.T) {
+	var events []Event
+	g, fb, k := newTestGateway(t, func(c *Config) {
+		c.EventSink = func(ev Event) { events = append(events, ev) }
+	})
+	fb.failNext = true
+	g.HandleInbound(k.Now(), syn(ext(0), mon(0)))
+	k.Run()
+	found := false
+	for _, ev := range events {
+		if ev.Kind == EvSpawnFail && ev.Detail != "" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no spawn-fail event: %+v", events)
+	}
+}
+
+func TestEventLogDetectAndReflect(t *testing.T) {
+	var events []Event
+	g, _, k := newTestGateway(t, func(c *Config) {
+		c.Policy = PolicyInternalReflect
+		c.DetectThreshold = 3
+		c.EventSink = func(ev Event) { events = append(events, ev) }
+	})
+	g.HandleInbound(k.Now(), syn(ext(0), mon(0)))
+	k.Run()
+	for i := 0; i < 4; i++ {
+		g.HandleOutbound(k.Now(), syn(mon(0), netsim.MustParseAddr("99.0.0.1")+netsim.Addr(i)))
+		k.Run()
+	}
+	var sawDetected, sawReflected bool
+	for _, ev := range events {
+		switch ev.Kind {
+		case EvDetected:
+			sawDetected = true
+		case EvReflected:
+			sawReflected = true
+			if !strings.Contains(ev.Detail, "to 10.5.") {
+				t.Errorf("reflect detail: %q", ev.Detail)
+			}
+		}
+	}
+	if !sawDetected || !sawReflected {
+		t.Errorf("detected=%v reflected=%v: %+v", sawDetected, sawReflected, events)
+	}
+}
+
+func TestJSONLSink(t *testing.T) {
+	var buf bytes.Buffer
+	sink := JSONLSink(&buf, nil)
+	sink(Event{T: 1.5, Kind: EvBound, Addr: "10.5.0.1", Peer: "1.2.3.4"})
+	sink(Event{T: 2.0, Kind: EvRecycled, Addr: "10.5.0.1"})
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	var ev Event
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Kind != EvBound || ev.Addr != "10.5.0.1" || ev.Peer != "1.2.3.4" || ev.T != 1.5 {
+		t.Errorf("decoded: %+v", ev)
+	}
+	// Omitted peer stays omitted.
+	if strings.Contains(lines[1], "peer") {
+		t.Errorf("empty peer serialized: %s", lines[1])
+	}
+}
+
+func TestNoSinkNoOverhead(t *testing.T) {
+	g, _, k := newTestGateway(t, nil)
+	// Must not panic or allocate events with no sink configured.
+	g.HandleInbound(k.Now(), syn(ext(0), mon(0)))
+	k.Run()
+}

@@ -1,0 +1,109 @@
+package gateway
+
+import (
+	"testing"
+	"time"
+
+	"potemkin/internal/netsim"
+	"potemkin/internal/sim"
+)
+
+// Model-based test: drive the gateway with a random operation stream and
+// check it against a trivially-correct reference model of the binding
+// table. The model tracks, per address: bound?, the set of peers, and
+// delivered-packet counts; the gateway must agree after every batch.
+type bindingModel struct {
+	bound     map[netsim.Addr]bool
+	delivered map[netsim.Addr]int
+	created   int
+	recycled  int
+}
+
+func TestGatewayAgainstModel(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3, 4} {
+		k := sim.NewKernel(seed)
+		fb := &fakeBackend{k: k, delay: 100 * time.Millisecond}
+		cfg := DefaultConfig()
+		cfg.IdleTimeout = 0 // recycling driven explicitly below
+		cfg.Policy = PolicyDropAll
+		g := New(k, cfg, fb)
+
+		m := &bindingModel{bound: map[netsim.Addr]bool{}, delivered: map[netsim.Addr]int{}}
+		r := sim.NewRNG(seed * 31)
+		addrs := make([]netsim.Addr, 32)
+		for i := range addrs {
+			addrs[i] = cfg.Space.Nth(uint64(i) * 7)
+		}
+
+		for step := 0; step < 2000; step++ {
+			switch r.Intn(10) {
+			case 0: // recycle everything
+				g.RecycleAll(k.Now())
+				for a, b := range m.bound {
+					if b {
+						m.recycled++
+					}
+					m.bound[a] = false
+				}
+			default: // inbound packet to a random address
+				dst := addrs[r.Intn(len(addrs))]
+				src := netsim.Addr(0xc6000000 + r.Uint64n(1024))
+				g.HandleInbound(k.Now(), netsim.TCPSyn(src, dst, 1000, 445, 1))
+				if !m.bound[dst] {
+					m.bound[dst] = true
+					m.created++
+				}
+				m.delivered[dst]++ // queued packets flush on ready, so all count
+			}
+			// Let clones land between batches sometimes.
+			if r.Bool(0.3) {
+				k.RunFor(time.Second)
+			}
+		}
+		k.RunFor(time.Minute) // settle all clones
+
+		// Compare: binding set.
+		wantLive := 0
+		for a, b := range m.bound {
+			if b {
+				wantLive++
+				if g.Binding(a) == nil {
+					t.Fatalf("seed %d: model has %s bound, gateway does not", seed, a)
+				}
+			} else if g.Binding(a) != nil {
+				t.Fatalf("seed %d: gateway has %s bound, model does not", seed, a)
+			}
+		}
+		if g.NumBindings() != wantLive {
+			t.Fatalf("seed %d: bindings %d, model %d", seed, g.NumBindings(), wantLive)
+		}
+		st := g.Stats()
+		if int(st.BindingsCreated) != m.created {
+			t.Errorf("seed %d: created %d, model %d", seed, st.BindingsCreated, m.created)
+		}
+		if int(st.BindingsRecycled) != m.recycled {
+			t.Errorf("seed %d: recycled %d, model %d", seed, st.BindingsRecycled, m.recycled)
+		}
+		// Delivered packets: every packet to a binding that survived to
+		// activation is delivered exactly once. RecycleAll can kill a
+		// pending binding and drop its queue, so the gateway may deliver
+		// fewer — never more.
+		total := 0
+		for _, n := range m.delivered {
+			total += n
+		}
+		if int(st.DeliveredToVM) > total {
+			t.Errorf("seed %d: delivered %d > model upper bound %d", seed, st.DeliveredToVM, total)
+		}
+		if st.DeliveredToVM == 0 {
+			t.Errorf("seed %d: nothing delivered", seed)
+		}
+		// Conservation: created = live + recycled + failed-pending.
+		// (fakeBackend never fails, but RecycleAll can reap pending
+		// bindings, which count as recycled.)
+		if int(st.BindingsCreated) != g.NumBindings()+int(st.BindingsRecycled) {
+			t.Errorf("seed %d: conservation: %d != %d + %d",
+				seed, st.BindingsCreated, g.NumBindings(), st.BindingsRecycled)
+		}
+	}
+}

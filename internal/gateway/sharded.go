@@ -1,0 +1,152 @@
+package gateway
+
+import (
+	"fmt"
+
+	"potemkin/internal/netsim"
+	"potemkin/internal/sim"
+)
+
+// Egress is the surface VM-originated traffic enters the gateway layer
+// through. Both a single Gateway and a Sharded set implement it, so the
+// farm does not care how many gateway boxes front it.
+type Egress interface {
+	HandleOutbound(now sim.Time, pkt *netsim.Packet) Disposition
+}
+
+// Sharded partitions the monitored space across N independent gateway
+// instances — the paper's scaling answer when one gateway box saturates
+// (E9's knee): bindings never span shards, so gateways share nothing
+// and scale linearly. Shard i owns the addresses whose index within the
+// space is ≡ i (mod N); inbound and outbound traffic is routed to the
+// owner by destination and source respectively.
+type Sharded struct {
+	Space  netsim.Prefix
+	shards []*Gateway
+}
+
+// NewSharded builds n gateways over cfg (each sees the full Space in
+// its config — ownership is enforced by the router, and internal
+// traffic may legitimately cross shards).
+func NewSharded(k *sim.Kernel, cfg Config, backend Backend, n int) *Sharded {
+	if n <= 0 {
+		panic("gateway: non-positive shard count")
+	}
+	s := &Sharded{Space: cfg.Space}
+	for i := 0; i < n; i++ {
+		g := New(k, cfg, backend)
+		shard := i
+		// Ownership: address index mod shard count. Cross-shard
+		// internal traffic (VM-to-VM) reinjects through the router;
+		// reflections pick shard-local addresses.
+		g.owns = func(a netsim.Addr) bool {
+			return s.Space.Index(a)%uint64(n) == uint64(shard)
+		}
+		g.reinject = s.HandleInbound
+		s.shards = append(s.shards, g)
+	}
+	return s
+}
+
+// Shards returns the number of shards.
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+// shardFor returns the gateway owning addr.
+func (s *Sharded) shardFor(addr netsim.Addr) *Gateway {
+	idx := s.Space.Index(addr) % uint64(len(s.shards))
+	return s.shards[idx]
+}
+
+// HandleInbound routes a packet to its destination's owning shard.
+func (s *Sharded) HandleInbound(now sim.Time, pkt *netsim.Packet) {
+	if !s.Space.Contains(pkt.Dst) {
+		// Count it somewhere deterministic.
+		s.shards[0].HandleInbound(now, pkt)
+		return
+	}
+	s.shardFor(pkt.Dst).HandleInbound(now, pkt)
+}
+
+// HandleOutbound implements Egress: VM egress is policy-checked by the
+// shard owning the VM's address (which holds its binding and peer
+// state).
+func (s *Sharded) HandleOutbound(now sim.Time, pkt *netsim.Packet) Disposition {
+	if !s.Space.Contains(pkt.Src) {
+		return DispDropped
+	}
+	return s.shardFor(pkt.Src).HandleOutbound(now, pkt)
+}
+
+// Stats sums the shard counters.
+func (s *Sharded) Stats() Stats {
+	var sum Stats
+	for _, g := range s.shards {
+		st := g.Stats()
+		sum.InboundPackets += st.InboundPackets
+		sum.InboundNonIP += st.InboundNonIP
+		sum.InboundOutside += st.InboundOutside
+		sum.BindingsCreated += st.BindingsCreated
+		sum.BindingsRecycled += st.BindingsRecycled
+		sum.SpawnFailures += st.SpawnFailures
+		sum.PendingDropped += st.PendingDropped
+		sum.DeliveredToVM += st.DeliveredToVM
+		sum.OutAllowedOpen += st.OutAllowedOpen
+		sum.OutToSource += st.OutToSource
+		sum.OutDNSProxied += st.OutDNSProxied
+		sum.OutInternal += st.OutInternal
+		sum.OutReflected += st.OutReflected
+		sum.OutDropped += st.OutDropped
+		sum.OutReflectDenied += st.OutReflectDenied
+		sum.DetectedInfected += st.DetectedInfected
+		sum.ScanFiltered += st.ScanFiltered
+		sum.OutRateLimited += st.OutRateLimited
+		sum.PeakBindings += st.PeakBindings
+		sum.ReflectionsActive += st.ReflectionsActive
+	}
+	return sum
+}
+
+// NumBindings sums live bindings across shards.
+func (s *Sharded) NumBindings() int {
+	n := 0
+	for _, g := range s.shards {
+		n += g.NumBindings()
+	}
+	return n
+}
+
+// Binding finds addr's binding on its owning shard.
+func (s *Sharded) Binding(addr netsim.Addr) *Binding {
+	if !s.Space.Contains(addr) {
+		return nil
+	}
+	return s.shardFor(addr).Binding(addr)
+}
+
+// RecycleAll recycles every binding on every shard.
+func (s *Sharded) RecycleAll(now sim.Time) {
+	for _, g := range s.shards {
+		g.RecycleAll(now)
+	}
+}
+
+// Close stops every shard's background work.
+func (s *Sharded) Close() {
+	for _, g := range s.shards {
+		g.Close()
+	}
+}
+
+// CheckOwnership verifies the sharding invariant: every binding lives
+// on the shard that owns its address.
+func (s *Sharded) CheckOwnership() error {
+	for i, g := range s.shards {
+		for addr := range g.bindings {
+			if s.shardFor(addr) != g {
+				return fmt.Errorf("gateway: binding %s on shard %d, owner is %d",
+					addr, i, s.Space.Index(addr)%uint64(len(s.shards)))
+			}
+		}
+	}
+	return nil
+}

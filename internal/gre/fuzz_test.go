@@ -1,0 +1,30 @@
+package gre
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecap: GRE frames arrive straight off the (simulated) wire from
+// telescope routers; decap must never panic and accepted frames must
+// re-encapsulate identically.
+func FuzzDecap(f *testing.F) {
+	f.Add(Encap(&Header{}, []byte("payload")))
+	f.Add(Encap(&Header{HasKey: true, Key: 42}, []byte{1, 2, 3}))
+	f.Add(Encap(&Header{HasChecksum: true, HasKey: true, HasSequence: true, Key: 7, Sequence: 9}, nil))
+	f.Add([]byte{0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, payload, err := Decap(data)
+		if err != nil {
+			return
+		}
+		re := Encap(&h, payload)
+		h2, payload2, err := Decap(re)
+		if err != nil {
+			t.Fatalf("re-decap failed: %v", err)
+		}
+		if h2 != h || !bytes.Equal(payload2, payload) {
+			t.Fatalf("round trip diverged: %+v vs %+v", h, h2)
+		}
+	})
+}

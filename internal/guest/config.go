@@ -1,0 +1,82 @@
+package guest
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"potemkin/internal/netsim"
+)
+
+// Profile serialization: operators describe custom guest personalities
+// as JSON and load them into potemkind, rather than recompiling. The
+// wire format is the Profile struct itself; Validate gates what a
+// loaded profile may claim.
+
+// SaveProfile writes p as indented JSON.
+func SaveProfile(w io.Writer, p *Profile) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// LoadProfile reads and validates a JSON profile.
+func LoadProfile(r io.Reader) (*Profile, error) {
+	var p Profile
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("guest: parsing profile: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// Validate checks a profile for internal consistency.
+func (p *Profile) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("guest: profile has no name")
+	}
+	seen := map[[2]uint16]bool{}
+	vulns := 0
+	for i, s := range p.Services {
+		if s.Port == 0 {
+			return fmt.Errorf("guest: profile %q service %d has port 0", p.Name, i)
+		}
+		if s.Proto != netsim.ProtoTCP && s.Proto != netsim.ProtoUDP {
+			return fmt.Errorf("guest: profile %q service %d has protocol %v", p.Name, i, s.Proto)
+		}
+		key := [2]uint16{uint16(s.Proto), s.Port}
+		if seen[key] {
+			return fmt.Errorf("guest: profile %q duplicates %v/%d", p.Name, s.Proto, s.Port)
+		}
+		seen[key] = true
+		if s.Vulnerable {
+			vulns++
+			if len(s.ExploitSig) == 0 {
+				return fmt.Errorf("guest: profile %q vulnerable service %v/%d has no exploit signature",
+					p.Name, s.Proto, s.Port)
+			}
+		}
+	}
+	if vulns > 1 {
+		return fmt.Errorf("guest: profile %q has %d vulnerable services; at most one is supported", p.Name, vulns)
+	}
+	if p.TouchRatePerSec < 0 || p.ScanRatePerSec < 0 || p.WidePageProb < 0 || p.WidePageProb > 1 {
+		return fmt.Errorf("guest: profile %q has out-of-range rates", p.Name)
+	}
+	if p.ScanRatePerSec > 0 {
+		if p.ScanDstPort == 0 {
+			return fmt.Errorf("guest: profile %q scans but has no scan port", p.Name)
+		}
+		if p.ExploitPayload(0) == nil {
+			return fmt.Errorf("guest: profile %q scans but has no vulnerability to propagate", p.Name)
+		}
+	}
+	if p.PayloadHost != "" && p.PayloadServer != 0 {
+		return fmt.Errorf("guest: profile %q sets both PayloadHost and PayloadServer", p.Name)
+	}
+	return nil
+}

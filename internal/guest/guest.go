@@ -1,0 +1,287 @@
+// Package guest models what runs inside a honeypot VM: network services
+// that respond with protocol fidelity (SYN-ACK, RST, echo replies), a
+// memory workload that dirties pages over time (driving delta
+// virtualization's CoW costs), and an infection state machine — a
+// vulnerable service that, on receiving an exploit payload, turns the VM
+// into a scanner, exactly the behaviour the containment experiments need
+// to observe and contain.
+//
+// No real malware is involved: "exploit" is a payload prefix match and
+// "infection" is a state flip plus behavioural change (page-dirtying
+// burst, outbound scanning, optional second-stage fetch).
+package guest
+
+import (
+	"time"
+
+	"potemkin/internal/mem"
+	"potemkin/internal/netsim"
+	"potemkin/internal/sim"
+	"potemkin/internal/vmm"
+)
+
+// AppKind selects an application-layer responder for a service.
+type AppKind int
+
+// Application responders. Each parses just enough of the request to
+// answer plausibly — the fidelity a scanner's banner-grab sees.
+const (
+	AppNone AppKind = iota
+	AppHTTP
+	AppSMB
+	AppSMTP
+	AppSSH
+)
+
+// ServiceSpec describes one listening service on a guest.
+type ServiceSpec struct {
+	Port       uint16
+	Proto      netsim.Proto
+	Vulnerable bool
+	// ExploitSig is the payload prefix that compromises a vulnerable
+	// service. Ignored unless Vulnerable.
+	ExploitSig []byte
+	// App selects the application-layer responder for non-exploit
+	// payloads on this service.
+	App AppKind
+}
+
+// Profile is a guest personality: its services, its memory behaviour,
+// and what it does once infected.
+type Profile struct {
+	Name     string
+	Services []ServiceSpec
+
+	// Stack fingerprint: the TTL and TCP window a scanner's passive
+	// OS-fingerprinting would check. Zero values default to 64/65535.
+	TTL       byte
+	TCPWindow uint16
+
+	// Memory workload.
+	InitialBurstPages   int     // pages dirtied immediately after start (process state)
+	TouchRatePerSec     float64 // steady-state page-touch rate
+	WorkingSetPages     int     // hot pages touches concentrate on
+	WidePageProb        float64 // probability a touch lands outside the working set
+	InfectionBurstPages int     // pages dirtied when the worm unpacks
+
+	// Post-infection behaviour.
+	ScanRatePerSec float64 // outbound probe rate once infected
+	ScanDstPort    uint16  // port the worm targets
+	ScanProto      netsim.Proto
+	// FullDialogue makes TCP scans complete a real three-way handshake
+	// before delivering the exploit (Blaster-style), instead of the
+	// single-packet abstraction.
+	FullDialogue bool
+	// PayloadServer, if nonzero, is a third-party host the infected
+	// guest contacts for its second stage (multi-stage malware; E8).
+	PayloadServer netsim.Addr
+	PayloadPort   uint16
+	// PayloadHost, if set, is resolved via DNS before the second-stage
+	// fetch (most real droppers look a name up first); it takes
+	// precedence over PayloadServer. The lookup goes to DNSServer,
+	// which the gateway rewrites to its safe resolver.
+	PayloadHost string
+	DNSServer   netsim.Addr
+}
+
+// ttl returns the profile's IP TTL fingerprint.
+func (p *Profile) ttl() byte {
+	if p.TTL == 0 {
+		return 64
+	}
+	return p.TTL
+}
+
+// window returns the profile's TCP window fingerprint.
+func (p *Profile) window() uint16 {
+	if p.TCPWindow == 0 {
+		return 65535
+	}
+	return p.TCPWindow
+}
+
+// service returns the spec listening on (proto, port), or nil.
+func (p *Profile) service(proto netsim.Proto, port uint16) *ServiceSpec {
+	for i := range p.Services {
+		if p.Services[i].Proto == proto && p.Services[i].Port == port {
+			return &p.Services[i]
+		}
+	}
+	return nil
+}
+
+// vulnerable returns the vulnerable service spec, if any.
+func (p *Profile) vulnerable() *ServiceSpec {
+	for i := range p.Services {
+		if p.Services[i].Vulnerable {
+			return &p.Services[i]
+		}
+	}
+	return nil
+}
+
+// openPort reports whether the guest listens on (proto, port).
+func (p *Profile) openPort(proto netsim.Proto, port uint16) bool {
+	for i := range p.Services {
+		if p.Services[i].Proto == proto && p.Services[i].Port == port {
+			return true
+		}
+	}
+	return false
+}
+
+// ExploitPayload builds the wire payload that compromises profile p's
+// vulnerable service, tagging it with the sender's infection generation
+// so chain depth is measurable end to end. It returns nil if p has no
+// vulnerability.
+func (p *Profile) ExploitPayload(generation int) []byte {
+	v := p.vulnerable()
+	if v == nil {
+		return nil
+	}
+	if generation < 0 || generation > 255 {
+		generation = 255
+	}
+	out := make([]byte, 0, len(v.ExploitSig)+1)
+	out = append(out, v.ExploitSig...)
+	return append(out, byte(generation))
+}
+
+// parseGeneration extracts the generation tag from an exploit payload.
+func parseGeneration(sig, payload []byte) int {
+	if len(payload) > len(sig) {
+		return int(payload[len(sig)])
+	}
+	return 0
+}
+
+// Sender transmits a packet originated by the guest. The farm wires this
+// to the host's uplink toward the gateway.
+type Sender func(pkt *netsim.Packet)
+
+// TargetPicker chooses a scan destination for an infected guest.
+type TargetPicker func(r *sim.RNG) netsim.Addr
+
+// Hooks are observation points the farm and experiments attach to.
+type Hooks struct {
+	// OnInfected fires when the guest transitions to infected.
+	OnInfected func(in *Instance)
+}
+
+// Stats counts guest activity.
+type Stats struct {
+	PacketsIn        uint64
+	RepliesOut       uint64
+	ScansOut         uint64
+	PagesDirty       uint64 // page-touch operations issued
+	ExploitHits      uint64 // exploit payloads received while already infected
+	ConnsAccepted    uint64 // inbound SYNs that created connection state
+	ConnsEstablished uint64 // handshakes completed by the remote
+	ConnsClosed      uint64 // graceful FIN teardowns
+	ExploitsSent     uint64 // client-side dialogues that delivered payload
+	AppResponses     uint64 // application-layer responses served
+	DNSQueries       uint64 // lookups issued (second-stage resolution)
+	DNSResponses     uint64 // answers consumed
+	Stage2Fetches    uint64 // second-stage fetch connections opened
+}
+
+// Instance is one running guest bound to a VM.
+type Instance struct {
+	K       *sim.Kernel
+	VM      *vmm.VM
+	Profile *Profile
+	IP      netsim.Addr
+
+	Infected   bool
+	InfectedAt sim.Time
+	// Generation is the infection chain depth: 0 for never-infected, 1
+	// for guests hit by the original attacker, 2 for guests hit by a
+	// generation-1 guest, and so on.
+	Generation int
+
+	send    Sender
+	pick    TargetPicker
+	hooks   Hooks
+	rng     *sim.RNG
+	stats   Stats
+	stopped bool
+	ipid    uint16
+	conns   *connTable
+	tcpSeen uint64
+
+	// dnsPending is the outstanding second-stage lookup ID (0 = none).
+	dnsPending uint16
+}
+
+// New binds a guest instance to a VM. send must be non-nil; pick may be
+// nil if the profile never scans.
+func New(k *sim.Kernel, vm *vmm.VM, profile *Profile, send Sender, pick TargetPicker, hooks Hooks) *Instance {
+	if send == nil {
+		panic("guest: nil sender")
+	}
+	return &Instance{
+		K: k, VM: vm, Profile: profile, IP: vm.IP,
+		send: send, pick: pick, hooks: hooks,
+		rng:   k.Stream("guest").Fork(vm.IP.String()),
+		conns: newConnTable(),
+	}
+}
+
+// Stats returns a copy of the counters.
+func (in *Instance) Stats() Stats { return in.stats }
+
+// Start begins the guest's memory workload: an initial burst of dirty
+// pages followed by a steady touch process.
+func (in *Instance) Start() {
+	for i := 0; i < in.Profile.InitialBurstPages; i++ {
+		in.touchPage()
+	}
+	in.scheduleTouch()
+}
+
+// Stop halts background activity (the VM is being reclaimed).
+func (in *Instance) Stop() { in.stopped = true }
+
+func (in *Instance) scheduleTouch() {
+	if in.Profile.TouchRatePerSec <= 0 {
+		return
+	}
+	gap := time.Duration(in.rng.Exp(1e9 / in.Profile.TouchRatePerSec))
+	in.K.After(gap, func(sim.Time) {
+		if in.stopped || in.VM.State == vmm.StateDead {
+			return
+		}
+		if in.VM.State == vmm.StateRunning {
+			in.touchPage()
+		}
+		// Paused VMs make no progress but resume where they left off.
+		in.scheduleTouch()
+	})
+}
+
+func (in *Instance) touchPage() {
+	p := in.Profile
+	resident := int(in.VM.Image.ResidentPages)
+	if resident == 0 {
+		return
+	}
+	ws := p.WorkingSetPages
+	if ws <= 0 || ws > resident {
+		ws = resident
+	}
+	var vpn uint64
+	if p.WidePageProb > 0 && in.rng.Bool(p.WidePageProb) {
+		vpn = uint64(in.rng.Intn(resident))
+	} else {
+		vpn = uint64(in.rng.Intn(ws))
+	}
+	off := in.rng.Intn(mem.PageSize - 8)
+	var buf [8]byte
+	v := in.rng.Uint64()
+	for i := range buf {
+		buf[i] = byte(v >> (8 * i))
+	}
+	in.VM.WriteMemory(vpn, off, buf[:])
+	in.stats.PagesDirty++
+	in.VM.Touch(in.K.Now())
+}

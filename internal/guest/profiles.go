@@ -1,0 +1,102 @@
+package guest
+
+import "potemkin/internal/netsim"
+
+// Stock profiles approximating the guest populations the paper's
+// honeyfarm hosted. Page counts assume the 4 KiB pages of internal/mem;
+// rates are calibrated so a freshly-cloned idle guest stays within a few
+// MiB of private memory — the premise of delta virtualization.
+
+// WindowsXP returns a Windows-XP-like personality: common SMB/NetBIOS
+// ports open, vulnerable on 445/tcp (Blaster/Sasser-era), moderate
+// memory churn.
+func WindowsXP() *Profile {
+	return &Profile{
+		Name:      "winxp",
+		TTL:       128,   // Windows stack fingerprint
+		TCPWindow: 64240, // XP's default window
+		Services: []ServiceSpec{
+			{Port: 135, Proto: netsim.ProtoTCP},
+			{Port: 139, Proto: netsim.ProtoTCP, App: AppSMB},
+			{Port: 445, Proto: netsim.ProtoTCP, Vulnerable: true, ExploitSig: []byte("\x90\x90MS04-011"), App: AppSMB},
+			{Port: 80, Proto: netsim.ProtoTCP, App: AppHTTP},
+		},
+		InitialBurstPages:   48,
+		TouchRatePerSec:     4,
+		WorkingSetPages:     96,
+		WidePageProb:        0.05,
+		InfectionBurstPages: 220,
+		ScanRatePerSec:      20,
+		ScanDstPort:         445,
+		ScanProto:           netsim.ProtoTCP,
+	}
+}
+
+// SQLServer returns a Slammer-style personality: UDP 1434 vulnerable,
+// very high scan rate after infection (Slammer was bandwidth-limited).
+func SQLServer() *Profile {
+	return &Profile{
+		Name:      "sqlserver",
+		TTL:       128, // Windows Server 2000 stack
+		TCPWindow: 17520,
+		Services: []ServiceSpec{
+			{Port: 1433, Proto: netsim.ProtoTCP},
+			{Port: 1434, Proto: netsim.ProtoUDP, Vulnerable: true, ExploitSig: []byte{0x04, 0x01, 0x01, 0x01}},
+		},
+		InitialBurstPages:   64,
+		TouchRatePerSec:     8,
+		WorkingSetPages:     128,
+		WidePageProb:        0.04,
+		InfectionBurstPages: 40,
+		ScanRatePerSec:      400,
+		ScanDstPort:         1434,
+		ScanProto:           netsim.ProtoUDP,
+	}
+}
+
+// LinuxServer returns a hardened personality with no vulnerability —
+// useful as a control population and for fidelity tests (correct RST /
+// port-unreachable behaviour).
+func LinuxServer() *Profile {
+	return &Profile{
+		Name:      "linux",
+		TTL:       64,   // Linux stack fingerprint
+		TCPWindow: 5840, // 2.4/2.6-era default window
+		Services: []ServiceSpec{
+			{Port: 22, Proto: netsim.ProtoTCP, App: AppSSH},
+			{Port: 25, Proto: netsim.ProtoTCP, App: AppSMTP},
+			{Port: 80, Proto: netsim.ProtoTCP, App: AppHTTP},
+			{Port: 53, Proto: netsim.ProtoUDP},
+		},
+		InitialBurstPages: 24,
+		TouchRatePerSec:   2,
+		WorkingSetPages:   64,
+		WidePageProb:      0.03,
+	}
+}
+
+// MultiStage returns a personality whose malware fetches a second stage
+// from payloadServer after compromise — the workload for the
+// internal-reflection experiment (E8).
+func MultiStage(payloadServer netsim.Addr) *Profile {
+	p := WindowsXP()
+	p.Name = "winxp-multistage"
+	p.PayloadServer = payloadServer
+	p.PayloadPort = 8080
+	// Reflected VMs impersonating the payload server answer the fetch
+	// with a plausible HTTP response — deeper fidelity for the chain.
+	p.Services = append(p.Services, ServiceSpec{Port: 8080, Proto: netsim.ProtoTCP, App: AppHTTP})
+	return p
+}
+
+// MultiStageDNS returns a personality whose malware resolves host via
+// DNS before its second-stage fetch — exercising the gateway's safe
+// resolver end to end.
+func MultiStageDNS(host string) *Profile {
+	p := WindowsXP()
+	p.Name = "winxp-multistage-dns"
+	p.PayloadHost = host
+	p.PayloadPort = 8080
+	p.Services = append(p.Services, ServiceSpec{Port: 8080, Proto: netsim.ProtoTCP, App: AppHTTP})
+	return p
+}

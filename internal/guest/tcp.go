@@ -1,0 +1,276 @@
+package guest
+
+import (
+	"time"
+
+	"potemkin/internal/netsim"
+	"potemkin/internal/sim"
+)
+
+// TCP fidelity: honeypots must look indistinguishable from real hosts
+// to a scanner that completes handshakes, so each guest runs a
+// connection table with a real (if compact) TCP state machine —
+// SYN-cookieless SYN_RCVD, sequence/ack tracking, graceful FIN
+// teardown, RST on bad state, bounded table with oldest-idle eviction.
+//
+// Two exploit deliveries are supported, mirroring 2003-2005 malware:
+//
+//   - single-packet ("Slammer-style" over UDP, or TCP fast-path where
+//     the probe carries SYN|PSH+payload in one segment — the worm
+//     simulator's abstraction of a completed dialogue), and
+//   - full-dialogue ("Blaster-style"): SYN, SYN-ACK, ACK+payload. The
+//     client side of that dialogue is what infected guests use when
+//     they attack, so reflected VMs observe a genuine handshake.
+
+// tcpState is a server- or client-side connection state.
+type tcpState int
+
+const (
+	tcpSynRcvd tcpState = iota // server: SYN seen, SYN-ACK sent
+	tcpEstablished
+	tcpFinWait // we sent FIN, awaiting final ACK
+	// Client-side states for outbound exploit dialogues.
+	tcpSynSent
+)
+
+func (s tcpState) String() string {
+	switch s {
+	case tcpSynRcvd:
+		return "syn-rcvd"
+	case tcpEstablished:
+		return "established"
+	case tcpFinWait:
+		return "fin-wait"
+	case tcpSynSent:
+		return "syn-sent"
+	default:
+		return "unknown"
+	}
+}
+
+// tcpConn is one tracked connection.
+type tcpConn struct {
+	key        netsim.FlowKey // remote->local for server conns, local->remote for client conns
+	state      tcpState
+	iss        uint32 // our initial sequence number
+	sndNxt     uint32 // next sequence we will send
+	rcvNxt     uint32 // next sequence we expect
+	lastActive sim.Time
+	client     bool // we initiated (exploit dialogue)
+	rxBytes    int
+}
+
+// maxConns bounds each guest's connection table, like a small server's
+// backlog; the oldest-idle connection is evicted when full.
+const maxConns = 256
+
+// connTable is the guest's connection state, keyed by the REMOTE
+// endpoint's flow key as seen in inbound packets (src=remote,
+// dst=local).
+type connTable struct {
+	conns map[netsim.FlowKey]*tcpConn
+}
+
+func newConnTable() *connTable {
+	return &connTable{conns: make(map[netsim.FlowKey]*tcpConn)}
+}
+
+func (ct *connTable) lookup(key netsim.FlowKey) *tcpConn { return ct.conns[key] }
+
+func (ct *connTable) insert(now sim.Time, c *tcpConn) {
+	if len(ct.conns) >= maxConns {
+		var oldestKey netsim.FlowKey
+		var oldest *tcpConn
+		for k, v := range ct.conns {
+			if oldest == nil || v.lastActive < oldest.lastActive {
+				oldestKey, oldest = k, v
+			}
+		}
+		delete(ct.conns, oldestKey)
+	}
+	c.lastActive = now
+	ct.conns[c.key] = c
+}
+
+func (ct *connTable) remove(key netsim.FlowKey) { delete(ct.conns, key) }
+
+func (ct *connTable) len() int { return len(ct.conns) }
+
+// connIdleTimeout reaps half-open and abandoned connections, like a
+// server's keepalive/SYN-timeout machinery.
+const connIdleTimeout = 2 * time.Minute
+
+// pruneIdle drops connections idle past the timeout.
+func (ct *connTable) pruneIdle(now sim.Time) int {
+	n := 0
+	for k, c := range ct.conns {
+		if now.Sub(c.lastActive) >= connIdleTimeout {
+			delete(ct.conns, k)
+			n++
+		}
+	}
+	return n
+}
+
+// handleTCP is the guest's TCP input processing.
+func (in *Instance) handleTCP(pkt *netsim.Packet) {
+	now := in.K.Now()
+	key := pkt.Flow()
+
+	// Reap abandoned connections every so often (cheap amortization).
+	in.tcpSeen++
+	if in.tcpSeen%64 == 0 {
+		in.conns.pruneIdle(now)
+	}
+
+	// Client-side dialogue: is this a reply to a connection we opened?
+	if c := in.conns.lookup(key.Reverse()); c != nil && c.client {
+		in.handleClientTCP(now, c, pkt)
+		return
+	}
+
+	open := in.Profile.openPort(netsim.ProtoTCP, pkt.DstPort)
+	c := in.conns.lookup(key)
+
+	switch {
+	case pkt.Flags&netsim.FlagRST != 0:
+		if c != nil {
+			in.conns.remove(key)
+		}
+		return
+
+	case pkt.Flags&netsim.FlagSYN != 0 && pkt.Flags&netsim.FlagACK == 0:
+		if !open {
+			in.sendRST(pkt)
+			return
+		}
+		if c == nil {
+			c = &tcpConn{
+				key:    key,
+				state:  tcpSynRcvd,
+				iss:    uint32(in.rng.Uint64()) | 1,
+				rcvNxt: pkt.Seq + 1,
+			}
+			c.sndNxt = c.iss + 1
+			in.conns.insert(now, c)
+			in.stats.ConnsAccepted++
+		}
+		// SYN (or retransmitted SYN): (re)send SYN-ACK.
+		c.lastActive = now
+		in.sendSegment(pkt.Src, pkt.DstPort, pkt.SrcPort,
+			c.iss, c.rcvNxt, netsim.FlagSYN|netsim.FlagACK, nil)
+
+		// Fast-path exploit: a lone SYN|PSH probe carrying payload is
+		// the worm simulator's single-packet abstraction.
+		if len(pkt.Payload) > 0 {
+			c.state = tcpEstablished
+			c.rxBytes += len(pkt.Payload)
+			in.checkExploit(netsim.ProtoTCP, pkt)
+			in.serveApp(c, pkt)
+		}
+
+	case c == nil:
+		// Stray non-SYN segment: hosts answer with RST (unless it is a
+		// bare ACK to a closed port, which also gets RST).
+		if open || pkt.Flags&netsim.FlagACK != 0 {
+			in.sendRST(pkt)
+		}
+
+	default:
+		c.lastActive = now
+		switch c.state {
+		case tcpSynRcvd:
+			if pkt.Flags&netsim.FlagACK != 0 && pkt.Ack == c.sndNxt {
+				c.state = tcpEstablished
+				in.stats.ConnsEstablished++
+			}
+			fallthrough
+		case tcpEstablished:
+			if len(pkt.Payload) > 0 && pkt.Seq == c.rcvNxt {
+				c.rcvNxt += uint32(len(pkt.Payload))
+				c.rxBytes += len(pkt.Payload)
+				in.sendSegment(pkt.Src, pkt.DstPort, pkt.SrcPort,
+					c.sndNxt, c.rcvNxt, netsim.FlagACK, nil)
+				in.checkExploit(netsim.ProtoTCP, pkt)
+				in.serveApp(c, pkt)
+			}
+			if pkt.Flags&netsim.FlagFIN != 0 {
+				// Passive close: ACK the FIN and send our own.
+				c.rcvNxt++
+				in.sendSegment(pkt.Src, pkt.DstPort, pkt.SrcPort,
+					c.sndNxt, c.rcvNxt, netsim.FlagFIN|netsim.FlagACK, nil)
+				c.sndNxt++
+				c.state = tcpFinWait
+			}
+		case tcpFinWait:
+			if pkt.Flags&netsim.FlagACK != 0 && pkt.Ack == c.sndNxt {
+				in.conns.remove(key)
+				in.stats.ConnsClosed++
+			}
+		}
+	}
+}
+
+// handleClientTCP advances an exploit dialogue this guest initiated.
+func (in *Instance) handleClientTCP(now sim.Time, c *tcpConn, pkt *netsim.Packet) {
+	c.lastActive = now
+	switch {
+	case pkt.Flags&netsim.FlagRST != 0:
+		in.conns.remove(c.key)
+	case c.state == tcpSynSent && pkt.Flags&(netsim.FlagSYN|netsim.FlagACK) == netsim.FlagSYN|netsim.FlagACK:
+		// Handshake completes: ACK and fire the exploit payload.
+		c.state = tcpEstablished
+		c.rcvNxt = pkt.Seq + 1
+		payload := in.Profile.ExploitPayload(in.Generation)
+		in.sendSegment(pkt.Src, c.key.SrcPort, c.key.DstPort,
+			c.sndNxt, c.rcvNxt, netsim.FlagACK|netsim.FlagPSH, payload)
+		c.sndNxt += uint32(len(payload))
+		in.stats.ExploitsSent++
+		// Dialogue done; drop our state (fire and forget, like the
+		// malware it models).
+		in.conns.remove(c.key)
+	}
+}
+
+// openExploitDialogue begins a full client-side handshake toward dst.
+func (in *Instance) openExploitDialogue(dst netsim.Addr, dstPort uint16) {
+	now := in.K.Now()
+	srcPort := in.ephemeralPort()
+	c := &tcpConn{
+		key: netsim.FlowKey{
+			Src: in.IP, Dst: dst, SrcPort: srcPort, DstPort: dstPort,
+			Proto: netsim.ProtoTCP,
+		},
+		state:  tcpSynSent,
+		iss:    uint32(in.rng.Uint64()) | 1,
+		client: true,
+	}
+	c.sndNxt = c.iss + 1
+	in.conns.insert(now, c)
+	in.sendSegment(dst, srcPort, dstPort, c.iss, 0, netsim.FlagSYN, nil)
+}
+
+// sendSegment emits one TCP segment from this guest, stamped with the
+// profile's stack fingerprint.
+func (in *Instance) sendSegment(dst netsim.Addr, srcPort, dstPort uint16,
+	seq, ack uint32, flags byte, payload []byte) {
+	in.reply(&netsim.Packet{
+		Src: in.IP, Dst: dst, Proto: netsim.ProtoTCP, TTL: in.Profile.ttl(),
+		SrcPort: srcPort, DstPort: dstPort,
+		Seq: seq, Ack: ack, Flags: flags, Window: in.Profile.window(),
+		Payload: payload,
+	})
+}
+
+// sendRST answers an unacceptable segment.
+func (in *Instance) sendRST(pkt *netsim.Packet) {
+	ack := pkt.Seq + uint32(len(pkt.Payload))
+	if pkt.Flags&netsim.FlagSYN != 0 {
+		ack++
+	}
+	in.sendSegment(pkt.Src, pkt.DstPort, pkt.SrcPort, pkt.Ack, ack,
+		netsim.FlagRST|netsim.FlagACK, nil)
+}
+
+// Conns returns the current connection-table size (tests, stats).
+func (in *Instance) Conns() int { return in.conns.len() }

@@ -1,0 +1,360 @@
+package guest
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"potemkin/internal/netsim"
+)
+
+// handshake completes a 3-way handshake from a remote client and
+// returns the guest's SYN-ACK.
+func handshake(t *testing.T, r *rig, src netsim.Addr, srcPort, dstPort uint16) *netsim.Packet {
+	t.Helper()
+	r.out = nil
+	r.deliver(netsim.TCPSyn(src, r.in.IP, srcPort, dstPort, 1000))
+	if len(r.out) != 1 {
+		t.Fatalf("SYN got %d replies", len(r.out))
+	}
+	synack := r.out[0]
+	if synack.Flags != netsim.FlagSYN|netsim.FlagACK {
+		t.Fatalf("expected SYN-ACK, got %s", synack)
+	}
+	ack := &netsim.Packet{
+		Src: src, Dst: r.in.IP, Proto: netsim.ProtoTCP, TTL: 64,
+		SrcPort: srcPort, DstPort: dstPort,
+		Seq: 1001, Ack: synack.Seq + 1, Flags: netsim.FlagACK,
+	}
+	r.deliver(ack)
+	return synack
+}
+
+func TestThreeWayHandshakeEstablishes(t *testing.T) {
+	r := newRig(t, WindowsXP(), Hooks{})
+	handshake(t, r, 6, 1234, 445)
+	if r.in.Stats().ConnsEstablished != 1 {
+		t.Errorf("ConnsEstablished = %d", r.in.Stats().ConnsEstablished)
+	}
+	if r.in.Conns() != 1 {
+		t.Errorf("Conns = %d", r.in.Conns())
+	}
+}
+
+func TestRetransmittedSynGetsSameSynAck(t *testing.T) {
+	r := newRig(t, WindowsXP(), Hooks{})
+	r.deliver(netsim.TCPSyn(6, r.in.IP, 1234, 445, 1000))
+	first := r.out[0]
+	r.deliver(netsim.TCPSyn(6, r.in.IP, 1234, 445, 1000))
+	second := r.out[1]
+	if first.Seq != second.Seq {
+		t.Errorf("retransmitted SYN got different ISN: %d vs %d", first.Seq, second.Seq)
+	}
+	if r.in.Conns() != 1 {
+		t.Errorf("duplicate SYN created extra connection state: %d", r.in.Conns())
+	}
+}
+
+func TestDataSegmentAckedWithSequence(t *testing.T) {
+	r := newRig(t, WindowsXP(), Hooks{})
+	synack := handshake(t, r, 6, 1234, 80)
+	r.out = nil
+	data := &netsim.Packet{
+		Src: 6, Dst: r.in.IP, Proto: netsim.ProtoTCP, TTL: 64,
+		SrcPort: 1234, DstPort: 80,
+		Seq: 1001, Ack: synack.Seq + 1,
+		Flags:   netsim.FlagACK | netsim.FlagPSH,
+		Payload: []byte("GET / HTTP/1.1\r\nHost: x\r\n\r\n"),
+	}
+	r.deliver(data)
+	if len(r.out) < 1 {
+		t.Fatal("no replies to data")
+	}
+	ack := r.out[0]
+	if ack.Flags&netsim.FlagACK == 0 {
+		t.Errorf("first reply not an ACK: %s", ack)
+	}
+	wantAck := uint32(1001 + len(data.Payload))
+	if ack.Ack != wantAck {
+		t.Errorf("ack = %d, want %d (sequence tracking)", ack.Ack, wantAck)
+	}
+}
+
+func TestOutOfOrderDataNotAcked(t *testing.T) {
+	r := newRig(t, WindowsXP(), Hooks{})
+	synack := handshake(t, r, 6, 1234, 80)
+	r.out = nil
+	data := &netsim.Packet{
+		Src: 6, Dst: r.in.IP, Proto: netsim.ProtoTCP, TTL: 64,
+		SrcPort: 1234, DstPort: 80,
+		Seq: 5000, Ack: synack.Seq + 1, // wrong sequence
+		Flags:   netsim.FlagACK | netsim.FlagPSH,
+		Payload: []byte("x"),
+	}
+	r.deliver(data)
+	if len(r.out) != 0 {
+		t.Errorf("out-of-order data produced %d replies", len(r.out))
+	}
+}
+
+func TestFinTeardown(t *testing.T) {
+	r := newRig(t, WindowsXP(), Hooks{})
+	synack := handshake(t, r, 6, 1234, 80)
+	r.out = nil
+	fin := &netsim.Packet{
+		Src: 6, Dst: r.in.IP, Proto: netsim.ProtoTCP, TTL: 64,
+		SrcPort: 1234, DstPort: 80,
+		Seq: 1001, Ack: synack.Seq + 1,
+		Flags: netsim.FlagFIN | netsim.FlagACK,
+	}
+	r.deliver(fin)
+	if len(r.out) != 1 || r.out[0].Flags&netsim.FlagFIN == 0 {
+		t.Fatalf("expected FIN-ACK, got %v", r.out)
+	}
+	finack := r.out[0]
+	// Final ACK releases the connection.
+	last := &netsim.Packet{
+		Src: 6, Dst: r.in.IP, Proto: netsim.ProtoTCP, TTL: 64,
+		SrcPort: 1234, DstPort: 80,
+		Seq: 1002, Ack: finack.Seq + 1, Flags: netsim.FlagACK,
+	}
+	r.deliver(last)
+	if r.in.Conns() != 0 {
+		t.Errorf("connection not released: %d", r.in.Conns())
+	}
+	if r.in.Stats().ConnsClosed != 1 {
+		t.Errorf("ConnsClosed = %d", r.in.Stats().ConnsClosed)
+	}
+}
+
+func TestRSTClearsConnection(t *testing.T) {
+	r := newRig(t, WindowsXP(), Hooks{})
+	handshake(t, r, 6, 1234, 80)
+	rst := &netsim.Packet{
+		Src: 6, Dst: r.in.IP, Proto: netsim.ProtoTCP, TTL: 64,
+		SrcPort: 1234, DstPort: 80, Seq: 1001, Flags: netsim.FlagRST,
+	}
+	r.deliver(rst)
+	if r.in.Conns() != 0 {
+		t.Errorf("RST did not clear connection: %d", r.in.Conns())
+	}
+}
+
+func TestStrayAckGetsRST(t *testing.T) {
+	r := newRig(t, WindowsXP(), Hooks{})
+	stray := &netsim.Packet{
+		Src: 6, Dst: r.in.IP, Proto: netsim.ProtoTCP, TTL: 64,
+		SrcPort: 1234, DstPort: 80, Seq: 9, Ack: 99, Flags: netsim.FlagACK,
+	}
+	r.deliver(stray)
+	if len(r.out) != 1 || r.out[0].Flags&netsim.FlagRST == 0 {
+		t.Errorf("stray ACK: %v", r.out)
+	}
+}
+
+func TestConnTablePrunesIdle(t *testing.T) {
+	r := newRig(t, WindowsXP(), Hooks{})
+	r.deliver(netsim.TCPSyn(6, r.in.IP, 1000, 445, 1))
+	if r.in.Conns() != 1 {
+		t.Fatal("no connection")
+	}
+	// 5 minutes of silence, then a burst of packets to trigger the
+	// amortized reaper.
+	r.k.RunFor(5 * 60 * 1e9)
+	for i := 0; i < 70; i++ {
+		r.deliver(netsim.TCPSyn(7, r.in.IP, uint16(2000+i), 80, 1))
+	}
+	// Exactly the 70 fresh connections remain: the stale one was reaped.
+	if got := r.in.Conns(); got != 70 {
+		t.Errorf("Conns = %d, want 70 (stale connection reaped)", got)
+	}
+}
+
+func TestConnTableEvictsOldest(t *testing.T) {
+	r := newRig(t, WindowsXP(), Hooks{})
+	for i := 0; i < maxConns+10; i++ {
+		r.deliver(netsim.TCPSyn(netsim.Addr(100+i), r.in.IP, uint16(2000+i), 445, 1))
+	}
+	if got := r.in.Conns(); got != maxConns {
+		t.Errorf("Conns = %d, want %d", got, maxConns)
+	}
+}
+
+func TestFullDialogueExploitChain(t *testing.T) {
+	// Attacker guest uses a full handshake; victim guest gets infected
+	// only after the dialogue completes.
+	prof := WindowsXP()
+	prof.FullDialogue = true
+	attacker := newRig(t, prof, Hooks{})
+	victim := newRig(t, WindowsXP(), Hooks{})
+	attacker.in.ForceInfect(0)
+
+	// Pump packets between the two by hand: attacker scans, we route
+	// its probes to the victim and the victim's replies back.
+	attacker.k.RunFor(500 * 1e6) // 500ms: at 20 scans/s expect ~10 SYNs
+	if len(attacker.out) == 0 {
+		t.Fatal("no scans emitted")
+	}
+	syn := attacker.out[0]
+	if syn.Flags != netsim.FlagSYN {
+		t.Fatalf("dialogue scan should be bare SYN, got %s", syn)
+	}
+	if len(syn.Payload) != 0 {
+		t.Fatal("dialogue SYN carries payload")
+	}
+	// Deliver SYN to victim (retarget to victim's IP).
+	syn2 := syn.Clone()
+	syn2.Dst = victim.in.IP
+	victim.deliver(syn2)
+	synack := victim.out[len(victim.out)-1]
+	if synack.Flags != netsim.FlagSYN|netsim.FlagACK {
+		t.Fatalf("victim reply: %s", synack)
+	}
+	// Route SYN-ACK back to attacker, faking the source as the original
+	// scan target so the attacker's connection key matches.
+	back := synack.Clone()
+	back.Src = syn.Dst
+	back.Dst = attacker.in.IP
+	attacker.out = nil
+	attacker.deliver(back)
+	if len(attacker.out) != 1 {
+		t.Fatalf("attacker sent %d packets after SYN-ACK", len(attacker.out))
+	}
+	final := attacker.out[0]
+	if final.Flags&netsim.FlagPSH == 0 || len(final.Payload) == 0 {
+		t.Fatalf("dialogue completion should carry exploit: %s", final)
+	}
+	// Deliver exploit to victim.
+	hit := final.Clone()
+	hit.Src = synack.Dst
+	hit.Dst = victim.in.IP
+	victim.deliver(hit)
+	if !victim.in.Infected {
+		t.Error("victim not infected after full dialogue")
+	}
+	if attacker.in.Stats().ExploitsSent != 1 {
+		t.Errorf("ExploitsSent = %d", attacker.in.Stats().ExploitsSent)
+	}
+}
+
+// --- application responders ---
+
+func establishAndSend(t *testing.T, r *rig, port uint16, payload []byte) []*netsim.Packet {
+	t.Helper()
+	synack := handshake(t, r, 6, 1234, port)
+	r.out = nil
+	r.deliver(&netsim.Packet{
+		Src: 6, Dst: r.in.IP, Proto: netsim.ProtoTCP, TTL: 64,
+		SrcPort: 1234, DstPort: port,
+		Seq: 1001, Ack: synack.Seq + 1,
+		Flags:   netsim.FlagACK | netsim.FlagPSH,
+		Payload: payload,
+	})
+	return r.out
+}
+
+func TestHTTPResponder(t *testing.T) {
+	r := newRig(t, WindowsXP(), Hooks{})
+	out := establishAndSend(t, r, 80, []byte("GET / HTTP/1.1\r\nHost: a\r\n\r\n"))
+	if len(out) != 2 {
+		t.Fatalf("want ACK + response, got %d", len(out))
+	}
+	resp := string(out[1].Payload)
+	if !strings.HasPrefix(resp, "HTTP/1.1 200") || !strings.Contains(resp, "IIS") {
+		t.Errorf("response = %q", resp)
+	}
+	// Response sequence follows the SYN-ACK's ISN+1.
+	if out[1].Seq == 0 {
+		t.Error("response sequence not tracked")
+	}
+}
+
+func TestHTTPResponderMethods(t *testing.T) {
+	cases := []struct {
+		req  string
+		want string
+	}{
+		{"POST /x HTTP/1.1\r\n\r\n", "405"},
+		{"BOGUS\r\n", "400"},
+		{"HEAD / HTTP/1.0\r\n\r\n", "200"},
+	}
+	for _, c := range cases {
+		r := newRig(t, WindowsXP(), Hooks{})
+		out := establishAndSend(t, r, 80, []byte(c.req))
+		if len(out) != 2 || !strings.Contains(string(out[1].Payload), c.want) {
+			t.Errorf("%q: got %v", c.req, out)
+		}
+	}
+}
+
+func TestSMBResponder(t *testing.T) {
+	r := newRig(t, WindowsXP(), Hooks{})
+	// NetBIOS header + SMB negotiate (command 0x72).
+	req := append([]byte{0, 0, 0, 32}, 0xff, 'S', 'M', 'B', 0x72)
+	req = append(req, make([]byte, 27)...)
+	out := establishAndSend(t, r, 445, req)
+	if len(out) != 2 {
+		t.Fatalf("want ACK + SMB response, got %d", len(out))
+	}
+	resp := out[1].Payload
+	if !bytes.Equal(resp[4:8], smbMagic) || resp[8] != 0x72 {
+		t.Errorf("SMB response = %x", resp)
+	}
+}
+
+func TestSMBResponderIgnoresGarbage(t *testing.T) {
+	r := newRig(t, WindowsXP(), Hooks{})
+	out := establishAndSend(t, r, 445, []byte("not smb at all"))
+	// Just the ACK; no app response.
+	if len(out) != 1 {
+		t.Errorf("garbage SMB got %d replies", len(out))
+	}
+}
+
+func TestSMTPResponder(t *testing.T) {
+	r := newRig(t, LinuxServer(), Hooks{})
+	out := establishAndSend(t, r, 25, []byte("EHLO scanner\r\n"))
+	if len(out) != 2 || !strings.HasPrefix(string(out[1].Payload), "250") {
+		t.Errorf("SMTP: %v", out)
+	}
+	r2 := newRig(t, LinuxServer(), Hooks{})
+	out2 := establishAndSend(t, r2, 25, []byte("WHAT\r\n"))
+	if len(out2) != 2 || !strings.HasPrefix(string(out2[1].Payload), "502") {
+		t.Errorf("SMTP unknown verb: %v", out2)
+	}
+}
+
+func TestSSHBanner(t *testing.T) {
+	r := newRig(t, LinuxServer(), Hooks{})
+	out := establishAndSend(t, r, 22, []byte("SSH-2.0-scanner\r\n"))
+	if len(out) != 2 || !strings.HasPrefix(string(out[1].Payload), "SSH-2.0-OpenSSH") {
+		t.Errorf("SSH: %v", out)
+	}
+}
+
+func TestStackFingerprints(t *testing.T) {
+	winxp := newRig(t, WindowsXP(), Hooks{})
+	winxp.deliver(netsim.TCPSyn(6, winxp.in.IP, 1234, 445, 1))
+	if got := winxp.out[0]; got.TTL != 128 || got.Window != 64240 {
+		t.Errorf("winxp fingerprint: ttl=%d win=%d", got.TTL, got.Window)
+	}
+	linux := newRig(t, LinuxServer(), Hooks{})
+	linux.deliver(netsim.TCPSyn(6, linux.in.IP, 1234, 22, 1))
+	if got := linux.out[0]; got.TTL != 64 || got.Window != 5840 {
+		t.Errorf("linux fingerprint: ttl=%d win=%d", got.TTL, got.Window)
+	}
+	// ICMP echo replies carry the profile TTL too.
+	linux.out = nil
+	linux.deliver(netsim.ICMPEcho(6, linux.in.IP, true))
+	if got := linux.out[0]; got.TTL != 64 {
+		t.Errorf("icmp ttl = %d", got.TTL)
+	}
+}
+
+func TestAppResponsesCounted(t *testing.T) {
+	r := newRig(t, WindowsXP(), Hooks{})
+	establishAndSend(t, r, 80, []byte("GET / HTTP/1.1\r\n\r\n"))
+	if r.in.Stats().AppResponses != 1 {
+		t.Errorf("AppResponses = %d", r.in.Stats().AppResponses)
+	}
+}

@@ -1,0 +1,78 @@
+package mem
+
+// SharePass is the offline half of content-based sharing: a periodic
+// scanner (KSM-style) that walks the owned pages of a set of address
+// spaces and merges frames with identical content, the way the paper's
+// delta virtualization proposal recovers sharing that copy-on-write
+// divergence has destroyed. Inline dedup (Store.ShareContent) only
+// catches identical pages at allocation time; the pass catches pages
+// that *became* identical later, at the cost of a scan.
+//
+// Merged frames become shared: the next write through any mapping
+// copy-on-write-faults as usual, so correctness does not depend on the
+// pass at all — only memory footprint does.
+
+// SharePassResult reports what a pass accomplished.
+type SharePassResult struct {
+	PagesScanned int
+	PagesMerged  int
+	BytesFreed   uint64
+}
+
+// SharePass merges identical exclusively-owned frames across spaces.
+// Frames already shared (refcount > 1) are left alone: they are either
+// image pages or prior merge canonicals.
+func SharePass(store *Store, spaces []*AddressSpace) SharePassResult {
+	var res SharePassResult
+	type canon struct {
+		frame FrameID
+	}
+	byHash := make(map[uint64][]canon)
+
+	for _, a := range spaces {
+		if a == nil || a.released {
+			continue
+		}
+		for vpn, pte := range a.pages {
+			if store.IsZeroFrame(pte.Frame) {
+				continue
+			}
+			if store.Refs(pte.Frame) != 1 {
+				continue // already shared
+			}
+			res.PagesScanned++
+			content := store.View(pte.Frame)
+			h := contentHash(content)
+			merged := false
+			for _, c := range byHash[h] {
+				// The candidate may have been freed if its sole owner
+				// merged away; guard by liveness via refs lookup.
+				if c.frame == pte.Frame {
+					continue
+				}
+				if !store.alive(c.frame) {
+					continue
+				}
+				if bytesEqual(store.View(c.frame), content) {
+					store.IncRef(c.frame)
+					store.DecRef(pte.Frame)
+					a.pages[vpn] = PTE{Frame: c.frame}
+					res.PagesMerged++
+					res.BytesFreed += PageSize
+					merged = true
+					break
+				}
+			}
+			if !merged {
+				byHash[h] = append(byHash[h], canon{frame: pte.Frame})
+			}
+		}
+	}
+	return res
+}
+
+// alive reports whether a frame id is still present.
+func (s *Store) alive(id FrameID) bool {
+	_, ok := s.frames[id]
+	return ok
+}

@@ -1,0 +1,234 @@
+package mem
+
+import "fmt"
+
+// PTE is a page-table entry: which frame backs a virtual page and
+// whether the mapping is private (exclusively owned, writable in place)
+// or shared (writes fault and copy).
+type PTE struct {
+	Frame   FrameID
+	Private bool
+}
+
+// SpaceStats counts per-address-space memory events.
+type SpaceStats struct {
+	CowFaults  uint64 // writes that triggered a page copy
+	ZeroFills  uint64 // writes that promoted an unmapped page
+	WritesDone uint64 // total write operations
+	ReadsDone  uint64 // total read operations
+}
+
+// AddressSpace is one VM's guest-physical memory: a sparse overlay of
+// owned pages over an optional base Image, on a shared Store.
+//
+// A flash-cloned space starts as a pure overlay — zero owned pages, all
+// reads falling through to the reference image — so cloning costs O(1)
+// regardless of image size, exactly like attaching copy-on-write shadow
+// page tables. The first write to an image-backed page copies that page
+// into the overlay (a CoW fault); writes to pages the image never
+// populated allocate zero-filled frames on demand. Unmapped pages read
+// as zero.
+type AddressSpace struct {
+	store    *Store
+	base     *Image // nil for scratch (non-cloned) spaces
+	pages    map[uint64]PTE
+	numPages uint64 // guest-physical size in pages
+	released bool
+
+	stats SpaceStats
+}
+
+// NewAddressSpace creates an empty scratch space of numPages
+// guest-physical pages over store. All pages initially read as zero.
+func NewAddressSpace(store *Store, numPages uint64) *AddressSpace {
+	if numPages == 0 {
+		panic("mem: zero-size address space")
+	}
+	return &AddressSpace{store: store, pages: make(map[uint64]PTE), numPages: numPages}
+}
+
+// Store returns the backing frame store.
+func (a *AddressSpace) Store() *Store { return a.store }
+
+// NumPages returns the guest-physical size in pages.
+func (a *AddressSpace) NumPages() uint64 { return a.numPages }
+
+// Base returns the reference image this space overlays, or nil.
+func (a *AddressSpace) Base() *Image { return a.base }
+
+// Stats returns a copy of the space's counters.
+func (a *AddressSpace) Stats() SpaceStats { return a.stats }
+
+func (a *AddressSpace) checkPage(vpn uint64) {
+	if a.released {
+		panic("mem: use of released address space")
+	}
+	if vpn >= a.numPages {
+		panic(fmt.Sprintf("mem: page %d outside space of %d pages", vpn, a.numPages))
+	}
+}
+
+// Read copies n bytes at (vpn, off) into a fresh slice. Unmapped pages
+// read as zeroes.
+func (a *AddressSpace) Read(vpn uint64, off, n int) []byte {
+	a.checkPage(vpn)
+	if off < 0 || off+n > PageSize {
+		panic(fmt.Sprintf("mem: read [%d,%d) outside page", off, off+n))
+	}
+	a.stats.ReadsDone++
+	out := make([]byte, n)
+	if pte, ok := a.pages[vpn]; ok {
+		copy(out, a.store.View(pte.Frame)[off:off+n])
+		return out
+	}
+	if a.base != nil {
+		if pte, ok := a.base.pages[vpn]; ok {
+			copy(out, a.store.View(pte.Frame)[off:off+n])
+		}
+	}
+	return out
+}
+
+// Write stores b at (vpn, off), faulting in a private copy if the page
+// is backed by the base image or by a shared frame (delta
+// virtualization's CoW), or a fresh frame if unmapped. It reports
+// whether a fault (copy or fill) occurred — the VMM's latency model
+// charges faults, not in-place writes.
+func (a *AddressSpace) Write(vpn uint64, off int, b []byte) bool {
+	a.checkPage(vpn)
+	if off < 0 || off+len(b) > PageSize {
+		panic(fmt.Sprintf("mem: write [%d,%d) outside page", off, off+len(b)))
+	}
+	a.stats.WritesDone++
+	if pte, ok := a.pages[vpn]; ok {
+		newID, copied := a.store.CowWrite(pte.Frame, off, b)
+		if copied {
+			a.pages[vpn] = PTE{Frame: newID, Private: true}
+			a.stats.CowFaults++
+			return true
+		}
+		if !pte.Private {
+			a.pages[vpn] = PTE{Frame: pte.Frame, Private: true}
+		}
+		return false
+	}
+	if a.base != nil {
+		if bpte, ok := a.base.pages[vpn]; ok {
+			// CoW fault against the reference image: copy its content
+			// into a frame this space owns.
+			id := a.store.AllocCopyWrite(bpte.Frame, off, b)
+			a.pages[vpn] = PTE{Frame: id, Private: true}
+			a.stats.CowFaults++
+			return true
+		}
+	}
+	// Unmapped: writing to fresh zero-backed memory.
+	page := make([]byte, PageSize)
+	copy(page[off:], b)
+	id := a.store.AllocData(page) // may return the zero frame for zero writes
+	private := !a.store.IsZeroFrame(id) && a.store.Refs(id) == 1
+	a.pages[vpn] = PTE{Frame: id, Private: private}
+	a.stats.ZeroFills++
+	return true
+}
+
+// MapPattern maps vpn to a fresh pattern frame (synthetic image
+// content). Replaces any owned mapping and shadows any base mapping.
+func (a *AddressSpace) MapPattern(vpn, seed uint64) {
+	a.checkPage(vpn)
+	if old, ok := a.pages[vpn]; ok {
+		a.store.DecRef(old.Frame)
+	}
+	a.pages[vpn] = PTE{Frame: a.store.AllocPattern(seed), Private: true}
+}
+
+// EachOwnedPage visits every page the space maps directly (private
+// copies, zero-fills, dedup-shared frames), in unspecified order.
+// Checkpointing uses it to enumerate the VM's delta.
+func (a *AddressSpace) EachOwnedPage(fn func(vpn uint64)) {
+	for vpn := range a.pages {
+		fn(vpn)
+	}
+}
+
+// OwnedPages returns the number of pages this space maps directly
+// (private copies, zero-fills, and dedup-shared frames), excluding
+// base-image fall-through.
+func (a *AddressSpace) OwnedPages() int { return len(a.pages) }
+
+// ResidentPages returns the number of pages with backing content:
+// owned pages plus base pages not shadowed by an owned copy.
+func (a *AddressSpace) ResidentPages() int {
+	n := len(a.pages)
+	if a.base != nil {
+		n = len(a.base.pages)
+		for vpn := range a.pages {
+			if _, inBase := a.base.pages[vpn]; !inBase {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// PrivatePages returns the number of pages backed by frames this space
+// holds exclusively — the VM's incremental memory cost, the quantity
+// delta virtualization minimizes.
+func (a *AddressSpace) PrivatePages() int {
+	n := 0
+	for _, pte := range a.pages {
+		if !a.store.IsZeroFrame(pte.Frame) && a.store.Refs(pte.Frame) == 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// PrivateBytes is PrivatePages in bytes.
+func (a *AddressSpace) PrivateBytes() uint64 { return uint64(a.PrivatePages()) * PageSize }
+
+// SharedPages returns the number of resident pages backed by shared
+// frames (base-image pages, the zero frame, dedup hits).
+func (a *AddressSpace) SharedPages() int { return a.ResidentPages() - a.PrivatePages() }
+
+// Release unmaps everything, dropping frame references and detaching
+// from the base image. The space is unusable afterwards.
+func (a *AddressSpace) Release() {
+	if a.released {
+		return
+	}
+	for vpn, pte := range a.pages {
+		a.store.DecRef(pte.Frame)
+		delete(a.pages, vpn)
+	}
+	if a.base != nil {
+		a.base.live--
+		a.base = nil
+	}
+	a.released = true
+}
+
+// frameRefs accumulates this space's references per frame, for
+// CheckRefs-based leak tests.
+func (a *AddressSpace) frameRefs(into map[FrameID]int64) {
+	for _, pte := range a.pages {
+		into[pte.Frame]++
+	}
+}
+
+// ExternalRefs builds the frame-reference census across spaces and
+// images for Store.CheckRefs.
+func ExternalRefs(spaces []*AddressSpace, images []*Image) map[FrameID]int64 {
+	refs := make(map[FrameID]int64)
+	for _, a := range spaces {
+		if a != nil && !a.released {
+			a.frameRefs(refs)
+		}
+	}
+	for _, img := range images {
+		if img != nil && !img.released {
+			img.frameRefs(refs)
+		}
+	}
+	return refs
+}

@@ -1,0 +1,337 @@
+// Package mem is the page-granularity memory substrate underneath the
+// simulated VMM. It implements the mechanisms Potemkin's "delta
+// virtualization" relies on: a machine-wide frame store with reference
+// counting, zero-page sharing, optional content-based sharing, per-VM
+// address spaces with copy-on-write semantics, and immutable snapshots
+// (reference images) that new VMs flash-clone from.
+//
+// Sharing here is real: clones reference the same frames, a write to a
+// shared frame genuinely copies bytes, and accounting is derived from the
+// frame table — so the memory-savings experiments (E2) measure mechanism
+// behaviour, not a formula.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PageSize is the page granularity in bytes, matching x86.
+const PageSize = 4096
+
+// FrameID names a machine frame in a Store. The zero FrameID is invalid.
+type FrameID uint64
+
+// frame is one machine page. Content is either explicit bytes, a
+// deterministic pattern (materialized lazily, so large synthetic
+// reference images do not occupy host RAM), or all-zeroes (data == nil,
+// pattern == 0).
+type frame struct {
+	refs    int64
+	data    []byte
+	pattern uint64 // nonzero: content is pattern-generated until materialized
+	hash    uint64
+	hashed  bool
+}
+
+// StoreStats counts frame-store activity.
+type StoreStats struct {
+	Allocs      uint64 // frames created
+	Frees       uint64 // frames destroyed
+	CowCopies   uint64 // frames created by copy-on-write faults
+	DedupHits   uint64 // allocations satisfied by content sharing
+	ZeroHits    uint64 // allocations satisfied by the zero page
+	PeakFrames  int    // high-water mark of live frames
+	PeakModeled uint64 // high-water mark of modeled bytes
+}
+
+// Store is a machine-wide refcounted frame table shared by every VM on a
+// simulated physical host. It is not safe for concurrent use; the VMM is
+// single-threaded under the sim kernel.
+type Store struct {
+	frames map[FrameID]*frame
+	next   FrameID
+
+	// ShareContent enables content-based page sharing: AllocData and
+	// snapshot registration coalesce identical pages. Zero pages are
+	// always shared regardless.
+	ShareContent bool
+
+	zero  FrameID
+	dedup map[uint64][]FrameID
+
+	stats StoreStats
+}
+
+// NewStore returns an empty store with a preallocated shared zero frame.
+func NewStore() *Store {
+	s := &Store{
+		frames: make(map[FrameID]*frame),
+		next:   1,
+		dedup:  make(map[uint64][]FrameID),
+	}
+	// The canonical zero frame holds one permanent self-reference so VM
+	// churn can never free it.
+	s.zero = s.alloc(&frame{refs: 1})
+	return s
+}
+
+func (s *Store) alloc(f *frame) FrameID {
+	id := s.next
+	s.next++
+	s.frames[id] = f
+	s.stats.Allocs++
+	if n := len(s.frames); n > s.stats.PeakFrames {
+		s.stats.PeakFrames = n
+	}
+	if b := s.ModeledBytes(); b > s.stats.PeakModeled {
+		s.stats.PeakModeled = b
+	}
+	return id
+}
+
+// Stats returns a copy of the store counters.
+func (s *Store) Stats() StoreStats { return s.stats }
+
+// ZeroFrame returns the canonical all-zero frame with an added reference.
+func (s *Store) ZeroFrame() FrameID {
+	s.frames[s.zero].refs++
+	s.stats.ZeroHits++
+	return s.zero
+}
+
+// IsZeroFrame reports whether id is the canonical zero frame.
+func (s *Store) IsZeroFrame(id FrameID) bool { return id == s.zero }
+
+// FrameCount returns the number of live frames (including the zero frame).
+func (s *Store) FrameCount() int { return len(s.frames) }
+
+// ModeledBytes returns the machine memory the frames would occupy on real
+// hardware: one PageSize per live frame. This is the quantity the
+// paper's VMs-per-server arithmetic is about.
+func (s *Store) ModeledBytes() uint64 { return uint64(len(s.frames)) * PageSize }
+
+// Refs returns the reference count of a frame.
+func (s *Store) Refs(id FrameID) int64 {
+	f := s.must(id)
+	return f.refs
+}
+
+func (s *Store) must(id FrameID) *frame {
+	f, ok := s.frames[id]
+	if !ok {
+		panic(fmt.Sprintf("mem: dangling frame %d", id))
+	}
+	return f
+}
+
+// IncRef adds a reference to a frame.
+func (s *Store) IncRef(id FrameID) {
+	s.must(id).refs++
+}
+
+// DecRef drops a reference, freeing the frame at zero.
+func (s *Store) DecRef(id FrameID) {
+	f := s.must(id)
+	f.refs--
+	if f.refs < 0 {
+		panic(fmt.Sprintf("mem: negative refcount on frame %d", id))
+	}
+	if f.refs == 0 {
+		if f.hashed {
+			s.dropDedup(f.hash, id)
+		}
+		delete(s.frames, id)
+		s.stats.Frees++
+	}
+}
+
+func (s *Store) dropDedup(hash uint64, id FrameID) {
+	list := s.dedup[hash]
+	for i, v := range list {
+		if v == id {
+			list[i] = list[len(list)-1]
+			list = list[:len(list)-1]
+			break
+		}
+	}
+	if len(list) == 0 {
+		delete(s.dedup, hash)
+	} else {
+		s.dedup[hash] = list
+	}
+}
+
+// materialize ensures f.data holds explicit bytes.
+func materialize(f *frame) []byte {
+	if f.data == nil {
+		f.data = make([]byte, PageSize)
+		if f.pattern != 0 {
+			fillPattern(f.data, f.pattern)
+			f.pattern = 0
+		}
+	}
+	return f.data
+}
+
+// fillPattern writes a deterministic, seed-dependent byte pattern.
+func fillPattern(dst []byte, seed uint64) {
+	x := seed
+	for i := 0; i+8 <= len(dst); i += 8 {
+		// splitmix64 step
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		binary.LittleEndian.PutUint64(dst[i:], z^(z>>31))
+	}
+}
+
+func isAllZero(b []byte) bool {
+	for _, c := range b {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// AllocData allocates a frame holding a copy of b (which must be
+// PageSize long), returning the zero frame for all-zero content and a
+// deduplicated frame when ShareContent is on.
+func (s *Store) AllocData(b []byte) FrameID {
+	if len(b) != PageSize {
+		panic(fmt.Sprintf("mem: AllocData with %d bytes", len(b)))
+	}
+	if isAllZero(b) {
+		return s.ZeroFrame()
+	}
+	if s.ShareContent {
+		h := contentHash(b)
+		for _, cand := range s.dedup[h] {
+			f := s.frames[cand]
+			if bytesEqual(materialize(f), b) {
+				f.refs++
+				s.stats.DedupHits++
+				return cand
+			}
+		}
+		f := &frame{refs: 1, data: append([]byte(nil), b...), hash: h, hashed: true}
+		id := s.alloc(f)
+		s.dedup[h] = append(s.dedup[h], id)
+		return id
+	}
+	return s.alloc(&frame{refs: 1, data: append([]byte(nil), b...)})
+}
+
+func contentHash(b []byte) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AllocCopyWrite allocates a new private frame holding a copy of src's
+// content with b applied at off — the copy-on-write fault path for
+// image-backed pages. src's reference count is untouched (the image
+// keeps its reference).
+func (s *Store) AllocCopyWrite(src FrameID, off int, b []byte) FrameID {
+	if off < 0 || off+len(b) > PageSize {
+		panic(fmt.Sprintf("mem: write [%d,%d) outside page", off, off+len(b)))
+	}
+	nf := &frame{refs: 1, data: make([]byte, PageSize)}
+	copy(nf.data, s.View(src))
+	copy(nf.data[off:], b)
+	s.stats.CowCopies++
+	return s.alloc(nf)
+}
+
+// AllocPattern allocates a frame whose content is a deterministic
+// function of seed, without materializing bytes. Synthetic reference
+// images use this so a 128 MiB guest image costs a few MiB of host RAM.
+// seed must be nonzero.
+func (s *Store) AllocPattern(seed uint64) FrameID {
+	if seed == 0 {
+		panic("mem: AllocPattern with zero seed")
+	}
+	return s.alloc(&frame{refs: 1, pattern: seed})
+}
+
+// View returns the frame's content for reading. The returned slice must
+// not be modified; use CowWrite for writes. Pattern frames are
+// materialized on first view.
+func (s *Store) View(id FrameID) []byte {
+	f := s.must(id)
+	if f.data == nil && f.pattern == 0 {
+		return zeroPage[:]
+	}
+	return materialize(f)
+}
+
+var zeroPage [PageSize]byte
+
+// CowWrite writes b at offset off into the page, performing
+// copy-on-write: if the frame is shared (refs > 1) a private copy is
+// created and returned; otherwise the write happens in place. The
+// (possibly new) frame ID is returned along with whether a copy happened.
+func (s *Store) CowWrite(id FrameID, off int, b []byte) (FrameID, bool) {
+	if off < 0 || off+len(b) > PageSize {
+		panic(fmt.Sprintf("mem: write [%d,%d) outside page", off, off+len(b)))
+	}
+	f := s.must(id)
+	if f.refs > 1 {
+		// Shared: copy, drop our reference on the original.
+		nf := &frame{refs: 1, data: make([]byte, PageSize)}
+		copy(nf.data, s.View(id))
+		copy(nf.data[off:], b)
+		f.refs--
+		s.stats.CowCopies++
+		return s.alloc(nf), true
+	}
+	// Exclusive. A frame that was registered for dedup changes content,
+	// so its hash entry must be dropped.
+	if f.hashed {
+		s.dropDedup(f.hash, id)
+		f.hashed = false
+	}
+	copy(materialize(f)[off:], b)
+	return id, false
+}
+
+// CheckRefs verifies that every frame's reference count equals the
+// number of external references reported by refs (plus the zero frame's
+// permanent self-reference). It returns an error describing the first
+// discrepancy. Tests use it as the leak detector.
+func (s *Store) CheckRefs(external map[FrameID]int64) error {
+	seen := make(map[FrameID]int64, len(external))
+	for id, n := range external {
+		seen[id] = n
+	}
+	seen[s.zero]++ // permanent self-reference
+	for id, f := range s.frames {
+		if f.refs != seen[id] {
+			return fmt.Errorf("mem: frame %d has %d refs, expected %d", id, f.refs, seen[id])
+		}
+		delete(seen, id)
+	}
+	for id, n := range seen {
+		if n != 0 {
+			return fmt.Errorf("mem: %d external refs to missing frame %d", n, id)
+		}
+	}
+	return nil
+}

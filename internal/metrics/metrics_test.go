@@ -1,0 +1,229 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"potemkin/internal/sim"
+)
+
+func TestHistogramExactStats(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Sum() != 15 {
+		t.Errorf("Sum = %v", h.Sum())
+	}
+	if h.Mean() != 3 {
+		t.Errorf("Mean = %v", h.Mean())
+	}
+	if h.Min() != 1 || h.Max() != 5 {
+		t.Errorf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	var h Histogram
+	r := sim.NewRNG(1)
+	var exact []float64
+	for i := 0; i < 50000; i++ {
+		v := r.Exp(1000)
+		exact = append(exact, v)
+		h.Observe(v)
+	}
+	sort.Float64s(exact)
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.95, 0.99} {
+		want := exact[int(q*float64(len(exact)))]
+		got := h.Quantile(q)
+		if rel := math.Abs(got-want) / want; rel > 0.05 {
+			t.Errorf("q%.2f = %v, want ~%v (rel err %.3f)", q, got, want, rel)
+		}
+	}
+}
+
+func TestHistogramQuantileExtremes(t *testing.T) {
+	var h Histogram
+	h.Observe(10)
+	h.Observe(1e6)
+	if h.Quantile(0) != 10 {
+		t.Errorf("q0 = %v", h.Quantile(0))
+	}
+	if h.Quantile(1) != 1e6 {
+		t.Errorf("q1 = %v", h.Quantile(1))
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Observe(-5)
+	if h.Min() != 0 || h.Max() != 0 {
+		t.Errorf("negative not clamped: min=%v max=%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 1; i <= 100; i++ {
+		a.Observe(float64(i))
+	}
+	for i := 101; i <= 200; i++ {
+		b.Observe(float64(i))
+	}
+	a.Merge(&b)
+	if a.Count() != 200 {
+		t.Errorf("Count = %d", a.Count())
+	}
+	if a.Min() != 1 || a.Max() != 200 {
+		t.Errorf("Min/Max = %v/%v", a.Min(), a.Max())
+	}
+	med := a.Quantile(0.5)
+	if med < 90 || med > 110 {
+		t.Errorf("median = %v, want ~100", med)
+	}
+}
+
+func TestHistogramMergeEmpty(t *testing.T) {
+	var a, b Histogram
+	a.Observe(7)
+	a.Merge(&b) // no-op
+	if a.Count() != 1 {
+		t.Errorf("Count = %d", a.Count())
+	}
+	b.Merge(&a)
+	if b.Count() != 1 || b.Min() != 7 {
+		t.Errorf("merge into empty: count=%d min=%v", b.Count(), b.Min())
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	h.Observe(3)
+	h.Reset()
+	if h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+// Property: quantile is monotone in q and bounded by [min, max].
+func TestHistogramQuantileMonotone(t *testing.T) {
+	err := quick.Check(func(vals []float64) bool {
+		var h Histogram
+		for _, v := range vals {
+			h.Observe(math.Abs(v))
+		}
+		prev := -1.0
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := h.Quantile(q)
+			if v < prev || v < h.Min() || v > h.Max() {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeriesBasics(t *testing.T) {
+	var s Series
+	s.Add(0, 10)
+	s.Add(1, 30)
+	s.Add(2, 20)
+	if s.Len() != 3 || s.Last() != 20 || s.Max() != 30 || s.Mean() != 20 {
+		t.Errorf("Len=%d Last=%v Max=%v Mean=%v", s.Len(), s.Last(), s.Max(), s.Mean())
+	}
+	if s.Quantile(0.5) != 20 {
+		t.Errorf("median = %v", s.Quantile(0.5))
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	var s Series
+	if s.Last() != 0 || s.Max() != 0 || s.Mean() != 0 || s.Quantile(0.9) != 0 {
+		t.Error("empty series should report zeros")
+	}
+}
+
+func TestSeriesDownsample(t *testing.T) {
+	var s Series
+	for i := 0; i < 1000; i++ {
+		s.Add(float64(i), float64(i*2))
+	}
+	d := s.Downsample(10)
+	if d.Len() != 10 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if d.T[0] != 0 {
+		t.Errorf("first t = %v", d.T[0])
+	}
+	small := s.Downsample(5000)
+	if small.Len() != 1000 {
+		t.Errorf("no-op downsample changed length: %d", small.Len())
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("Demo", "name", "count", "ratio")
+	tab.AddRow("alpha", 10, 0.5)
+	tab.AddRow("betabetabeta", 20000, 1234.5678)
+	out := tab.String()
+	if !strings.Contains(out, "Demo") || !strings.Contains(out, "betabetabeta") {
+		t.Errorf("render missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "0.500") {
+		t.Errorf("float formatting: %s", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("x", "a", "b")
+	tab.AddRow("has,comma", `has"quote`)
+	tab.AddRow(1, 2)
+	var sb strings.Builder
+	if err := tab.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := "a,b\n\"has,comma\",\"has\"\"quote\"\n1,2\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestSeriesTable(t *testing.T) {
+	a := &Series{Name: "live"}
+	a.Add(0, 1)
+	a.Add(2, 3)
+	b := &Series{Name: "peak"}
+	b.Add(0, 5)
+	b.Add(1, 6)
+	tab := SeriesTable("joined", a, b)
+	if tab.NumRows() != 3 {
+		t.Fatalf("rows = %d\n%s", tab.NumRows(), tab)
+	}
+	// t=1 has no value for "live".
+	row := tab.Row(1)
+	if row[0] != "1" || row[1] != "" || row[2] != "6" {
+		t.Errorf("row 1 = %v", row)
+	}
+}

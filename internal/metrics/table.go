@@ -1,0 +1,177 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Table accumulates rows for an experiment report and renders them as an
+// aligned text table (for terminals) or CSV (for plotting). All benchtab
+// experiment outputs go through Table so the harness's "same rows the
+// paper reports" promise has one implementation.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row. Values are formatted with %v; float64 values get
+// a compact fixed-point rendering.
+func (t *Table) AddRow(values ...any) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row[i] = formatFloat(x)
+		case string:
+			row[i] = x
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Row returns row i as formatted cells.
+func (t *Table) Row(i int) []string { return t.rows[i] }
+
+func formatFloat(f float64) string {
+	switch {
+	case f == math.Trunc(f) && math.Abs(f) < 1e15:
+		return fmt.Sprintf("%.0f", f)
+	case f >= 1000 || f <= -1000:
+		return fmt.Sprintf("%.0f", f)
+	case f >= 10 || f <= -10:
+		return fmt.Sprintf("%.1f", f)
+	default:
+		return fmt.Sprintf("%.3f", f)
+	}
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	var sb strings.Builder
+	for i, c := range t.Columns {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		fmt.Fprintf(&sb, "%-*s", widths[i], c)
+	}
+	header := strings.TrimRight(sb.String(), " ")
+	fmt.Fprintln(w, header)
+	fmt.Fprintln(w, strings.Repeat("-", len(header)))
+	for _, row := range t.rows {
+		sb.Reset()
+		for i, cell := range row {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		fmt.Fprintln(w, strings.TrimRight(sb.String(), " "))
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Render(&sb)
+	return sb.String()
+}
+
+// WriteCSV writes the table as RFC 4180-ish CSV (quoting cells containing
+// commas or quotes).
+func (t *Table) WriteCSV(w io.Writer) error {
+	writeRow := func(cells []string) error {
+		for i, c := range cells {
+			if i > 0 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			if _, err := io.WriteString(w, c); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(w, "\n")
+		return err
+	}
+	if err := writeRow(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SeriesTable converts one or more series sharing a time axis into a
+// table with a "t" column followed by one column per series. Series are
+// sampled at the union of their time points; missing values render empty.
+func SeriesTable(title string, series ...*Series) *Table {
+	cols := []string{"t_seconds"}
+	for _, s := range series {
+		cols = append(cols, s.Name)
+	}
+	tab := NewTable(title, cols...)
+
+	seen := map[float64]bool{}
+	var times []float64
+	for _, s := range series {
+		for _, ti := range s.T {
+			if !seen[ti] {
+				seen[ti] = true
+				times = append(times, ti)
+			}
+		}
+	}
+	sort.Float64s(times)
+
+	idx := make([]int, len(series))
+	for _, ti := range times {
+		row := make([]any, 0, len(series)+1)
+		row = append(row, ti)
+		for si, s := range series {
+			val := ""
+			for idx[si] < len(s.T) && s.T[idx[si]] <= ti {
+				if s.T[idx[si]] == ti {
+					val = formatFloat(s.V[idx[si]])
+				}
+				idx[si]++
+			}
+			row = append(row, val)
+		}
+		tab.AddRow(row...)
+	}
+	return tab
+}

@@ -1,0 +1,139 @@
+// Package netsim is the packet-level network substrate the honeyfarm runs
+// on: IPv4/TCP/UDP/ICMP headers that marshal to and from real wire bytes
+// (with real checksums), simulated links with latency and finite queues,
+// and simple node plumbing driven by the sim kernel.
+//
+// The gateway and GRE code operate on these wire bytes directly, so their
+// throughput benchmarks measure genuine parsing and encapsulation work
+// rather than struct copying.
+package netsim
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Addr is an IPv4 address in host byte order. Arithmetic on addresses
+// (telescope ranges, scan sweeps) is ordinary integer arithmetic.
+type Addr uint32
+
+// AddrFrom assembles an address from its dotted-quad octets.
+func AddrFrom(a, b, c, d byte) Addr {
+	return Addr(a)<<24 | Addr(b)<<16 | Addr(c)<<8 | Addr(d)
+}
+
+// ParseAddr parses dotted-quad notation ("10.1.2.3").
+func ParseAddr(s string) (Addr, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("netsim: bad address %q", s)
+	}
+	var a Addr
+	for _, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 || v > 255 || (len(p) > 1 && p[0] == '0') {
+			return 0, fmt.Errorf("netsim: bad address %q", s)
+		}
+		a = a<<8 | Addr(v)
+	}
+	return a, nil
+}
+
+// MustParseAddr is ParseAddr for constants in tests and examples; it
+// panics on error.
+func MustParseAddr(s string) Addr {
+	a, err := ParseAddr(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// String formats the address as a dotted quad.
+func (a Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+}
+
+// Octets returns the four dotted-quad bytes, most significant first.
+func (a Addr) Octets() [4]byte {
+	return [4]byte{byte(a >> 24), byte(a >> 16), byte(a >> 8), byte(a)}
+}
+
+// Prefix is a CIDR block: every address whose top Bits bits equal those of
+// Base. The honeyfarm's monitored space, the worm simulator's vulnerable
+// population, and gateway routing tables are all Prefixes.
+type Prefix struct {
+	Base Addr
+	Bits int
+}
+
+// ParsePrefix parses "a.b.c.d/len".
+func ParsePrefix(s string) (Prefix, error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return Prefix{}, fmt.Errorf("netsim: bad prefix %q", s)
+	}
+	a, err := ParseAddr(s[:slash])
+	if err != nil {
+		return Prefix{}, err
+	}
+	bits, err := strconv.Atoi(s[slash+1:])
+	if err != nil || bits < 0 || bits > 32 {
+		return Prefix{}, fmt.Errorf("netsim: bad prefix length in %q", s)
+	}
+	p := Prefix{Base: a, Bits: bits}
+	return p.Canonical(), nil
+}
+
+// MustParsePrefix is ParsePrefix that panics on error.
+func MustParsePrefix(s string) Prefix {
+	p, err := ParsePrefix(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Mask returns the netmask for the prefix length.
+func (p Prefix) Mask() Addr {
+	if p.Bits <= 0 {
+		return 0
+	}
+	return Addr(^uint32(0) << (32 - p.Bits))
+}
+
+// Canonical returns the prefix with host bits of Base cleared.
+func (p Prefix) Canonical() Prefix {
+	p.Base &= p.Mask()
+	return p
+}
+
+// Contains reports whether a falls inside the prefix.
+func (p Prefix) Contains(a Addr) bool {
+	return a&p.Mask() == p.Base&p.Mask()
+}
+
+// Size returns the number of addresses covered (2^(32-Bits)).
+func (p Prefix) Size() uint64 { return 1 << (32 - p.Bits) }
+
+// Nth returns the i'th address in the block. i must be < Size().
+func (p Prefix) Nth(i uint64) Addr {
+	if i >= p.Size() {
+		panic(fmt.Sprintf("netsim: index %d out of %s", i, p))
+	}
+	return p.Base&p.Mask() | Addr(i)
+}
+
+// Index returns a's offset within the block. a must be contained.
+func (p Prefix) Index(a Addr) uint64 {
+	if !p.Contains(a) {
+		panic(fmt.Sprintf("netsim: %s not in %s", a, p))
+	}
+	return uint64(a &^ p.Mask())
+}
+
+// String formats the prefix in CIDR notation.
+func (p Prefix) String() string {
+	return fmt.Sprintf("%s/%d", p.Base&p.Mask(), p.Bits)
+}

@@ -1,0 +1,142 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAddr(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Addr
+		ok   bool
+	}{
+		{"0.0.0.0", 0, true},
+		{"255.255.255.255", 0xffffffff, true},
+		{"10.0.0.1", 0x0a000001, true},
+		{"192.168.1.2", 0xc0a80102, true},
+		{"1.2.3", 0, false},
+		{"1.2.3.4.5", 0, false},
+		{"1.2.3.256", 0, false},
+		{"1.2.3.-1", 0, false},
+		{"01.2.3.4", 0, false},
+		{"a.b.c.d", 0, false},
+		{"", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseAddr(c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("ParseAddr(%q) err=%v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("ParseAddr(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAddrStringRoundTrip(t *testing.T) {
+	err := quick.Check(func(v uint32) bool {
+		a := Addr(v)
+		back, err := ParseAddr(a.String())
+		return err == nil && back == a
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddrFromOctets(t *testing.T) {
+	a := AddrFrom(10, 20, 30, 40)
+	if a.String() != "10.20.30.40" {
+		t.Errorf("got %s", a)
+	}
+	if o := a.Octets(); o != [4]byte{10, 20, 30, 40} {
+		t.Errorf("Octets() = %v", o)
+	}
+}
+
+func TestPrefixContains(t *testing.T) {
+	p := MustParsePrefix("10.1.0.0/16")
+	for _, a := range []string{"10.1.0.0", "10.1.255.255", "10.1.128.7"} {
+		if !p.Contains(MustParseAddr(a)) {
+			t.Errorf("%s should contain %s", p, a)
+		}
+	}
+	for _, a := range []string{"10.0.255.255", "10.2.0.0", "11.1.0.0"} {
+		if p.Contains(MustParseAddr(a)) {
+			t.Errorf("%s should not contain %s", p, a)
+		}
+	}
+}
+
+func TestPrefixCanonicalizesHostBits(t *testing.T) {
+	p := MustParsePrefix("10.1.2.3/16")
+	if p.Base != MustParseAddr("10.1.0.0") {
+		t.Errorf("Base = %s, want 10.1.0.0", p.Base)
+	}
+	if p.String() != "10.1.0.0/16" {
+		t.Errorf("String() = %s", p)
+	}
+}
+
+func TestPrefixSizeNthIndex(t *testing.T) {
+	p := MustParsePrefix("192.168.4.0/24")
+	if p.Size() != 256 {
+		t.Errorf("Size() = %d", p.Size())
+	}
+	for _, i := range []uint64{0, 1, 17, 255} {
+		a := p.Nth(i)
+		if !p.Contains(a) {
+			t.Errorf("Nth(%d) = %s outside prefix", i, a)
+		}
+		if got := p.Index(a); got != i {
+			t.Errorf("Index(Nth(%d)) = %d", i, got)
+		}
+	}
+}
+
+func TestPrefixNthOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	MustParsePrefix("10.0.0.0/24").Nth(256)
+}
+
+func TestPrefixEdgeLengths(t *testing.T) {
+	all := MustParsePrefix("0.0.0.0/0")
+	if !all.Contains(MustParseAddr("255.1.2.3")) {
+		t.Error("/0 should contain everything")
+	}
+	if all.Size() != 1<<32 {
+		t.Errorf("/0 size = %d", all.Size())
+	}
+	host := MustParsePrefix("1.2.3.4/32")
+	if host.Size() != 1 {
+		t.Errorf("/32 size = %d", host.Size())
+	}
+	if !host.Contains(MustParseAddr("1.2.3.4")) || host.Contains(MustParseAddr("1.2.3.5")) {
+		t.Error("/32 containment wrong")
+	}
+}
+
+func TestParsePrefixRejectsBad(t *testing.T) {
+	for _, s := range []string{"10.0.0.0", "10.0.0.0/33", "10.0.0.0/-1", "10.0.0.0/x", "bad/8"} {
+		if _, err := ParsePrefix(s); err == nil {
+			t.Errorf("ParsePrefix(%q) succeeded", s)
+		}
+	}
+}
+
+func TestPrefixNthIndexProperty(t *testing.T) {
+	p := MustParsePrefix("172.16.0.0/12")
+	err := quick.Check(func(raw uint32) bool {
+		i := uint64(raw) % p.Size()
+		return p.Index(p.Nth(i)) == i
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}

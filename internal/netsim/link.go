@@ -1,0 +1,124 @@
+package netsim
+
+import (
+	"time"
+
+	"potemkin/internal/sim"
+)
+
+// Node consumes packets delivered by links. Gateways, farm servers, and
+// traffic sources all implement Node.
+type Node interface {
+	// Receive is called by the kernel when a packet arrives. The packet
+	// is owned by the receiver; senders must not retain it.
+	Receive(now sim.Time, pkt *Packet)
+}
+
+// NodeFunc adapts a function to the Node interface.
+type NodeFunc func(now sim.Time, pkt *Packet)
+
+// Receive implements Node.
+func (f NodeFunc) Receive(now sim.Time, pkt *Packet) { f(now, pkt) }
+
+// LinkStats counts traffic through a link.
+type LinkStats struct {
+	Sent    uint64 // packets accepted for transmission
+	Dropped uint64 // packets dropped by queue overflow
+	Expired uint64 // packets discarded by TTL expiry
+	Bytes   uint64 // wire bytes accepted
+}
+
+// Link is a unidirectional point-to-point pipe with propagation latency,
+// a serialization rate, and a bounded queue. A zero Rate means infinite
+// bandwidth; a zero QueueLimit means an unbounded queue.
+type Link struct {
+	K          *sim.Kernel
+	To         Node
+	Latency    time.Duration
+	Rate       uint64 // bytes per second; 0 = infinite
+	QueueLimit int    // packets in flight cap; 0 = unbounded
+	// DecrementTTL makes the link behave as a router hop: each packet's
+	// TTL drops by one, and packets expiring (TTL 0) are discarded.
+	DecrementTTL bool
+
+	Stats LinkStats
+
+	// busyUntil tracks when the transmitter finishes serializing the
+	// packet currently on the wire.
+	busyUntil sim.Time
+	inFlight  int
+}
+
+// NewLink wires a link from nowhere to dst. Callers hand packets to Send.
+func NewLink(k *sim.Kernel, dst Node, latency time.Duration, rate uint64, queueLimit int) *Link {
+	return &Link{K: k, To: dst, Latency: latency, Rate: rate, QueueLimit: queueLimit}
+}
+
+// Send enqueues pkt for delivery, returning false if the queue is full.
+// Delivery happens at now + serialization + latency via the kernel.
+func (l *Link) Send(pkt *Packet) bool {
+	if l.DecrementTTL {
+		if pkt.TTL <= 1 {
+			l.Stats.Expired++
+			return false
+		}
+		pkt.TTL--
+	}
+	if l.QueueLimit > 0 && l.inFlight >= l.QueueLimit {
+		l.Stats.Dropped++
+		return false
+	}
+	size := uint64(pkt.WireLen())
+	start := l.K.Now()
+	if l.busyUntil > start {
+		start = l.busyUntil
+	}
+	var serialize time.Duration
+	if l.Rate > 0 {
+		serialize = time.Duration(size * uint64(time.Second) / l.Rate)
+	}
+	done := start.Add(serialize)
+	l.busyUntil = done
+	l.inFlight++
+	l.Stats.Sent++
+	l.Stats.Bytes += size
+	l.K.At(done.Add(l.Latency), func(now sim.Time) {
+		l.inFlight--
+		l.To.Receive(now, pkt)
+	})
+	return true
+}
+
+// Duplex bundles the two directions of a point-to-point link.
+type Duplex struct {
+	AB *Link // a -> b
+	BA *Link // b -> a
+}
+
+// NewDuplex creates a symmetric pair of links between a and b.
+func NewDuplex(k *sim.Kernel, a, b Node, latency time.Duration, rate uint64, queueLimit int) *Duplex {
+	return &Duplex{
+		AB: NewLink(k, b, latency, rate, queueLimit),
+		BA: NewLink(k, a, latency, rate, queueLimit),
+	}
+}
+
+// Sink is a Node that counts and optionally records packets. Tests and
+// the benchmark harness use it as a traffic terminator.
+type Sink struct {
+	Count   uint64
+	Bytes   uint64
+	Keep    bool // retain packets in Packets
+	Last    *Packet
+	Packets []*Packet
+}
+
+// Receive implements Node.
+func (s *Sink) Receive(_ sim.Time, pkt *Packet) {
+	s.Count++
+	s.Bytes += uint64(pkt.WireLen())
+	s.Last = pkt
+	if s.Keep {
+		s.Packets = append(s.Packets, pkt)
+	}
+}

@@ -1,0 +1,133 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"potemkin/internal/sim"
+)
+
+func TestLinkDeliversAfterLatency(t *testing.T) {
+	k := sim.NewKernel(1)
+	var at sim.Time
+	dst := NodeFunc(func(now sim.Time, _ *Packet) { at = now })
+	l := NewLink(k, dst, 10*time.Millisecond, 0, 0)
+	l.Send(TCPSyn(1, 2, 3, 4, 5))
+	k.Run()
+	if want := sim.Start.Add(10 * time.Millisecond); at != want {
+		t.Errorf("delivered at %v, want %v", at, want)
+	}
+}
+
+func TestLinkSerializationDelay(t *testing.T) {
+	k := sim.NewKernel(1)
+	var times []sim.Time
+	dst := NodeFunc(func(now sim.Time, _ *Packet) { times = append(times, now) })
+	// 40-byte SYN at 40 bytes/sec => 1 s serialization each.
+	l := NewLink(k, dst, 0, 40, 0)
+	l.Send(TCPSyn(1, 2, 3, 4, 5))
+	l.Send(TCPSyn(1, 2, 3, 4, 6))
+	k.Run()
+	if len(times) != 2 {
+		t.Fatalf("delivered %d", len(times))
+	}
+	if times[0] != sim.Start.Add(time.Second) || times[1] != sim.Start.Add(2*time.Second) {
+		t.Errorf("times = %v, want 1s and 2s", times)
+	}
+}
+
+func TestLinkQueueOverflowDrops(t *testing.T) {
+	k := sim.NewKernel(1)
+	var sink Sink
+	l := NewLink(k, &sink, time.Millisecond, 0, 2)
+	sent := 0
+	for i := 0; i < 5; i++ {
+		if l.Send(TCPSyn(1, 2, 3, 4, uint32(i))) {
+			sent++
+		}
+	}
+	if sent != 2 {
+		t.Errorf("accepted %d, want 2", sent)
+	}
+	if l.Stats.Dropped != 3 {
+		t.Errorf("Dropped = %d, want 3", l.Stats.Dropped)
+	}
+	k.Run()
+	if sink.Count != 2 {
+		t.Errorf("delivered %d, want 2", sink.Count)
+	}
+	// Queue drained: sends succeed again.
+	if !l.Send(TCPSyn(1, 2, 3, 4, 9)) {
+		t.Error("send after drain failed")
+	}
+}
+
+func TestLinkStatsBytes(t *testing.T) {
+	k := sim.NewKernel(1)
+	var sink Sink
+	l := NewLink(k, &sink, 0, 0, 0)
+	p := TCPSyn(1, 2, 3, 4, 5)
+	l.Send(p)
+	k.Run()
+	if l.Stats.Bytes != uint64(p.WireLen()) {
+		t.Errorf("Bytes = %d, want %d", l.Stats.Bytes, p.WireLen())
+	}
+	if sink.Bytes != l.Stats.Bytes {
+		t.Errorf("sink bytes %d != link bytes %d", sink.Bytes, l.Stats.Bytes)
+	}
+}
+
+func TestDuplexBothDirections(t *testing.T) {
+	k := sim.NewKernel(1)
+	var a, b Sink
+	d := NewDuplex(k, &a, &b, time.Millisecond, 0, 0)
+	d.AB.Send(TCPSyn(1, 2, 3, 4, 5))
+	d.BA.Send(TCPSyn(2, 1, 4, 3, 6))
+	k.Run()
+	if a.Count != 1 || b.Count != 1 {
+		t.Errorf("a=%d b=%d, want 1 each", a.Count, b.Count)
+	}
+}
+
+func TestLinkTTLDecrement(t *testing.T) {
+	k := sim.NewKernel(1)
+	var sink Sink
+	l := NewLink(k, &sink, 0, 0, 0)
+	l.DecrementTTL = true
+	p := TCPSyn(1, 2, 3, 4, 5)
+	p.TTL = 3
+	l.Send(p)
+	k.Run()
+	if sink.Last.TTL != 2 {
+		t.Errorf("TTL = %d, want 2", sink.Last.TTL)
+	}
+	// Expiry at TTL 1.
+	p2 := TCPSyn(1, 2, 3, 4, 6)
+	p2.TTL = 1
+	if l.Send(p2) {
+		t.Error("expired packet accepted")
+	}
+	if l.Stats.Expired != 1 {
+		t.Errorf("Expired = %d", l.Stats.Expired)
+	}
+	k.Run()
+	if sink.Count != 1 {
+		t.Errorf("delivered %d", sink.Count)
+	}
+}
+
+func TestSinkKeep(t *testing.T) {
+	k := sim.NewKernel(1)
+	s := &Sink{Keep: true}
+	l := NewLink(k, s, 0, 0, 0)
+	for i := 0; i < 3; i++ {
+		l.Send(TCPSyn(1, 2, 3, 4, uint32(i)))
+	}
+	k.Run()
+	if len(s.Packets) != 3 {
+		t.Fatalf("kept %d", len(s.Packets))
+	}
+	if s.Packets[2].Seq != 2 || s.Last.Seq != 2 {
+		t.Error("packet order wrong")
+	}
+}

@@ -1,0 +1,100 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"potemkin/internal/sim"
+)
+
+func TestStationServiceDelay(t *testing.T) {
+	k := sim.NewKernel(1)
+	var served []sim.Time
+	s := &Station{K: k, Service: 10 * time.Millisecond,
+		Serve: func(now sim.Time, _ *Packet) { served = append(served, now) }}
+	// Two back-to-back arrivals: second waits for the first.
+	s.Arrive(TCPSyn(1, 2, 3, 4, 1))
+	s.Arrive(TCPSyn(1, 2, 3, 4, 2))
+	k.Run()
+	if len(served) != 2 {
+		t.Fatalf("served %d", len(served))
+	}
+	if served[0] != sim.Start.Add(10*time.Millisecond) || served[1] != sim.Start.Add(20*time.Millisecond) {
+		t.Errorf("completion times %v", served)
+	}
+}
+
+func TestStationIdleServerNoWait(t *testing.T) {
+	k := sim.NewKernel(1)
+	var at sim.Time
+	s := &Station{K: k, Service: 5 * time.Millisecond,
+		Serve: func(now sim.Time, _ *Packet) { at = now }}
+	k.At(sim.Start.Add(time.Second), func(sim.Time) { s.Arrive(TCPSyn(1, 2, 3, 4, 1)) })
+	k.Run()
+	if at != sim.Start.Add(1005*time.Millisecond) {
+		t.Errorf("served at %v", at)
+	}
+}
+
+func TestStationQueueLimit(t *testing.T) {
+	k := sim.NewKernel(1)
+	s := &Station{K: k, Service: time.Second, QueueLimit: 2}
+	accepted := 0
+	for i := 0; i < 10; i++ {
+		if s.Arrive(TCPSyn(1, 2, 3, 4, uint32(i))) {
+			accepted++
+		}
+	}
+	// 1 in service + 2 queued.
+	if accepted != 3 {
+		t.Errorf("accepted %d, want 3", accepted)
+	}
+	if s.Stats.Dropped != 7 {
+		t.Errorf("dropped %d", s.Stats.Dropped)
+	}
+	if s.Depth() != 2 {
+		t.Errorf("depth %d", s.Depth())
+	}
+	k.Run()
+	if s.Depth() != 0 || s.Stats.Served != 3 {
+		t.Errorf("after drain: depth=%d served=%d", s.Depth(), s.Stats.Served)
+	}
+}
+
+func TestStationLatencyGrowsWithLoad(t *testing.T) {
+	// Deterministic service 1ms (capacity 1000 pps); compare mean
+	// sojourn at 30% vs 95% load with Poisson arrivals.
+	run := func(rate float64) float64 {
+		k := sim.NewKernel(9)
+		r := k.Stream("arrivals")
+		var sum time.Duration
+		var n int
+		s := &Station{K: k, Service: time.Millisecond}
+		stamps := map[*Packet]sim.Time{}
+		s.Serve = func(now sim.Time, pkt *Packet) {
+			sum += now.Sub(stamps[pkt])
+			n++
+		}
+		var gen func(now sim.Time)
+		gen = func(now sim.Time) {
+			pkt := TCPSyn(1, 2, 3, 4, 1)
+			stamps[pkt] = now
+			s.Arrive(pkt)
+			k.After(time.Duration(r.Exp(1e9/rate)), gen)
+		}
+		k.After(0, gen)
+		k.RunUntil(sim.Start.Add(20 * time.Second))
+		if n == 0 {
+			return 0
+		}
+		return (sum / time.Duration(n)).Seconds() * 1000 // ms
+	}
+	low := run(300)
+	high := run(950)
+	if high < 2*low {
+		t.Errorf("queueing knee missing: 30%% load %.3fms vs 95%% load %.3fms", low, high)
+	}
+	if low < 1.0 || low > 2.0 {
+		t.Errorf("low-load sojourn %.3fms, want ~1-1.6ms", low)
+	}
+}

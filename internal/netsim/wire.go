@@ -1,0 +1,231 @@
+package netsim
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Wire codec: Packet <-> real IPv4 bytes with correct Internet checksums.
+// Headers are fixed-size (no IP or TCP options), which matches the traffic
+// the honeyfarm synthesizes and keeps parsing branch-free.
+
+const (
+	ipHeaderLen   = 20
+	tcpHeaderLen  = 20
+	udpHeaderLen  = 8
+	icmpHeaderLen = 8
+)
+
+// Wire errors.
+var (
+	ErrTruncated   = errors.New("netsim: truncated packet")
+	ErrBadVersion  = errors.New("netsim: not IPv4")
+	ErrBadChecksum = errors.New("netsim: bad checksum")
+	ErrBadHeader   = errors.New("netsim: malformed header")
+)
+
+// checksum computes the Internet checksum (RFC 1071) over data, folding in
+// an initial partial sum (for pseudo-headers).
+func checksum(sum uint32, data []byte) uint16 {
+	n := len(data)
+	for i := 0; i+1 < n; i += 2 {
+		sum += uint32(data[i])<<8 | uint32(data[i+1])
+	}
+	if n%2 == 1 {
+		sum += uint32(data[n-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = (sum >> 16) + (sum & 0xffff)
+	}
+	return ^uint16(sum)
+}
+
+// pseudoSum folds the TCP/UDP pseudo-header into a partial sum.
+func pseudoSum(src, dst Addr, proto Proto, length int) uint32 {
+	var sum uint32
+	sum += uint32(src>>16) + uint32(src&0xffff)
+	sum += uint32(dst>>16) + uint32(dst&0xffff)
+	sum += uint32(proto)
+	sum += uint32(length)
+	return sum
+}
+
+// WireLen returns the marshalled size of p in bytes.
+func (p *Packet) WireLen() int {
+	n := ipHeaderLen + len(p.Payload)
+	switch p.Proto {
+	case ProtoTCP:
+		n += tcpHeaderLen
+	case ProtoUDP:
+		n += udpHeaderLen
+	case ProtoICMP:
+		n += icmpHeaderLen
+	}
+	return n
+}
+
+// Marshal serializes p into wire bytes, computing all checksums.
+func (p *Packet) Marshal() []byte {
+	buf := make([]byte, p.WireLen())
+	p.MarshalInto(buf)
+	return buf
+}
+
+// MarshalInto serializes p into buf, which must be at least WireLen()
+// long, and returns the number of bytes written. The gateway's fast path
+// uses this to avoid per-packet allocation.
+func (p *Packet) MarshalInto(buf []byte) int {
+	total := p.WireLen()
+	if len(buf) < total {
+		panic(fmt.Sprintf("netsim: MarshalInto buffer %d < %d", len(buf), total))
+	}
+	b := buf[:total]
+
+	// IPv4 header.
+	b[0] = 0x45 // version 4, IHL 5
+	b[1] = 0
+	binary.BigEndian.PutUint16(b[2:], uint16(total))
+	binary.BigEndian.PutUint16(b[4:], p.ID)
+	binary.BigEndian.PutUint16(b[6:], 0) // no fragmentation
+	b[8] = p.TTL
+	b[9] = byte(p.Proto)
+	b[10], b[11] = 0, 0
+	binary.BigEndian.PutUint32(b[12:], uint32(p.Src))
+	binary.BigEndian.PutUint32(b[16:], uint32(p.Dst))
+	ipsum := checksum(0, b[:ipHeaderLen])
+	binary.BigEndian.PutUint16(b[10:], ipsum)
+
+	seg := b[ipHeaderLen:]
+	switch p.Proto {
+	case ProtoTCP:
+		binary.BigEndian.PutUint16(seg[0:], p.SrcPort)
+		binary.BigEndian.PutUint16(seg[2:], p.DstPort)
+		binary.BigEndian.PutUint32(seg[4:], p.Seq)
+		binary.BigEndian.PutUint32(seg[8:], p.Ack)
+		seg[12] = 5 << 4 // data offset 5 words
+		seg[13] = p.Flags
+		binary.BigEndian.PutUint16(seg[14:], p.Window)
+		seg[16], seg[17] = 0, 0 // checksum
+		seg[18], seg[19] = 0, 0 // urgent pointer
+		copy(seg[tcpHeaderLen:], p.Payload)
+		segLen := tcpHeaderLen + len(p.Payload)
+		sum := checksum(pseudoSum(p.Src, p.Dst, ProtoTCP, segLen), seg[:segLen])
+		binary.BigEndian.PutUint16(seg[16:], sum)
+	case ProtoUDP:
+		binary.BigEndian.PutUint16(seg[0:], p.SrcPort)
+		binary.BigEndian.PutUint16(seg[2:], p.DstPort)
+		segLen := udpHeaderLen + len(p.Payload)
+		binary.BigEndian.PutUint16(seg[4:], uint16(segLen))
+		seg[6], seg[7] = 0, 0
+		copy(seg[udpHeaderLen:], p.Payload)
+		sum := checksum(pseudoSum(p.Src, p.Dst, ProtoUDP, segLen), seg[:segLen])
+		if sum == 0 {
+			sum = 0xffff // RFC 768: transmitted zero means "no checksum"
+		}
+		binary.BigEndian.PutUint16(seg[6:], sum)
+	case ProtoICMP:
+		seg[0] = p.ICMPType
+		seg[1] = p.ICMPCode
+		seg[2], seg[3] = 0, 0
+		binary.BigEndian.PutUint16(seg[4:], p.ID)
+		binary.BigEndian.PutUint16(seg[6:], 0) // sequence
+		copy(seg[icmpHeaderLen:], p.Payload)
+		sum := checksum(0, seg[:icmpHeaderLen+len(p.Payload)])
+		binary.BigEndian.PutUint16(seg[2:], sum)
+	default:
+		copy(seg, p.Payload)
+	}
+	return total
+}
+
+// Unmarshal parses wire bytes into a Packet, verifying the IP header
+// checksum and transport checksums. The payload slice aliases b.
+func Unmarshal(b []byte) (*Packet, error) {
+	var p Packet
+	if err := p.Unmarshal(b); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// Unmarshal parses into an existing Packet, for allocation-free paths.
+func (p *Packet) Unmarshal(b []byte) error {
+	if len(b) < ipHeaderLen {
+		return ErrTruncated
+	}
+	if b[0]>>4 != 4 {
+		return ErrBadVersion
+	}
+	if b[0]&0x0f != 5 {
+		return ErrBadHeader // options unsupported
+	}
+	total := int(binary.BigEndian.Uint16(b[2:]))
+	if total < ipHeaderLen || total > len(b) {
+		return ErrTruncated
+	}
+	if checksum(0, b[:ipHeaderLen]) != 0 {
+		return ErrBadChecksum
+	}
+	b = b[:total]
+	p.ID = binary.BigEndian.Uint16(b[4:])
+	p.TTL = b[8]
+	p.Proto = Proto(b[9])
+	p.Src = Addr(binary.BigEndian.Uint32(b[12:]))
+	p.Dst = Addr(binary.BigEndian.Uint32(b[16:]))
+	seg := b[ipHeaderLen:]
+
+	switch p.Proto {
+	case ProtoTCP:
+		if len(seg) < tcpHeaderLen {
+			return ErrTruncated
+		}
+		off := int(seg[12]>>4) * 4
+		if off < tcpHeaderLen || off > len(seg) {
+			return ErrBadHeader
+		}
+		if checksum(pseudoSum(p.Src, p.Dst, ProtoTCP, len(seg)), seg) != 0 {
+			return ErrBadChecksum
+		}
+		p.SrcPort = binary.BigEndian.Uint16(seg[0:])
+		p.DstPort = binary.BigEndian.Uint16(seg[2:])
+		p.Seq = binary.BigEndian.Uint32(seg[4:])
+		p.Ack = binary.BigEndian.Uint32(seg[8:])
+		p.Flags = seg[13]
+		p.Window = binary.BigEndian.Uint16(seg[14:])
+		p.Payload = seg[off:]
+	case ProtoUDP:
+		if len(seg) < udpHeaderLen {
+			return ErrTruncated
+		}
+		ulen := int(binary.BigEndian.Uint16(seg[4:]))
+		if ulen < udpHeaderLen || ulen > len(seg) {
+			return ErrTruncated
+		}
+		if binary.BigEndian.Uint16(seg[6:]) != 0 {
+			if checksum(pseudoSum(p.Src, p.Dst, ProtoUDP, ulen), seg[:ulen]) != 0 {
+				return ErrBadChecksum
+			}
+		}
+		p.SrcPort = binary.BigEndian.Uint16(seg[0:])
+		p.DstPort = binary.BigEndian.Uint16(seg[2:])
+		p.Payload = seg[udpHeaderLen:ulen]
+	case ProtoICMP:
+		if len(seg) < icmpHeaderLen {
+			return ErrTruncated
+		}
+		if checksum(0, seg) != 0 {
+			return ErrBadChecksum
+		}
+		p.ICMPType = seg[0]
+		p.ICMPCode = seg[1]
+		p.ID = binary.BigEndian.Uint16(seg[4:])
+		p.Payload = seg[icmpHeaderLen:]
+	default:
+		p.Payload = seg
+	}
+	if len(p.Payload) == 0 {
+		p.Payload = nil
+	}
+	return nil
+}

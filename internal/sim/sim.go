@@ -1,0 +1,266 @@
+// Package sim provides a deterministic discrete-event simulation kernel:
+// a virtual clock, a binary-heap event queue, cancellable timers, and
+// seedable random-number streams.
+//
+// All Potemkin substrates that model time (the VMM, simulated links, the
+// telescope feed, the worm epidemic) run on top of one Kernel. Determinism
+// is a hard requirement: two runs with the same seed and the same sequence
+// of Schedule calls produce identical event orders, which the test suite
+// relies on.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a point in virtual time, measured in nanoseconds from the start
+// of the simulation. It is deliberately distinct from time.Time: simulated
+// experiments must never consult the wall clock.
+type Time int64
+
+// Common reference points.
+const (
+	// Start is the beginning of virtual time.
+	Start Time = 0
+	// End is the largest representable virtual time.
+	End Time = math.MaxInt64
+)
+
+// Add returns t advanced by d. It saturates at End instead of overflowing.
+func (t Time) Add(d time.Duration) Time {
+	s := t + Time(d)
+	if d > 0 && s < t {
+		return End
+	}
+	return s
+}
+
+// Sub returns the duration between t and u (t - u).
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Seconds returns the time as floating-point seconds since Start.
+func (t Time) Seconds() float64 { return float64(t) / float64(time.Second) }
+
+// String formats the time as a duration since Start, e.g. "1m3.5s".
+func (t Time) String() string {
+	if t == End {
+		return "end-of-time"
+	}
+	return time.Duration(t).String()
+}
+
+// Event is a scheduled callback. Callbacks run with the kernel clock set to
+// their firing time and may schedule further events.
+type Event func(now Time)
+
+// item is a pending entry in the event heap. seq breaks ties so that events
+// scheduled for the same instant fire in scheduling order, which keeps runs
+// deterministic.
+type item struct {
+	at     Time
+	seq    uint64
+	fn     Event
+	cancel bool
+}
+
+type eventHeap []*item
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*item)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// Kernel is a discrete-event scheduler. The zero value is not usable; call
+// NewKernel. Kernel is not safe for concurrent use: simulations are
+// single-threaded by design so they stay deterministic.
+type Kernel struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	fired   uint64
+	stopped bool
+	seed    uint64
+}
+
+// NewKernel returns a kernel whose clock reads Start and whose random
+// streams derive from seed.
+func NewKernel(seed uint64) *Kernel {
+	return &Kernel{seed: seed}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Seed returns the seed the kernel was created with.
+func (k *Kernel) Seed() uint64 { return k.seed }
+
+// Pending returns the number of events waiting in the queue, including
+// cancelled ones that have not yet been popped.
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// Fired returns the total number of events that have executed.
+func (k *Kernel) Fired() uint64 { return k.fired }
+
+// Timer identifies a scheduled event and allows cancelling it.
+type Timer struct{ it *item }
+
+// Stop cancels the timer. It is safe to call on an already-fired or
+// already-stopped timer; it reports whether the event was still pending.
+func (t Timer) Stop() bool {
+	if t.it == nil || t.it.cancel || t.it.fn == nil {
+		return false
+	}
+	t.it.cancel = true
+	return true
+}
+
+// At schedules fn to run at the absolute time at. Scheduling in the past is
+// a programming error and panics: silently reordering time would corrupt
+// every experiment built on the kernel.
+func (k *Kernel) At(at Time, fn Event) Timer {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, k.now))
+	}
+	if fn == nil {
+		panic("sim: schedule nil event")
+	}
+	it := &item{at: at, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.queue, it)
+	return Timer{it: it}
+}
+
+// After schedules fn to run d from now. Negative d means "immediately"
+// (still queued, fired in scheduling order).
+func (k *Kernel) After(d time.Duration, fn Event) Timer {
+	if d < 0 {
+		d = 0
+	}
+	return k.At(k.now.Add(d), fn)
+}
+
+// Every schedules fn to run now+d, then every d after that, until the
+// returned Ticker is stopped. d must be positive.
+func (k *Kernel) Every(d time.Duration, fn Event) *Ticker {
+	if d <= 0 {
+		panic("sim: Every with non-positive period")
+	}
+	t := &Ticker{k: k, period: d, fn: fn}
+	t.arm()
+	return t
+}
+
+// Ticker re-arms an event periodically. Stop prevents future firings.
+type Ticker struct {
+	k       *Kernel
+	period  time.Duration
+	fn      Event
+	timer   Timer
+	stopped bool
+}
+
+func (t *Ticker) arm() {
+	// At the saturation boundary (virtual time pinned at End) a
+	// re-armed ticker would fire at the same instant forever; stop
+	// instead of spinning.
+	if t.k.Now().Add(t.period) <= t.k.Now() {
+		t.stopped = true
+		return
+	}
+	t.timer = t.k.After(t.period, func(now Time) {
+		if t.stopped {
+			return
+		}
+		t.fn(now)
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels the ticker. Safe to call multiple times.
+func (t *Ticker) Stop() {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	t.timer.Stop()
+}
+
+// Stop halts Run/RunUntil after the current event returns. Events already
+// queued remain queued and would run if Run were called again.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Step executes the single earliest pending event, advancing the clock to
+// its firing time. It reports whether an event ran (false if the queue was
+// empty).
+func (k *Kernel) Step() bool {
+	for len(k.queue) > 0 {
+		it := heap.Pop(&k.queue).(*item)
+		if it.cancel {
+			continue
+		}
+		k.now = it.at
+		fn := it.fn
+		it.fn = nil // mark fired so Timer.Stop reports false
+		k.fired++
+		fn(k.now)
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (k *Kernel) Run() {
+	k.stopped = false
+	for !k.stopped && k.Step() {
+	}
+}
+
+// RunUntil executes events with firing time <= deadline, then sets the
+// clock to deadline (if it is later than the last event). Events after the
+// deadline stay queued.
+func (k *Kernel) RunUntil(deadline Time) {
+	k.stopped = false
+	for !k.stopped {
+		next, ok := k.peek()
+		if !ok || next > deadline {
+			break
+		}
+		k.Step()
+	}
+	if k.now < deadline {
+		k.now = deadline
+	}
+}
+
+// RunFor is RunUntil(Now()+d).
+func (k *Kernel) RunFor(d time.Duration) { k.RunUntil(k.now.Add(d)) }
+
+// peek returns the firing time of the earliest live event.
+func (k *Kernel) peek() (Time, bool) {
+	for len(k.queue) > 0 {
+		if k.queue[0].cancel {
+			heap.Pop(&k.queue)
+			continue
+		}
+		return k.queue[0].at, true
+	}
+	return 0, false
+}

@@ -1,0 +1,202 @@
+// Package telescope is the traffic substrate standing in for the paper's
+// UCSD network-telescope feed: a generator that synthesizes background
+// radiation with the statistical structure that matters to honeyfarm
+// multiplexing (heavy-tailed per-address popularity, scanner sweep
+// sessions, Poisson background), a compact binary trace format for
+// repeatable experiments, and a replayer that injects a trace into the
+// gateway over the sim kernel.
+package telescope
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"potemkin/internal/netsim"
+	"potemkin/internal/sim"
+)
+
+// Record is one captured/synthesized packet arrival.
+type Record struct {
+	At      sim.Time
+	Src     netsim.Addr
+	Dst     netsim.Addr
+	Proto   netsim.Proto
+	SrcPort uint16
+	DstPort uint16
+	Flags   byte // TCP flags
+	PayLen  uint16
+}
+
+// Packet materializes the record as a wire-ready packet. Payload bytes
+// are zero-filled to PayLen (telescope traces carry sizes, not content).
+func (r *Record) Packet() *netsim.Packet {
+	p := &netsim.Packet{
+		Src: r.Src, Dst: r.Dst, Proto: r.Proto, TTL: 116,
+		SrcPort: r.SrcPort, DstPort: r.DstPort, Flags: r.Flags,
+	}
+	if r.PayLen > 0 {
+		p.Payload = make([]byte, r.PayLen)
+	}
+	if r.Proto == netsim.ProtoICMP {
+		p.ICMPType = 8
+	}
+	return p
+}
+
+// RecordOf captures a live packet as a trace record at virtual time
+// now (the gateway's capture tap uses this; payload bytes are not
+// retained, only their length, like a snap-length-zero tcpdump).
+func RecordOf(now sim.Time, pkt *netsim.Packet) Record {
+	return Record{
+		At:      now,
+		Src:     pkt.Src,
+		Dst:     pkt.Dst,
+		Proto:   pkt.Proto,
+		SrcPort: pkt.SrcPort,
+		DstPort: pkt.DstPort,
+		Flags:   pkt.Flags,
+		PayLen:  uint16(len(pkt.Payload)),
+	}
+}
+
+// Trace file format: magic, version, then fixed-size records.
+const (
+	traceMagic   = 0x504f544d // "POTM"
+	traceVersion = 1
+	recordSize   = 8 + 4 + 4 + 1 + 2 + 2 + 1 + 2 // 24 bytes
+)
+
+// Format errors.
+var (
+	ErrBadMagic   = errors.New("telescope: not a trace file")
+	ErrBadVersion = errors.New("telescope: unsupported trace version")
+	ErrOutOfOrder = errors.New("telescope: records out of time order")
+)
+
+// Writer streams records to a trace file.
+type Writer struct {
+	w     *bufio.Writer
+	n     uint64
+	last  sim.Time
+	buf   [recordSize]byte
+	begun bool
+}
+
+// NewWriter writes a trace header to w and returns a record writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], traceMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], traceVersion)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one record. Records must be in non-decreasing time order.
+func (tw *Writer) Write(r *Record) error {
+	if tw.begun && r.At < tw.last {
+		return ErrOutOfOrder
+	}
+	tw.begun = true
+	tw.last = r.At
+	b := tw.buf[:]
+	binary.LittleEndian.PutUint64(b[0:], uint64(r.At))
+	binary.LittleEndian.PutUint32(b[8:], uint32(r.Src))
+	binary.LittleEndian.PutUint32(b[12:], uint32(r.Dst))
+	b[16] = byte(r.Proto)
+	binary.LittleEndian.PutUint16(b[17:], r.SrcPort)
+	binary.LittleEndian.PutUint16(b[19:], r.DstPort)
+	b[21] = r.Flags
+	binary.LittleEndian.PutUint16(b[22:], r.PayLen)
+	if _, err := tw.w.Write(b); err != nil {
+		return err
+	}
+	tw.n++
+	return nil
+}
+
+// Count returns the number of records written.
+func (tw *Writer) Count() uint64 { return tw.n }
+
+// Flush flushes buffered records to the underlying writer.
+func (tw *Writer) Flush() error { return tw.w.Flush() }
+
+// Reader streams records from a trace file.
+type Reader struct {
+	r   *bufio.Reader
+	buf [recordSize]byte
+}
+
+// NewReader validates the header of r and returns a record reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("telescope: reading header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != traceMagic {
+		return nil, ErrBadMagic
+	}
+	if binary.LittleEndian.Uint32(hdr[4:]) != traceVersion {
+		return nil, ErrBadVersion
+	}
+	return &Reader{r: br}, nil
+}
+
+// Read returns the next record, or io.EOF at end of trace.
+func (tr *Reader) Read(r *Record) error {
+	if _, err := io.ReadFull(tr.r, tr.buf[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return fmt.Errorf("telescope: truncated record: %w", err)
+		}
+		return err
+	}
+	b := tr.buf[:]
+	r.At = sim.Time(binary.LittleEndian.Uint64(b[0:]))
+	r.Src = netsim.Addr(binary.LittleEndian.Uint32(b[8:]))
+	r.Dst = netsim.Addr(binary.LittleEndian.Uint32(b[12:]))
+	r.Proto = netsim.Proto(b[16])
+	r.SrcPort = binary.LittleEndian.Uint16(b[17:])
+	r.DstPort = binary.LittleEndian.Uint16(b[19:])
+	r.Flags = b[21]
+	r.PayLen = binary.LittleEndian.Uint16(b[22:])
+	return nil
+}
+
+// ReadAll slurps an entire trace.
+func ReadAll(r io.Reader) ([]Record, error) {
+	tr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	var out []Record
+	for {
+		var rec Record
+		if err := tr.Read(&rec); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// WriteAll writes a whole trace.
+func WriteAll(w io.Writer, recs []Record) error {
+	tw, err := NewWriter(w)
+	if err != nil {
+		return err
+	}
+	for i := range recs {
+		if err := tw.Write(&recs[i]); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}

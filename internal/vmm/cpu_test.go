@@ -1,0 +1,117 @@
+package vmm
+
+import (
+	"testing"
+	"time"
+
+	"potemkin/internal/sim"
+)
+
+func cpuHost(t *testing.T, m CPUModel) (*sim.Kernel, *VMHost) {
+	t.Helper()
+	k := sim.NewKernel(1)
+	cfg := DefaultHostConfig("cpu")
+	cfg.CPU = m
+	h := NewHost(k, cfg)
+	h.RegisterImage("winxp", 8192, 2048, 512, 42)
+	return k, h
+}
+
+func TestCPUAccountingDisabledByDefault(t *testing.T) {
+	k, h := cpuHost(t, CPUModel{})
+	h.ChargeCPU(k.Now(), time.Second)
+	if h.CPUUtilization() != 0 || h.CPUSeconds() != 0 {
+		t.Error("accounting active with zero model")
+	}
+}
+
+func TestCPUUtilizationGauge(t *testing.T) {
+	k, h := cpuHost(t, CPUModel{Cores: 2, PerPacket: time.Millisecond})
+	// Burn 1 CPU-second during second 0 (out of 2 cores).
+	for i := 0; i < 10; i++ {
+		k.At(sim.Time(i)*sim.Time(100*time.Millisecond), func(now sim.Time) {
+			h.ChargeCPU(now, 100*time.Millisecond)
+		})
+	}
+	// Gauge reads the completed second from within second 1.
+	k.At(sim.Start.Add(1500*time.Millisecond), func(sim.Time) {
+		if u := h.CPUUtilization(); u < 0.45 || u > 0.55 {
+			t.Errorf("utilization = %v, want ~0.5", u)
+		}
+	})
+	k.Run()
+	if got := h.CPUSeconds(); got < 0.99 || got > 1.01 {
+		t.Errorf("CPUSeconds = %v", got)
+	}
+}
+
+func TestCPUUtilizationDecaysWhenIdle(t *testing.T) {
+	k, h := cpuHost(t, CPUModel{Cores: 1, PerPacket: time.Millisecond})
+	h.ChargeCPU(k.Now(), 500*time.Millisecond)
+	k.RunUntil(sim.Start.Add(10 * time.Second))
+	if u := h.CPUUtilization(); u != 0 {
+		t.Errorf("utilization after idle = %v", u)
+	}
+}
+
+func TestCPUAdmissionRejectsWhenSaturated(t *testing.T) {
+	k, h := cpuHost(t, CPUModel{Cores: 1, PerPacket: time.Millisecond,
+		PerClone: 10 * time.Millisecond, MaxUtil: 0.8})
+	// Saturate second 0.
+	h.ChargeCPU(k.Now(), time.Second)
+	// From second 1, the gauge shows 100% and clones are rejected.
+	var err1, err2 error
+	k.At(sim.Start.Add(1100*time.Millisecond), func(sim.Time) {
+		_, err1 = h.FlashClone("winxp", 1, nil)
+	})
+	// By second 3 the busy window has passed; clones admitted again.
+	k.At(sim.Start.Add(3*time.Second), func(sim.Time) {
+		_, err2 = h.FlashClone("winxp", 2, nil)
+	})
+	k.RunUntil(sim.Start.Add(5 * time.Second))
+	if err1 != ErrNoCPU {
+		t.Errorf("saturated clone err = %v, want ErrNoCPU", err1)
+	}
+	if err2 != nil {
+		t.Errorf("post-idle clone err = %v", err2)
+	}
+	if h.Stats().CloneRejects == 0 {
+		t.Error("reject not counted")
+	}
+}
+
+func TestCloneChargesCPU(t *testing.T) {
+	k, h := cpuHost(t, DefaultCPUModel())
+	before := h.CPUSeconds()
+	if _, err := h.FlashClone("winxp", 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if got := h.CPUSeconds() - before; got != DefaultCPUModel().PerClone.Seconds() {
+		t.Errorf("clone charged %v CPU-seconds", got)
+	}
+}
+
+func TestMaxActiveVMs(t *testing.T) {
+	m := DefaultCPUModel() // 4 cores, 40µs/pkt
+	// At 10 pps per VM: each VM needs 400µs/s => 0.0004 cores; 4 cores
+	// sustain 10000 VMs.
+	if got := m.MaxActiveVMs(10); got != 10000 {
+		t.Errorf("MaxActiveVMs(10) = %d", got)
+	}
+	if got := m.MaxActiveVMs(1000); got != 100 {
+		t.Errorf("MaxActiveVMs(1000) = %d", got)
+	}
+	if (CPUModel{}).MaxActiveVMs(10) != 0 {
+		t.Error("disabled model returned nonzero bound")
+	}
+}
+
+func TestUtilizationClampsAtOne(t *testing.T) {
+	k, h := cpuHost(t, CPUModel{Cores: 1, PerPacket: time.Millisecond})
+	h.ChargeCPU(k.Now(), 10*time.Second) // oversubscribed second
+	k.RunUntil(sim.Start.Add(1200 * time.Millisecond))
+	if u := h.CPUUtilization(); u != 1 {
+		t.Errorf("utilization = %v, want clamp at 1", u)
+	}
+}

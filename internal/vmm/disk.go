@@ -1,0 +1,153 @@
+package vmm
+
+import "fmt"
+
+// DiskBlockSize is the block granularity of the copy-on-write virtual
+// disk, in bytes.
+const DiskBlockSize = 64 * 1024
+
+// DiskImage is an immutable block image an Overlay can sit on: either
+// a synthetic BaseDisk or a FrozenOverlay (a snapshotted VM's disk).
+type DiskImage interface {
+	// Blocks returns the image size in blocks.
+	Blocks() uint64
+	// BlockByte returns the first byte of a block (the substrate tracks
+	// per-block identity, not 64 KiB of content).
+	BlockByte(block uint64) byte
+}
+
+// BaseDisk is an immutable disk image shared by every clone. Content is
+// synthetic (seed-derived) and materialized only when read, mirroring
+// the memory substrate's pattern frames.
+type BaseDisk struct {
+	Name      string
+	NumBlocks uint64
+	seed      uint64
+}
+
+// NewBaseDisk creates a base image of numBlocks blocks.
+func NewBaseDisk(name string, numBlocks, seed uint64) *BaseDisk {
+	return &BaseDisk{Name: name, NumBlocks: numBlocks, seed: seed}
+}
+
+// Blocks implements DiskImage.
+func (d *BaseDisk) Blocks() uint64 { return d.NumBlocks }
+
+// BlockByte implements DiskImage.
+func (d *BaseDisk) BlockByte(block uint64) byte {
+	x := d.seed ^ (block+1)*0x9e3779b97f4a7c15
+	x ^= x >> 33
+	return byte(x)
+}
+
+// FrozenOverlay is a snapshotted VM disk: its base image plus the
+// writes the VM had made, frozen immutable. New overlays stack on top,
+// which is how a configured-and-snapshotted reference VM becomes the
+// base for a whole farm.
+type FrozenOverlay struct {
+	base  DiskImage
+	owned map[uint64]byte
+}
+
+// Blocks implements DiskImage.
+func (f *FrozenOverlay) Blocks() uint64 { return f.base.Blocks() }
+
+// BlockByte implements DiskImage.
+func (f *FrozenOverlay) BlockByte(block uint64) byte {
+	if v, ok := f.owned[block]; ok {
+		return v
+	}
+	return f.base.BlockByte(block)
+}
+
+// OwnedBlocks returns how many blocks the frozen layer carries.
+func (f *FrozenOverlay) OwnedBlocks() int { return len(f.owned) }
+
+// OverlayStats counts copy-on-write disk activity.
+type OverlayStats struct {
+	Reads       uint64
+	Writes      uint64
+	BlocksOwned int // blocks copied into the overlay
+}
+
+// Overlay is one VM's copy-on-write view of a DiskImage: reads fall
+// through to the base until a block is written, after which the VM owns
+// a private copy of that block. Only ownership (not 64 KiB of bytes) is
+// tracked; the experiments need block counts, and correctness is
+// verified through ReadBlockByte.
+type Overlay struct {
+	Base  DiskImage
+	owned map[uint64]byte // block -> first byte of private content
+	stats OverlayStats
+}
+
+// NewOverlay attaches a fresh overlay to base. This is O(1): the cheap
+// attach is what makes disk flash-cloning fast.
+func NewOverlay(base DiskImage) *Overlay {
+	return &Overlay{Base: base, owned: make(map[uint64]byte)}
+}
+
+// Freeze turns the overlay's current state into an immutable DiskImage
+// that new overlays can stack on — the disk half of snapshotting a
+// configured VM. The overlay remains usable; the frozen layer copies
+// its block set.
+func (o *Overlay) Freeze() *FrozenOverlay {
+	owned := make(map[uint64]byte, len(o.owned))
+	for k, v := range o.owned {
+		owned[k] = v
+	}
+	return &FrozenOverlay{base: o.Base, owned: owned}
+}
+
+func (o *Overlay) checkBlock(block uint64) {
+	if block >= o.Base.Blocks() {
+		panic(fmt.Sprintf("vmm: block %d outside disk of %d blocks", block, o.Base.Blocks()))
+	}
+}
+
+// ReadBlockByte returns the first byte of a block as the VM sees it.
+func (o *Overlay) ReadBlockByte(block uint64) byte {
+	o.checkBlock(block)
+	o.stats.Reads++
+	if b, ok := o.owned[block]; ok {
+		return b
+	}
+	return o.Base.BlockByte(block)
+}
+
+// WriteByte writes the first byte of a block, copying the block into the
+// overlay if the VM does not own it yet. It reports whether a copy
+// happened.
+func (o *Overlay) WriteBlockByte(block uint64, val byte) bool {
+	o.checkBlock(block)
+	o.stats.Writes++
+	_, owned := o.owned[block]
+	o.owned[block] = val
+	if !owned {
+		o.stats.BlocksOwned = len(o.owned)
+		return true
+	}
+	return false
+}
+
+// OwnedBlocks returns the number of privately-owned blocks — the VM's
+// incremental disk cost.
+func (o *Overlay) OwnedBlocks() int { return len(o.owned) }
+
+// EachOwnedBlock visits every privately-owned block with its first
+// byte, in unspecified order (checkpoint enumeration).
+func (o *Overlay) EachOwnedBlock(fn func(block uint64, firstByte byte)) {
+	for b, v := range o.owned {
+		fn(b, v)
+	}
+}
+
+// OwnedBytes is OwnedBlocks in bytes.
+func (o *Overlay) OwnedBytes() uint64 { return uint64(len(o.owned)) * DiskBlockSize }
+
+// Stats returns a copy of the overlay counters.
+func (o *Overlay) Stats() OverlayStats {
+	s := o.stats
+	s.BlocksOwned = len(o.owned)
+	return s
+}

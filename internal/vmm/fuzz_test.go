@@ -1,0 +1,42 @@
+package vmm
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadCheckpoint: checkpoint files come from disk and may be
+// corrupted or hostile; the reader must never panic or over-allocate
+// unboundedly on garbage.
+func FuzzReadCheckpoint(f *testing.F) {
+	ck := &Checkpoint{
+		ImageName:  "winxp",
+		IP:         0x0a050102,
+		Pages:      map[uint64][]byte{3: make([]byte, 4096)},
+		DiskBlocks: map[uint64]byte{9: 0x66},
+	}
+	var buf bytes.Buffer
+	ck.WriteTo(&buf)
+	f.Add(buf.Bytes())
+	f.Add([]byte("POTK"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadCheckpoint(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted checkpoints round trip.
+		var out bytes.Buffer
+		if _, err := got.WriteTo(&out); err != nil {
+			t.Fatalf("re-serialize failed: %v", err)
+		}
+		again, err := ReadCheckpoint(&out)
+		if err != nil {
+			t.Fatalf("re-read failed: %v", err)
+		}
+		if again.ImageName != got.ImageName || again.IP != got.IP ||
+			len(again.Pages) != len(got.Pages) || len(again.DiskBlocks) != len(got.DiskBlocks) {
+			t.Fatal("round trip diverged")
+		}
+	})
+}

@@ -1,0 +1,89 @@
+package vmm
+
+import (
+	"testing"
+	"time"
+
+	"potemkin/internal/sim"
+)
+
+func TestCloneStepNames(t *testing.T) {
+	want := map[CloneStep]string{
+		StepDescriptor:  "descriptor-setup",
+		StepMemMap:      "memory-map-clone",
+		StepDeviceClone: "device-clone",
+		StepNetConfig:   "network-config",
+		StepUnpause:     "unpause",
+	}
+	for step, name := range want {
+		if step.String() != name {
+			t.Errorf("%d.String() = %q, want %q", step, step.String(), name)
+		}
+	}
+	if CloneStep(99).String() != "unknown" {
+		t.Error("out-of-range step not unknown")
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	m := DefaultLatencies()
+	r := sim.NewRNG(1)
+	base := 100 * time.Millisecond
+	lo := time.Duration(float64(base) * (1 - m.Jitter))
+	hi := time.Duration(float64(base) * (1 + m.Jitter))
+	for i := 0; i < 10000; i++ {
+		d := m.jittered(base, r)
+		if d < lo || d > hi {
+			t.Fatalf("jittered %v outside [%v, %v]", d, lo, hi)
+		}
+	}
+}
+
+func TestZeroJitterIsDeterministic(t *testing.T) {
+	m := DefaultLatencies()
+	m.Jitter = 0
+	r := sim.NewRNG(1)
+	if got := m.jittered(time.Second, r); got != time.Second {
+		t.Errorf("jittered = %v", got)
+	}
+}
+
+func TestMemMapCostScalesWithResidentPages(t *testing.T) {
+	m := DefaultLatencies()
+	m.Jitter = 0
+	r := sim.NewRNG(1)
+	small := m.cloneStepCost(StepMemMap, 1024, r)
+	large := m.cloneStepCost(StepMemMap, 65536, r)
+	if large <= small {
+		t.Errorf("memory-map cost not increasing: %v vs %v", small, large)
+	}
+	want := m.MemMapBase + 65536*m.MemMapPerPage
+	if large != want {
+		t.Errorf("cost = %v, want %v", large, want)
+	}
+}
+
+func TestDefaultBudgetShape(t *testing.T) {
+	m := DefaultLatencies()
+	m.Jitter = 0
+	r := sim.NewRNG(1)
+	var total time.Duration
+	for s := CloneStep(0); s < NumCloneSteps; s++ {
+		total += m.cloneStepCost(s, 8192, r)
+	}
+	// The paper's flash clone lands around half a second.
+	if total < 300*time.Millisecond || total > 700*time.Millisecond {
+		t.Errorf("default clone budget = %v, want ~0.5s", total)
+	}
+	// Full boot dwarfs it by more than an order of magnitude.
+	if m.FullBoot < 10*total {
+		t.Errorf("full boot %v not >> clone %v", m.FullBoot, total)
+	}
+	// Control plane (descriptor+device+net) dominates memory work, the
+	// paper's key observation about where flash-clone time goes.
+	controlPlane := m.DescriptorSetup + m.DeviceClone + m.NetConfig
+	memWork := m.MemMapBase + 8192*m.MemMapPerPage
+	if controlPlane < 10*memWork {
+		t.Errorf("control plane %v not >> memory work %v", controlPlane, memWork)
+	}
+}

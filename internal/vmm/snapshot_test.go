@@ -1,0 +1,155 @@
+package vmm
+
+import (
+	"bytes"
+	"testing"
+
+	"potemkin/internal/netsim"
+	"potemkin/internal/sim"
+)
+
+// bootAndConfigure full-boots a reference VM and "configures" it with
+// recognizable memory and disk writes.
+func bootAndConfigure(t *testing.T, k *sim.Kernel, h *VMHost) *VM {
+	t.Helper()
+	vm, err := h.FullBoot("winxp", 0x0a000001, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	vm.WriteMemory(7, 0, []byte("configured service state"))
+	vm.Disk.WriteBlockByte(5, 0xC0)
+	return vm
+}
+
+func TestSnapshotVMAndCloneFleet(t *testing.T) {
+	k := sim.NewKernel(1)
+	h := newTestHost(t, k)
+	ref := bootAndConfigure(t, k, h)
+
+	img, err := h.SnapshotVM(ref.ID, "winxp-configured")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Name != "winxp-configured" || img.ResidentPages == 0 {
+		t.Fatalf("image: %+v", img)
+	}
+
+	// Flash-clone a fleet off the snapshot; each clone sees the
+	// configured state in memory and on disk.
+	for i := 0; i < 5; i++ {
+		clone, err := h.FlashClone("winxp-configured", netsim.Addr(i+10), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := clone.Mem.Read(7, 0, 24); string(got) != "configured service state" {
+			t.Fatalf("clone %d memory = %q", i, got)
+		}
+		if clone.Disk.ReadBlockByte(5) != 0xC0 {
+			t.Fatalf("clone %d disk missing configuration", i)
+		}
+		// Pristine image content beyond the configuration is intact.
+		if !bytes.Equal(clone.Mem.Read(100, 0, 32), ref.Mem.Read(100, 0, 32)) {
+			t.Fatalf("clone %d diverges from reference", i)
+		}
+	}
+	k.Run()
+
+	// Clone writes never leak back to the reference or the image.
+	c, _ := h.FlashClone("winxp-configured", 99, nil)
+	c.WriteMemory(7, 0, []byte("tampered"))
+	c.Disk.WriteBlockByte(5, 0xEE)
+	if got := ref.Mem.Read(7, 0, 8); string(got) != "configu"+"r" {
+		t.Errorf("reference memory mutated: %q", got)
+	}
+	c2, _ := h.FlashClone("winxp-configured", 100, nil)
+	if got := c2.Mem.Read(7, 0, 10); string(got) != "configured" {
+		t.Errorf("image mutated: %q", got)
+	}
+	if c2.Disk.ReadBlockByte(5) != 0xC0 {
+		t.Error("image disk mutated")
+	}
+}
+
+func TestSnapshotSourceKeepsRunning(t *testing.T) {
+	k := sim.NewKernel(1)
+	h := newTestHost(t, k)
+	ref := bootAndConfigure(t, k, h)
+	if _, err := h.SnapshotVM(ref.ID, "snap"); err != nil {
+		t.Fatal(err)
+	}
+	// Source writes after the snapshot CoW away from the image.
+	ref.WriteMemory(7, 0, []byte("drifted"))
+	clone, _ := h.FlashClone("snap", 50, nil)
+	if got := clone.Mem.Read(7, 0, 10); string(got) != "configured" {
+		t.Errorf("post-snapshot source write leaked into image: %q", got)
+	}
+}
+
+func TestSnapshotRejectsClones(t *testing.T) {
+	k := sim.NewKernel(1)
+	h := newTestHost(t, k)
+	clone, err := h.FlashClone("winxp", 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if _, err := h.SnapshotVM(clone.ID, "bad"); err == nil {
+		t.Error("snapshot of a clone accepted")
+	}
+}
+
+func TestSnapshotRejectsNonRunning(t *testing.T) {
+	k := sim.NewKernel(1)
+	h := newTestHost(t, k)
+	vm, err := h.FullBoot("winxp", 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Still booting.
+	if _, err := h.SnapshotVM(vm.ID, "bad"); err == nil {
+		t.Error("snapshot of a booting VM accepted")
+	}
+	if _, err := h.SnapshotVM(9999, "bad"); err == nil {
+		t.Error("snapshot of a missing VM accepted")
+	}
+}
+
+func TestFullBootRejectsSnapshotImages(t *testing.T) {
+	k := sim.NewKernel(1)
+	h := newTestHost(t, k)
+	ref := bootAndConfigure(t, k, h)
+	if _, err := h.SnapshotVM(ref.ID, "snap"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.FullBoot("snap", 2, nil); err == nil {
+		t.Error("full boot from a snapshot image accepted (content not reproducible)")
+	}
+}
+
+func TestFrozenOverlayStacking(t *testing.T) {
+	base := NewBaseDisk("img", 100, 7)
+	o1 := NewOverlay(base)
+	o1.WriteBlockByte(3, 0x11)
+	frozen := o1.Freeze()
+	if frozen.OwnedBlocks() != 1 || frozen.Blocks() != 100 {
+		t.Fatalf("frozen: %d blocks owned, %d total", frozen.OwnedBlocks(), frozen.Blocks())
+	}
+	// Post-freeze writes to o1 do not alter the frozen layer.
+	o1.WriteBlockByte(3, 0x99)
+	if frozen.BlockByte(3) != 0x11 {
+		t.Error("freeze aliased live overlay")
+	}
+	// Second-level overlay sees frozen content and CoWs independently.
+	o2 := NewOverlay(frozen)
+	if o2.ReadBlockByte(3) != 0x11 {
+		t.Error("stacked overlay missed frozen block")
+	}
+	if o2.ReadBlockByte(4) != base.BlockByte(4) {
+		t.Error("stacked overlay missed base fall-through")
+	}
+	o2.WriteBlockByte(4, 0x22)
+	if frozen.BlockByte(4) == 0x22 || base.BlockByte(4) == 0x22 {
+		t.Error("stacked overlay write leaked down")
+	}
+}

@@ -1,0 +1,495 @@
+// Package vmm is the simulated hypervisor substrate: physical hosts with
+// bounded machine memory, VM lifecycle management, reference images, and
+// the paper's two headline mechanisms — flash cloning (sub-second VM
+// instantiation from a snapshot) and delta virtualization (copy-on-write
+// memory sharing between clones, built on internal/mem).
+//
+// Time inside the VMM is modeled: control-plane operations advance the
+// simulation clock according to a LatencyModel. Memory behaviour is
+// real: clones share actual frames and faults actually copy pages.
+package vmm
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"potemkin/internal/mem"
+	"potemkin/internal/metrics"
+	"potemkin/internal/netsim"
+	"potemkin/internal/sim"
+)
+
+// VMID names a VM within one Host. IDs are never reused.
+type VMID uint64
+
+// State is a VM lifecycle state.
+type State int
+
+// VM lifecycle states.
+const (
+	StateCloning State = iota // flash clone in progress
+	StateBooting              // full boot in progress
+	StateRunning
+	StatePaused // frozen: holds resources, makes no progress
+	StateDead
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateCloning:
+		return "cloning"
+	case StateBooting:
+		return "booting"
+	case StateRunning:
+		return "running"
+	case StatePaused:
+		return "paused"
+	case StateDead:
+		return "dead"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Image is a cloneable reference snapshot: memory image + disk image +
+// the synthetic-content parameters needed to build full-copy baselines.
+type Image struct {
+	Name string
+	Mem  *mem.Image
+	Disk DiskImage
+
+	// Synthetic-content parameters (page counts and seed) so the
+	// full-boot baseline can reconstruct private content.
+	NumPages      uint64
+	ResidentPages uint64
+	Seed          uint64
+	// synthetic marks images whose content is reproducible from Seed
+	// (RegisterImage); only those support the FullBoot baseline.
+	synthetic bool
+}
+
+// VM is one virtual machine on a Host.
+type VM struct {
+	ID    VMID
+	Image *Image
+	Mem   *mem.AddressSpace
+	Disk  *Overlay
+	IP    netsim.Addr
+	State State
+
+	CreatedAt  sim.Time
+	ReadyAt    sim.Time // when the clone/boot completed
+	LastActive sim.Time
+
+	// Tag is free-form owner state (the farm stores its binding here).
+	Tag any
+
+	host *VMHost
+}
+
+// Touch records guest activity for idle-reclamation decisions.
+func (vm *VM) Touch(now sim.Time) { vm.LastActive = now }
+
+// Idle returns how long the VM has been inactive.
+func (vm *VM) Idle(now sim.Time) time.Duration { return now.Sub(vm.LastActive) }
+
+// PrivateBytes returns the VM's incremental memory cost (private frames).
+func (vm *VM) PrivateBytes() uint64 { return vm.Mem.PrivateBytes() }
+
+// WriteMemory performs a guest memory write, charging the host's CoW
+// fault cost when the write faults. It returns whether a fault occurred.
+func (vm *VM) WriteMemory(vpn uint64, off int, b []byte) bool {
+	if vm.State == StateDead {
+		panic("vmm: write to dead VM")
+	}
+	faulted := vm.Mem.Write(vpn, off, b)
+	if faulted {
+		vm.host.stats.CowFaults++
+	}
+	return faulted
+}
+
+// HostConfig sizes a simulated physical server.
+type HostConfig struct {
+	Name        string
+	MemoryBytes uint64 // machine memory capacity
+	MaxVMs      int    // domain descriptor limit; 0 = unlimited
+
+	// PerVMOverheadBytes models fixed per-VM hypervisor state (shadow
+	// page tables, descriptor, device state) counted against capacity.
+	PerVMOverheadBytes uint64
+
+	// ShareContent enables content-based page sharing in the frame store
+	// (delta virtualization always shares image pages; this additionally
+	// coalesces identical private pages).
+	ShareContent bool
+
+	Latency LatencyModel
+
+	// CPU models per-host compute; the zero value disables CPU
+	// accounting and admission.
+	CPU CPUModel
+}
+
+// DefaultHostConfig matches the experiments' standard server: 16 GiB of
+// RAM and Xen-era per-VM overhead.
+func DefaultHostConfig(name string) HostConfig {
+	return HostConfig{
+		Name:               name,
+		MemoryBytes:        16 << 30,
+		PerVMOverheadBytes: 1 << 20,
+		Latency:            DefaultLatencies(),
+	}
+}
+
+// HostStats counts host-level activity.
+type HostStats struct {
+	Clones       uint64
+	FullBoots    uint64
+	Destroys     uint64
+	CloneRejects uint64 // admission failures
+	CowFaults    uint64
+	PeakVMs      int
+	PeakMemory   uint64
+}
+
+// Admission errors.
+var (
+	ErrNoMemory = errors.New("vmm: host memory exhausted")
+	ErrTooMany  = errors.New("vmm: VM descriptor limit reached")
+	ErrNoImage  = errors.New("vmm: unknown image")
+)
+
+// VMHost is a simulated physical server running VMs over one shared
+// frame store.
+type VMHost struct {
+	Cfg HostConfig
+	K   *sim.Kernel
+
+	store  *mem.Store
+	images map[string]*Image
+	vms    map[VMID]*VM
+	nextID VMID
+	rng    *sim.RNG
+
+	stats HostStats
+	cpu   cpuAccount
+
+	// Per-step clone latency distributions (E1).
+	StepLatency [NumCloneSteps]metrics.Histogram
+	// End-to-end clone latency distribution, in milliseconds.
+	CloneLatency metrics.Histogram
+}
+
+// NewHost creates a host on kernel k.
+func NewHost(k *sim.Kernel, cfg HostConfig) *VMHost {
+	if cfg.MemoryBytes == 0 {
+		panic("vmm: host with no memory")
+	}
+	store := mem.NewStore()
+	store.ShareContent = cfg.ShareContent
+	return &VMHost{
+		Cfg:    cfg,
+		K:      k,
+		store:  store,
+		images: make(map[string]*Image),
+		vms:    make(map[VMID]*VM),
+		nextID: 1,
+		rng:    k.Stream("vmm/" + cfg.Name),
+	}
+}
+
+// Store exposes the host's frame store (tests and experiments read
+// accounting off it).
+func (h *VMHost) Store() *mem.Store { return h.store }
+
+// Stats returns a copy of the host counters.
+func (h *VMHost) Stats() HostStats { return h.stats }
+
+// NumVMs returns the number of live (cloning/booting/running) VMs.
+func (h *VMHost) NumVMs() int { return len(h.vms) }
+
+// VMs calls fn for every live VM.
+func (h *VMHost) VMs(fn func(*VM)) {
+	for _, vm := range h.vms {
+		fn(vm)
+	}
+}
+
+// Lookup returns a VM by ID, or nil.
+func (h *VMHost) Lookup(id VMID) *VM { return h.vms[id] }
+
+// MemoryInUse returns modeled machine-memory consumption: shared frames
+// plus fixed per-VM overhead.
+func (h *VMHost) MemoryInUse() uint64 {
+	return h.store.ModeledBytes() + uint64(len(h.vms))*h.Cfg.PerVMOverheadBytes
+}
+
+// MemoryFree returns remaining capacity (0 when overcommitted).
+func (h *VMHost) MemoryFree() uint64 {
+	used := h.MemoryInUse()
+	if used >= h.Cfg.MemoryBytes {
+		return 0
+	}
+	return h.Cfg.MemoryBytes - used
+}
+
+// RegisterImage synthesizes and registers a reference image. numPages is
+// the guest-physical size; residentPages the portion the booted guest
+// actually occupies. Returns the image for direct use.
+func (h *VMHost) RegisterImage(name string, numPages, residentPages, diskBlocks, seed uint64) *Image {
+	img := &Image{
+		Name:          name,
+		Mem:           mem.BuildImage(h.store, numPages, residentPages, seed),
+		Disk:          NewBaseDisk(name, diskBlocks, seed),
+		NumPages:      numPages,
+		ResidentPages: residentPages,
+		Seed:          seed,
+		synthetic:     true,
+	}
+	h.images[name] = img
+	return img
+}
+
+// ImageNames returns the registered image names.
+func (h *VMHost) ImageNames() []string {
+	names := make([]string, 0, len(h.images))
+	for n := range h.images {
+		names = append(names, n)
+	}
+	return names
+}
+
+// admit checks capacity for one more VM with the given incremental
+// memory need.
+func (h *VMHost) admit(extraBytes uint64) error {
+	if h.Cfg.MaxVMs > 0 && len(h.vms) >= h.Cfg.MaxVMs {
+		return ErrTooMany
+	}
+	if h.MemoryInUse()+extraBytes+h.Cfg.PerVMOverheadBytes > h.Cfg.MemoryBytes {
+		return ErrNoMemory
+	}
+	return nil
+}
+
+// FlashClone starts a flash clone of image for IP ip, invoking ready
+// when the VM is runnable. The returned VM is in StateCloning until
+// then. Admission is checked synchronously; the error return covers
+// capacity and unknown images.
+//
+// Memory cost at clone time is page-table-only (no frame copies): this
+// is delta virtualization. The modeled latency is the sum of the
+// per-step costs, recorded into the E1 histograms.
+func (h *VMHost) FlashClone(imageName string, ip netsim.Addr, ready func(*VM)) (*VM, error) {
+	img, ok := h.images[imageName]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoImage, imageName)
+	}
+	if err := h.admit(0); err != nil {
+		h.stats.CloneRejects++
+		return nil, err
+	}
+	if err := h.cpuAdmit(); err != nil {
+		h.stats.CloneRejects++
+		return nil, err
+	}
+	h.ChargeCPU(h.K.Now(), h.Cfg.CPU.PerClone)
+	vm := h.newVM(img, ip, StateCloning)
+	vm.Mem = img.Mem.NewClone()
+	vm.Disk = NewOverlay(img.Disk)
+
+	var total time.Duration
+	for step := CloneStep(0); step < NumCloneSteps; step++ {
+		d := h.Cfg.Latency.cloneStepCost(step, img.Mem.ResidentPages(), h.rng)
+		h.StepLatency[step].Observe(float64(d) / float64(time.Millisecond))
+		total += d
+	}
+	h.CloneLatency.Observe(float64(total) / float64(time.Millisecond))
+	h.stats.Clones++
+
+	h.K.After(total, func(now sim.Time) {
+		if vm.State != StateCloning {
+			return // destroyed mid-clone
+		}
+		vm.State = StateRunning
+		vm.ReadyAt = now
+		vm.LastActive = now
+		if ready != nil {
+			ready(vm)
+		}
+	})
+	return vm, nil
+}
+
+// FullBoot starts a from-scratch boot of image for IP ip — the
+// no-flash-cloning baseline. Every resident page is private, so the
+// admission check requires the image's full footprint.
+func (h *VMHost) FullBoot(imageName string, ip netsim.Addr, ready func(*VM)) (*VM, error) {
+	img, ok := h.images[imageName]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoImage, imageName)
+	}
+	if !img.synthetic {
+		return nil, fmt.Errorf("vmm: image %q is a VM snapshot; full boot requires a synthetic image", imageName)
+	}
+	footprint := img.ResidentPages * mem.PageSize
+	if err := h.admit(footprint); err != nil {
+		h.stats.CloneRejects++
+		return nil, err
+	}
+	vm := h.newVM(img, ip, StateBooting)
+	vm.Mem = mem.NewPatternSpace(h.store, img.NumPages, img.ResidentPages, img.Seed)
+	vm.Disk = NewOverlay(img.Disk)
+	h.stats.FullBoots++
+
+	d := h.Cfg.Latency.jittered(h.Cfg.Latency.FullBoot, h.rng)
+	h.K.After(d, func(now sim.Time) {
+		if vm.State != StateBooting {
+			return
+		}
+		vm.State = StateRunning
+		vm.ReadyAt = now
+		vm.LastActive = now
+		if ready != nil {
+			ready(vm)
+		}
+	})
+	return vm, nil
+}
+
+func (h *VMHost) newVM(img *Image, ip netsim.Addr, st State) *VM {
+	vm := &VM{
+		ID:         h.nextID,
+		Image:      img,
+		IP:         ip,
+		State:      st,
+		CreatedAt:  h.K.Now(),
+		LastActive: h.K.Now(),
+		host:       h,
+	}
+	h.nextID++
+	h.vms[vm.ID] = vm
+	if len(h.vms) > h.stats.PeakVMs {
+		h.stats.PeakVMs = len(h.vms)
+	}
+	if m := h.MemoryInUse(); m > h.stats.PeakMemory {
+		h.stats.PeakMemory = m
+	}
+	return vm
+}
+
+// Destroy tears a VM down immediately, releasing its memory. The modeled
+// teardown latency is charged to the host but completion is not
+// observable (Potemkin reclaims asynchronously).
+func (h *VMHost) Destroy(id VMID) {
+	vm, ok := h.vms[id]
+	if !ok {
+		return
+	}
+	vm.State = StateDead
+	vm.Mem.Release()
+	delete(h.vms, id)
+	h.stats.Destroys++
+}
+
+// DestroyAll tears down every VM (end-of-experiment cleanup).
+func (h *VMHost) DestroyAll() {
+	for id := range h.vms {
+		h.Destroy(id)
+	}
+}
+
+// Pause freezes a running VM: it keeps its memory and binding but
+// receives no packets and makes no guest progress until Resume — how an
+// analyst holds a compromised VM still while inspecting it.
+func (h *VMHost) Pause(id VMID) error {
+	vm, ok := h.vms[id]
+	if !ok {
+		return fmt.Errorf("vmm: no VM %d", id)
+	}
+	if vm.State != StateRunning {
+		return fmt.Errorf("vmm: VM %d is %v, not running", id, vm.State)
+	}
+	vm.State = StatePaused
+	return nil
+}
+
+// Resume unfreezes a paused VM.
+func (h *VMHost) Resume(id VMID) error {
+	vm, ok := h.vms[id]
+	if !ok {
+		return fmt.Errorf("vmm: no VM %d", id)
+	}
+	if vm.State != StatePaused {
+		return fmt.Errorf("vmm: VM %d is %v, not paused", id, vm.State)
+	}
+	vm.State = StateRunning
+	vm.LastActive = h.K.Now()
+	return nil
+}
+
+// SnapshotVM freezes a running VM's current state as a new reference
+// image named name — the paper's actual image-preparation flow: boot a
+// reference VM once, install and configure the personality, then
+// snapshot it and flash-clone the whole farm from the result. The
+// source VM keeps running (its memory pages become copy-on-write).
+//
+// The source must be a scratch (full-boot) VM: snapshotting a clone
+// would chain memory images, which the substrate does not support.
+func (h *VMHost) SnapshotVM(id VMID, name string) (*Image, error) {
+	vm, ok := h.vms[id]
+	if !ok {
+		return nil, fmt.Errorf("vmm: no VM %d", id)
+	}
+	if vm.State != StateRunning {
+		return nil, fmt.Errorf("vmm: VM %d is %v, not running", id, vm.State)
+	}
+	if vm.Mem.Base() != nil {
+		return nil, fmt.Errorf("vmm: VM %d is a clone; snapshot a full-boot VM", id)
+	}
+	img := &Image{
+		Name:          name,
+		Mem:           mem.Snapshot(vm.Mem),
+		Disk:          vm.Disk.Freeze(),
+		NumPages:      vm.Mem.NumPages(),
+		ResidentPages: uint64(vm.Mem.ResidentPages()),
+		Seed:          vm.Image.Seed,
+	}
+	h.images[name] = img
+	return img, nil
+}
+
+// MemorySharePass runs one KSM-style content-sharing scan over all live
+// VMs' owned pages (see mem.SharePass), charging the scan's CPU cost.
+func (h *VMHost) MemorySharePass() mem.SharePassResult {
+	spaces := make([]*mem.AddressSpace, 0, len(h.vms))
+	for _, vm := range h.vms {
+		spaces = append(spaces, vm.Mem)
+	}
+	res := mem.SharePass(h.store, spaces)
+	// ~150 ns to hash-and-compare a page is a reasonable 2005-era cost.
+	h.ChargeCPU(h.K.Now(), time.Duration(res.PagesScanned)*150*time.Nanosecond)
+	return res
+}
+
+// StartSharePasses runs MemorySharePass every interval until the
+// returned ticker is stopped.
+func (h *VMHost) StartSharePasses(interval time.Duration) *sim.Ticker {
+	return h.K.Every(interval, func(sim.Time) { h.MemorySharePass() })
+}
+
+// CheckMemoryInvariants verifies frame refcount consistency across all
+// live VMs and images on the host. Tests call this after churn.
+func (h *VMHost) CheckMemoryInvariants() error {
+	var spaces []*mem.AddressSpace
+	for _, vm := range h.vms {
+		spaces = append(spaces, vm.Mem)
+	}
+	var images []*mem.Image
+	for _, img := range h.images {
+		images = append(images, img.Mem)
+	}
+	return h.store.CheckRefs(mem.ExternalRefs(spaces, images))
+}

@@ -1,0 +1,403 @@
+// Package worm simulates an Internet-scale scanning epidemic coupled to
+// the honeyfarm — the substrate for the paper's containment and
+// detection-time experiments. The susceptible population is modeled in
+// aggregate (an SI process advanced in small time steps with binomially
+// sampled infections), while every scan that lands inside the monitored
+// telescope prefix is materialized as a real packet and delivered to the
+// gateway, so the honeyfarm side runs the genuine binding / cloning /
+// containment machinery.
+//
+// Coupling in the other direction is what the containment experiment
+// measures: packets the gateway lets escape (leaks) carry the exploit to
+// the outside population and accelerate the epidemic; contained policies
+// contribute nothing.
+package worm
+
+import (
+	"math"
+	"time"
+
+	"potemkin/internal/metrics"
+	"potemkin/internal/netsim"
+	"potemkin/internal/sim"
+)
+
+// Strategy is a worm target-selection strategy.
+type Strategy int
+
+// Scan strategies.
+const (
+	// Uniform picks targets uniformly from the 2^32 address space
+	// (Code Red / Slammer style).
+	Uniform Strategy = iota
+	// LocalPref scans the local neighbourhood with higher probability,
+	// raising the effective hit rate on susceptibles but never hitting
+	// the telescope with local scans (the telescope space is dark).
+	LocalPref
+	// Hitlist starts with a precomputed target list: the initial phase
+	// is instantaneous, modeled as a larger initial infected count.
+	Hitlist
+	// Permutation coordinates instances over a shared pseudorandom
+	// permutation of the address space (Warhol-worm style): the
+	// population collectively scans without replacement, saturates the
+	// susceptible pool in finite time, and then goes quiet — including
+	// at the telescope, a distinctive signature.
+	Permutation
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case Uniform:
+		return "uniform"
+	case LocalPref:
+		return "local-pref"
+	case Hitlist:
+		return "hitlist"
+	case Permutation:
+		return "permutation"
+	default:
+		return "unknown"
+	}
+}
+
+// Config parameterizes an epidemic.
+type Config struct {
+	// Susceptible is the vulnerable population size.
+	Susceptible int
+	// InitialInfected seeds the epidemic.
+	InitialInfected int
+	// ScanRate is scans/second per infected host.
+	ScanRate float64
+	// AggregateScanCap, when positive, bounds the population's total
+	// scans/second — Slammer-style bandwidth limiting, where access
+	// links saturate long before every instance reaches its nominal
+	// rate. Growth turns from exponential to linear once the cap binds.
+	AggregateScanCap float64
+	// Strategy selects targeting.
+	Strategy Strategy
+	// LocalFraction (LocalPref only): fraction of scans aimed at the
+	// local neighbourhood.
+	LocalFraction float64
+	// LocalDensityBoost (LocalPref only): how much denser susceptibles
+	// are in an infected host's neighbourhood than globally.
+	LocalDensityBoost float64
+
+	// Telescope is the honeyfarm's monitored space; scans landing there
+	// become packets delivered to Deliver.
+	Telescope netsim.Prefix
+	// Deliver receives materialized telescope-bound scans. Nil for
+	// pure-epidemic runs.
+	Deliver func(now sim.Time, pkt *netsim.Packet)
+	// MaxDeliverPerStep caps materialized packets per step so a huge
+	// epidemic cannot melt the gateway simulation; the overflow is
+	// counted, not silently lost.
+	MaxDeliverPerStep int
+
+	// ExploitPayload is carried by scan packets (so honeyfarm guests
+	// actually get infected). Port/proto describe the probe.
+	ExploitPayload []byte
+	Port           uint16
+	Proto          netsim.Proto
+
+	// Step is the integration step.
+	Step time.Duration
+
+	// SampleEvery controls how often the infected count is recorded.
+	SampleEvery time.Duration
+
+	Seed uint64
+}
+
+// DefaultConfig returns a Blaster-like epidemic: 1M susceptibles, 10
+// scans/s, uniform targeting, against a /16 telescope.
+func DefaultConfig() Config {
+	return Config{
+		Susceptible:       1 << 20,
+		InitialInfected:   10,
+		ScanRate:          10,
+		Strategy:          Uniform,
+		LocalFraction:     0.5,
+		LocalDensityBoost: 8,
+		Telescope:         netsim.MustParsePrefix("10.5.0.0/16"),
+		MaxDeliverPerStep: 64,
+		Port:              445,
+		Proto:             netsim.ProtoTCP,
+		Step:              100 * time.Millisecond,
+		SampleEvery:       time.Second,
+		Seed:              1,
+	}
+}
+
+// Stats summarizes an epidemic run.
+type Stats struct {
+	Infected          int
+	Susceptible       int
+	TelescopeHits     uint64
+	DeliveredPackets  uint64
+	SuppressedPackets uint64 // telescope hits over the per-step cap
+	LeakInfections    uint64 // infections caused by honeyfarm leakage
+	FirstTelescopeHit sim.Time
+	SeenTelescope     bool
+}
+
+// Epidemic is a running worm outbreak.
+type Epidemic struct {
+	Cfg Config
+	K   *sim.Kernel
+
+	// Curve records (seconds, infected count) over time.
+	Curve metrics.Series
+
+	susceptible float64
+	infected    float64
+	stats       Stats
+	rng         *sim.RNG
+	srcSeq      uint32
+	ticker      *sim.Ticker
+	sampler     *sim.Ticker
+
+	// Permutation-scanning state: total scans issued and the
+	// susceptible pool at start (coverage-based infection accounting).
+	totalScans  float64
+	initialSusc float64
+
+	// Response state: once a countermeasure deploys, susceptibles are
+	// immunized at patchRate fraction/second.
+	patchRate float64
+	immunized float64
+}
+
+// New prepares an epidemic on kernel k. Call Start to begin.
+func New(k *sim.Kernel, cfg Config) *Epidemic {
+	if cfg.Susceptible <= 0 || cfg.InitialInfected <= 0 {
+		panic("worm: empty population")
+	}
+	if cfg.Step <= 0 {
+		cfg.Step = 100 * time.Millisecond
+	}
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = time.Second
+	}
+	if cfg.MaxDeliverPerStep <= 0 {
+		cfg.MaxDeliverPerStep = 64
+	}
+	initial := cfg.InitialInfected
+	if cfg.Strategy == Hitlist {
+		// The hitlist phase compromises its list near-instantly; model
+		// it as a 100x head start (bounded by the population).
+		initial *= 100
+		if initial > cfg.Susceptible/2 {
+			initial = cfg.Susceptible / 2
+		}
+	}
+	e := &Epidemic{
+		Cfg:         cfg,
+		K:           k,
+		susceptible: float64(cfg.Susceptible - initial),
+		infected:    float64(initial),
+		rng:         sim.NewRNG(cfg.Seed ^ 0x776f726d),
+	}
+	e.initialSusc = e.susceptible
+	e.Curve.Name = "infected"
+	return e
+}
+
+// Stats returns a snapshot of the epidemic state.
+func (e *Epidemic) Stats() Stats {
+	s := e.stats
+	s.Infected = int(e.infected)
+	s.Susceptible = int(e.susceptible)
+	return s
+}
+
+// Infected returns the current infected count.
+func (e *Epidemic) Infected() int { return int(e.infected) }
+
+// Start begins stepping the epidemic.
+func (e *Epidemic) Start() {
+	e.Curve.Add(e.K.Now().Seconds(), e.infected)
+	e.ticker = e.K.Every(e.Cfg.Step, e.step)
+	e.sampler = e.K.Every(e.Cfg.SampleEvery, func(now sim.Time) {
+		e.Curve.Add(now.Seconds(), e.infected)
+	})
+}
+
+// Stop halts the epidemic.
+func (e *Epidemic) Stop() {
+	if e.ticker != nil {
+		e.ticker.Stop()
+	}
+	if e.sampler != nil {
+		e.sampler.Stop()
+	}
+}
+
+const universe = float64(1 << 32)
+
+// step advances the SI process by one interval and materializes
+// telescope-bound scans.
+func (e *Epidemic) step(now sim.Time) {
+	dt := e.Cfg.Step.Seconds()
+	scanRate := e.infected * e.Cfg.ScanRate
+	if cap := e.Cfg.AggregateScanCap; cap > 0 && scanRate > cap {
+		scanRate = cap
+	}
+	scans := scanRate * dt
+	if scans <= 0 {
+		return
+	}
+
+	// Partition scans between global and local targeting.
+	globalScans := scans
+	localScans := 0.0
+	if e.Cfg.Strategy == LocalPref {
+		localScans = scans * e.Cfg.LocalFraction
+		globalScans = scans - localScans
+	}
+
+	var newInf float64
+	sweepDone := false
+	if e.Cfg.Strategy == Permutation {
+		// Coordinated scanning without replacement: after N total scans
+		// the population has covered N/2^32 of the space exactly once,
+		// so cumulative infections track coverage linearly and the sweep
+		// ends when coverage reaches 1.
+		before := math.Min(1, e.totalScans/universe)
+		e.totalScans += scans
+		after := math.Min(1, e.totalScans/universe)
+		newInf = e.sampleCount(e.initialSusc * (after - before))
+		sweepDone = before >= 1
+	} else {
+		// Random with replacement: global scans hit susceptibles at
+		// density S/2^32; local scans at boosted density.
+		pGlobal := e.susceptible / universe
+		newInf = e.sampleCount(globalScans * pGlobal)
+		if localScans > 0 {
+			pLocal := math.Min(1, pGlobal*e.Cfg.LocalDensityBoost)
+			newInf += e.sampleCount(localScans * pLocal)
+		}
+	}
+	if newInf > e.susceptible {
+		newInf = e.susceptible
+	}
+	e.susceptible -= newInf
+	e.infected += newInf
+
+	// Countermeasure: immunize remaining susceptibles.
+	if e.patchRate > 0 && e.susceptible > 0 {
+		patched := e.susceptible * e.patchRate * dt
+		if patched > e.susceptible {
+			patched = e.susceptible
+		}
+		e.susceptible -= patched
+		e.immunized += patched
+	}
+
+	// Telescope hits come only from globally-targeted scans — and a
+	// completed permutation sweep stops scanning altogether.
+	if sweepDone {
+		return
+	}
+	pTel := float64(e.Cfg.Telescope.Size()) / universe
+	hits := int(e.sampleCount(globalScans * pTel))
+	if hits == 0 {
+		return
+	}
+	e.stats.TelescopeHits += uint64(hits)
+	if !e.stats.SeenTelescope {
+		e.stats.SeenTelescope = true
+		e.stats.FirstTelescopeHit = now
+	}
+	if e.Cfg.Deliver == nil {
+		return
+	}
+	deliver := hits
+	if deliver > e.Cfg.MaxDeliverPerStep {
+		e.stats.SuppressedPackets += uint64(deliver - e.Cfg.MaxDeliverPerStep)
+		deliver = e.Cfg.MaxDeliverPerStep
+	}
+	for i := 0; i < deliver; i++ {
+		e.stats.DeliveredPackets++
+		e.Cfg.Deliver(now, e.scanPacket())
+	}
+}
+
+// sampleCount draws an integer-valued realization of a rate with mean m
+// (Poisson for small means, normal approximation for large).
+func (e *Epidemic) sampleCount(m float64) float64 {
+	switch {
+	case m <= 0:
+		return 0
+	case m < 30:
+		// Knuth's Poisson.
+		l := math.Exp(-m)
+		k, p := 0, 1.0
+		for p > l {
+			k++
+			p *= e.rng.Float64()
+		}
+		return float64(k - 1)
+	default:
+		v := e.rng.Normal(m, math.Sqrt(m))
+		if v < 0 {
+			return 0
+		}
+		return math.Round(v)
+	}
+}
+
+// scanPacket materializes one telescope-bound probe from a random
+// infected host.
+func (e *Epidemic) scanPacket() *netsim.Packet {
+	src := e.randomExternal()
+	dst := e.Cfg.Telescope.Nth(e.rng.Uint64n(e.Cfg.Telescope.Size()))
+	e.srcSeq++
+	switch e.Cfg.Proto {
+	case netsim.ProtoUDP:
+		return netsim.UDPDatagram(src, dst, uint16(1024+e.rng.Intn(60000)), e.Cfg.Port, e.Cfg.ExploitPayload)
+	default:
+		p := netsim.TCPSyn(src, dst, uint16(1024+e.rng.Intn(60000)), e.Cfg.Port, e.srcSeq)
+		if len(e.Cfg.ExploitPayload) > 0 {
+			p.Flags |= netsim.FlagPSH
+			p.Payload = e.Cfg.ExploitPayload
+		}
+		return p
+	}
+}
+
+func (e *Epidemic) randomExternal() netsim.Addr {
+	for {
+		a := netsim.Addr(e.rng.Uint64n(1 << 32))
+		if !e.Cfg.Telescope.Contains(a) && a != 0 {
+			return a
+		}
+	}
+}
+
+// StartResponse deploys a countermeasure (signature push, patch
+// rollout): from this call on, the remaining susceptible population is
+// immunized at fracPerSec fraction per second. This is what a honeyfarm
+// buys — the earlier the capture, the earlier this fires, the smaller
+// the epidemic.
+func (e *Epidemic) StartResponse(fracPerSec float64) {
+	e.patchRate = fracPerSec
+}
+
+// Immunized returns how many hosts the response has protected.
+func (e *Epidemic) Immunized() int { return int(e.immunized) }
+
+// InjectLeak feeds a packet that escaped the honeyfarm back into the
+// outside world. A leaked exploit hits a susceptible host with the
+// global density probability; that is how an open honeyfarm accelerates
+// the epidemic it is meant to observe.
+func (e *Epidemic) InjectLeak(pkt *netsim.Packet) {
+	if len(pkt.Payload) == 0 || e.Cfg.Telescope.Contains(pkt.Dst) {
+		return
+	}
+	if e.rng.Float64() < e.susceptible/universe {
+		e.susceptible--
+		e.infected++
+		e.stats.LeakInfections++
+	}
+}

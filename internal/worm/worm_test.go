@@ -1,0 +1,376 @@
+package worm
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"potemkin/internal/netsim"
+	"potemkin/internal/sim"
+)
+
+func TestEpidemicGrowsLogistically(t *testing.T) {
+	k := sim.NewKernel(1)
+	cfg := DefaultConfig()
+	cfg.Susceptible = 1 << 20
+	cfg.InitialInfected = 100
+	cfg.ScanRate = 100
+	e := New(k, cfg)
+	e.Start()
+	k.RunUntil(sim.Start.Add(10 * time.Minute))
+	e.Stop()
+
+	st := e.Stats()
+	if st.Infected <= cfg.InitialInfected {
+		t.Fatalf("no growth: %d", st.Infected)
+	}
+	// Conservation.
+	if st.Infected+st.Susceptible != cfg.Susceptible {
+		t.Errorf("population leak: %d + %d != %d", st.Infected, st.Susceptible, cfg.Susceptible)
+	}
+	// Growth-curve shape: monotone non-decreasing, slow-fast-slow.
+	prev := 0.0
+	for i, v := range e.Curve.V {
+		if v < prev {
+			t.Fatalf("infected decreased at sample %d", i)
+		}
+		prev = v
+	}
+}
+
+func TestEpidemicMatchesAnalyticEarlyGrowth(t *testing.T) {
+	// Early phase: I(t) ≈ I0 * exp(r*S0/2^32 * t). With S0 = 2^24,
+	// r = 256 scans/s: rate const = 256 * 2^24 / 2^32 = 1 per second.
+	k := sim.NewKernel(2)
+	cfg := DefaultConfig()
+	cfg.Susceptible = 1 << 24
+	cfg.InitialInfected = 1000
+	cfg.ScanRate = 256
+	cfg.Deliver = nil
+	e := New(k, cfg)
+	e.Start()
+	k.RunUntil(sim.Start.Add(4 * time.Second))
+	e.Stop()
+	got := float64(e.Infected())
+	want := 1000 * math.Exp(4)
+	if got < want*0.7 || got > want*1.4 {
+		t.Errorf("I(4s) = %.0f, analytic ~%.0f", got, want)
+	}
+}
+
+func TestTelescopeHitRate(t *testing.T) {
+	// 1000 infected × 100 scans/s × (2^16/2^32) = ~1.5 hits/s.
+	k := sim.NewKernel(3)
+	cfg := DefaultConfig()
+	cfg.Susceptible = 1 << 20
+	cfg.InitialInfected = 1000
+	cfg.ScanRate = 100
+	// Freeze growth to keep the rate interpretable.
+	cfg.Susceptible = cfg.InitialInfected + 1
+	var delivered int
+	cfg.Deliver = func(_ sim.Time, _ *netsim.Packet) { delivered++ }
+	e := New(k, cfg)
+	e.Start()
+	k.RunUntil(sim.Start.Add(100 * time.Second))
+	e.Stop()
+	want := 1000.0 * 100 * 100 * float64(cfg.Telescope.Size()) / (1 << 32)
+	got := float64(e.Stats().TelescopeHits)
+	if got < want*0.7 || got > want*1.3 {
+		t.Errorf("telescope hits = %.0f, want ~%.0f", got, want)
+	}
+	if delivered == 0 {
+		t.Error("no packets delivered")
+	}
+}
+
+func TestDeliveredPacketsAreValidProbes(t *testing.T) {
+	k := sim.NewKernel(4)
+	cfg := DefaultConfig()
+	cfg.InitialInfected = 5000
+	cfg.ScanRate = 500
+	cfg.ExploitPayload = []byte("sig\x00")
+	var pkts []*netsim.Packet
+	cfg.Deliver = func(_ sim.Time, p *netsim.Packet) { pkts = append(pkts, p) }
+	e := New(k, cfg)
+	e.Start()
+	k.RunUntil(sim.Start.Add(20 * time.Second))
+	e.Stop()
+	if len(pkts) == 0 {
+		t.Fatal("no packets")
+	}
+	for _, p := range pkts {
+		if !cfg.Telescope.Contains(p.Dst) {
+			t.Fatalf("probe dst %s outside telescope", p.Dst)
+		}
+		if cfg.Telescope.Contains(p.Src) {
+			t.Fatalf("probe src %s inside telescope", p.Src)
+		}
+		if p.DstPort != 445 || string(p.Payload) != "sig\x00" {
+			t.Fatalf("probe malformed: %s", p)
+		}
+		// Survives the wire.
+		if _, err := netsim.Unmarshal(p.Marshal()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFirstTelescopeHitScalesWithTelescopeSize(t *testing.T) {
+	detect := func(bits int) sim.Time {
+		k := sim.NewKernel(5)
+		cfg := DefaultConfig()
+		cfg.Telescope = netsim.Prefix{Base: netsim.MustParseAddr("10.0.0.0"), Bits: bits}
+		cfg.InitialInfected = 10
+		cfg.ScanRate = 10
+		cfg.Susceptible = 1 << 20
+		e := New(k, cfg)
+		e.Start()
+		k.RunUntil(sim.Start.Add(time.Hour))
+		e.Stop()
+		if !e.Stats().SeenTelescope {
+			return sim.End
+		}
+		return e.Stats().FirstTelescopeHit
+	}
+	t8 := detect(8)
+	t16 := detect(16)
+	t24 := detect(24)
+	if !(t8 < t16 && t16 < t24) {
+		t.Errorf("detection times not ordered: /8=%v /16=%v /24=%v", t8, t16, t24)
+	}
+}
+
+func TestHitlistHeadStart(t *testing.T) {
+	run := func(s Strategy) int {
+		k := sim.NewKernel(6)
+		cfg := DefaultConfig()
+		cfg.Strategy = s
+		cfg.InitialInfected = 50
+		cfg.ScanRate = 50
+		e := New(k, cfg)
+		e.Start()
+		k.RunUntil(sim.Start.Add(time.Minute))
+		e.Stop()
+		return e.Infected()
+	}
+	if uni, hl := run(Uniform), run(Hitlist); hl <= uni {
+		t.Errorf("hitlist (%d) not ahead of uniform (%d)", hl, uni)
+	}
+}
+
+func TestLocalPrefSpreadsFaster(t *testing.T) {
+	run := func(s Strategy) int {
+		k := sim.NewKernel(7)
+		cfg := DefaultConfig()
+		cfg.Strategy = s
+		cfg.Susceptible = 1 << 22
+		cfg.InitialInfected = 500
+		cfg.ScanRate = 100
+		e := New(k, cfg)
+		e.Start()
+		k.RunUntil(sim.Start.Add(2 * time.Minute))
+		e.Stop()
+		return e.Infected()
+	}
+	if uni, lp := run(Uniform), run(LocalPref); lp <= uni {
+		t.Errorf("local-pref infected %d <= uniform %d", lp, uni)
+	}
+}
+
+func TestLocalPrefHitsTelescopeLessPerScan(t *testing.T) {
+	// Freeze growth so both strategies field the same scan volume; the
+	// local fraction of local-pref scans never reaches the (dark)
+	// telescope, so its hit count should be roughly halved.
+	run := func(s Strategy) uint64 {
+		k := sim.NewKernel(7)
+		cfg := DefaultConfig()
+		cfg.Strategy = s
+		cfg.InitialInfected = 2000
+		cfg.Susceptible = cfg.InitialInfected + 1
+		cfg.ScanRate = 100
+		e := New(k, cfg)
+		e.Start()
+		k.RunUntil(sim.Start.Add(time.Minute))
+		e.Stop()
+		return e.Stats().TelescopeHits
+	}
+	uni, lp := run(Uniform), run(LocalPref)
+	ratio := float64(lp) / float64(uni)
+	if ratio < 0.35 || ratio > 0.65 {
+		t.Errorf("local-pref/uniform hit ratio = %.2f, want ~0.5 (%d vs %d)", ratio, lp, uni)
+	}
+}
+
+func TestPermutationScanning(t *testing.T) {
+	// A coordinated worm with enough aggregate scan capacity to sweep
+	// 2^32 addresses: 100k infected × 1000 scans/s = 1e8/s → full sweep
+	// in ~43 s. After the sweep: saturation and telescope silence.
+	run := func(s Strategy) (int, uint64, uint64) {
+		k := sim.NewKernel(13)
+		cfg := DefaultConfig()
+		cfg.Strategy = s
+		cfg.Susceptible = 1 << 20
+		cfg.InitialInfected = 100000
+		cfg.ScanRate = 1000
+		e := New(k, cfg)
+		e.Start()
+		k.RunUntil(sim.Start.Add(50 * time.Second))
+		infAt50 := e.Infected()
+		hitsAt50 := e.Stats().TelescopeHits
+		k.RunUntil(sim.Start.Add(2 * time.Minute))
+		e.Stop()
+		return infAt50, hitsAt50, e.Stats().TelescopeHits
+	}
+	permAt50Inf, permAt50, permFinal := run(Permutation)
+	uniAt50Inf, _, uniFinal := run(Uniform)
+
+	// Just past one full sweep (~43 s) the permutation worm has
+	// saturated; random-with-replacement has covered only ~1-1/e.
+	if permAt50Inf != 1<<20 {
+		t.Errorf("permutation infected %d at 50s, want full saturation", permAt50Inf)
+	}
+	if uniAt50Inf >= permAt50Inf {
+		t.Errorf("uniform at 50s (%d) should trail permutation (%d)", uniAt50Inf, permAt50Inf)
+	}
+	// Telescope signature: permutation goes quiet after the sweep.
+	permAfter := permFinal - permAt50
+	if permAfter > permAt50/20 {
+		t.Errorf("telescope not quiet after sweep: %d hits before, %d after", permAt50, permAfter)
+	}
+	if uniFinal <= permFinal {
+		t.Errorf("uniform (%d hits) should out-hit a retired permutation worm (%d)", uniFinal, permFinal)
+	}
+}
+
+func TestAggregateScanCapLinearizesGrowth(t *testing.T) {
+	run := func(cap float64) (early, late int) {
+		k := sim.NewKernel(13)
+		cfg := DefaultConfig()
+		cfg.Susceptible = 1 << 22
+		cfg.InitialInfected = 1000
+		cfg.ScanRate = 50
+		cfg.AggregateScanCap = cap
+		e := New(k, cfg)
+		e.Start()
+		k.RunUntil(sim.Start.Add(30 * time.Second))
+		early = e.Infected()
+		k.RunUntil(sim.Start.Add(60 * time.Second))
+		late = e.Infected()
+		e.Stop()
+		return early, late
+	}
+	// Uncapped: exponential — far more growth in the second half-minute.
+	uEarly, uLate := run(0)
+	// Tightly capped: linear — roughly equal growth in both halves.
+	capRate := 50.0 * 1000 // binds immediately (initial population rate)
+	cEarly, cLate := run(capRate)
+
+	if uLate <= cLate {
+		t.Errorf("uncapped (%d) not ahead of capped (%d)", uLate, cLate)
+	}
+	uGrow2 := float64(uLate - uEarly)
+	uGrow1 := float64(uEarly - 1000)
+	if uGrow2 < 2*uGrow1 {
+		t.Errorf("uncapped growth not accelerating: %+v then %+v", uGrow1, uGrow2)
+	}
+	cGrow1 := float64(cEarly - 1000)
+	cGrow2 := float64(cLate - cEarly)
+	if ratio := cGrow2 / cGrow1; ratio < 0.7 || ratio > 1.3 {
+		t.Errorf("capped growth not linear: %.0f then %.0f (ratio %.2f)", cGrow1, cGrow2, ratio)
+	}
+}
+
+func TestDeliveryCapSuppresses(t *testing.T) {
+	k := sim.NewKernel(8)
+	cfg := DefaultConfig()
+	cfg.InitialInfected = 100000
+	cfg.ScanRate = 1000
+	cfg.MaxDeliverPerStep = 5
+	delivered := 0
+	cfg.Deliver = func(sim.Time, *netsim.Packet) { delivered++ }
+	e := New(k, cfg)
+	e.Start()
+	k.RunUntil(sim.Start.Add(5 * time.Second))
+	e.Stop()
+	if e.Stats().SuppressedPackets == 0 {
+		t.Error("no suppression under extreme load")
+	}
+	st := e.Stats()
+	if uint64(delivered) != st.DeliveredPackets {
+		t.Errorf("delivered %d != stat %d", delivered, st.DeliveredPackets)
+	}
+	if st.DeliveredPackets+st.SuppressedPackets != st.TelescopeHits {
+		t.Errorf("hit accounting: %d + %d != %d",
+			st.DeliveredPackets, st.SuppressedPackets, st.TelescopeHits)
+	}
+}
+
+func TestInjectLeakInfects(t *testing.T) {
+	k := sim.NewKernel(9)
+	cfg := DefaultConfig()
+	cfg.Susceptible = 1 << 30 // dense: leaks likely to land
+	cfg.InitialInfected = 10
+	e := New(k, cfg)
+	before := e.Infected()
+	leak := netsim.TCPSyn(netsim.MustParseAddr("10.5.0.1"), netsim.MustParseAddr("99.0.0.1"), 1, 445, 1)
+	leak.Payload = []byte("sig")
+	for i := 0; i < 1000; i++ {
+		e.InjectLeak(leak)
+	}
+	if e.Infected() <= before {
+		t.Error("leaks never infected anyone")
+	}
+	if e.Stats().LeakInfections == 0 {
+		t.Error("LeakInfections not counted")
+	}
+}
+
+func TestInjectLeakIgnoresBenignAndInternal(t *testing.T) {
+	k := sim.NewKernel(10)
+	cfg := DefaultConfig()
+	cfg.Susceptible = 1 << 30
+	e := New(k, cfg)
+	before := e.Infected()
+	// No payload: not an exploit.
+	for i := 0; i < 1000; i++ {
+		e.InjectLeak(netsim.TCPSyn(1, netsim.MustParseAddr("99.0.0.1"), 1, 445, 1))
+	}
+	// Telescope-internal destination: not a leak.
+	internal := netsim.TCPSyn(1, netsim.MustParseAddr("10.5.0.9"), 1, 445, 1)
+	internal.Payload = []byte("sig")
+	for i := 0; i < 1000; i++ {
+		e.InjectLeak(internal)
+	}
+	if e.Infected() != before {
+		t.Error("benign or internal packets caused infections")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() (int, uint64) {
+		k := sim.NewKernel(11)
+		cfg := DefaultConfig()
+		cfg.InitialInfected = 200
+		cfg.ScanRate = 200
+		e := New(k, cfg)
+		e.Start()
+		k.RunUntil(sim.Start.Add(time.Minute))
+		e.Stop()
+		return e.Infected(), e.Stats().TelescopeHits
+	}
+	i1, h1 := run()
+	i2, h2 := run()
+	if i1 != i2 || h1 != h2 {
+		t.Errorf("non-deterministic: (%d,%d) vs (%d,%d)", i1, h1, i2, h2)
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	k := sim.NewKernel(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(k, Config{Susceptible: 0, InitialInfected: 1})
+}

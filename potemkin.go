@@ -1,0 +1,559 @@
+// Package potemkin is a simulated reproduction of the Potemkin virtual
+// honeyfarm (Vrable et al., SOSP 2005): a gateway that binds IP
+// addresses of a large monitored network to virtual machines on demand,
+// flash-clones those VMs from a reference snapshot in well under a
+// second, shares their memory copy-on-write ("delta virtualization"),
+// contains everything they emit, and recycles them when idle — so a
+// handful of physical servers present tens of thousands of
+// high-fidelity honeypots.
+//
+// The package is the library facade: construct a Honeyfarm from Options,
+// drive it with traffic (single probes, exploits, or whole telescope
+// traces), advance simulated time, and read the aggregate statistics.
+// Everything runs on a deterministic discrete-event simulation — no real
+// network or hypervisor is touched, and the same seed always produces
+// the same run. Power users can reach the underlying gateway, farm, and
+// kernel through Internals.
+//
+// Minimal use:
+//
+//	hf, err := potemkin.New(potemkin.Options{})
+//	if err != nil { ... }
+//	hf.InjectProbe("203.0.113.9", "10.5.1.2", 445)
+//	hf.RunFor(2 * time.Second)
+//	fmt.Println(hf.Stats())
+package potemkin
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"potemkin/internal/dns"
+	"potemkin/internal/farm"
+	"potemkin/internal/gateway"
+	"potemkin/internal/guest"
+	"potemkin/internal/netsim"
+	"potemkin/internal/sim"
+	"potemkin/internal/telescope"
+	"potemkin/internal/vmm"
+)
+
+// Policy selects the containment mode for VM-originated traffic.
+type Policy int
+
+// Containment policies, from most permissive to most capable.
+const (
+	// Open forwards all outbound traffic (dangerous; for measurement
+	// baselines only).
+	Open Policy = iota
+	// DropAll drops all outbound traffic leaving the honeyfarm.
+	DropAll
+	// ReflectSource additionally allows replies to the remote host that
+	// elicited them.
+	ReflectSource
+	// InternalReflect additionally redirects other outbound connections
+	// to fresh honeyfarm VMs, capturing multi-stage malware without
+	// leaking a byte. This is the paper's headline policy.
+	InternalReflect
+)
+
+func (p Policy) String() string { return gateway.Policy(p).String() }
+
+// GuestKind selects a stock guest personality.
+type GuestKind int
+
+// Stock guests.
+const (
+	// GuestWindowsXP is vulnerable on 445/tcp and scans after infection.
+	GuestWindowsXP GuestKind = iota
+	// GuestSQLServer is vulnerable on 1434/udp (Slammer-style).
+	GuestSQLServer
+	// GuestLinuxServer has no vulnerability (control population).
+	GuestLinuxServer
+	// GuestMultiStage is GuestWindowsXP whose malware resolves
+	// "update.evil.example" and fetches a second stage after compromise
+	// — the workload that exercises the safe resolver and internal
+	// reflection together.
+	GuestMultiStage
+)
+
+// Options configures a Honeyfarm. The zero value of every field has a
+// sensible default.
+type Options struct {
+	// Seed makes the whole simulation deterministic. Default 1.
+	Seed uint64
+
+	// MonitoredSpace is the CIDR block the honeyfarm answers for.
+	// Default "10.5.0.0/16".
+	MonitoredSpace string
+
+	// Servers is the number of physical servers. Default 4.
+	Servers int
+	// ServerMemory is per-server RAM in bytes. Default 16 GiB.
+	ServerMemory uint64
+	// GatewayShards partitions the monitored space across this many
+	// independent gateway instances (the paper's answer when one
+	// gateway box saturates). Default 1.
+	GatewayShards int
+
+	// Policy is the containment mode. Default InternalReflect.
+	Policy Policy
+	// IdleTimeout recycles VMs idle this long; 0 keeps the default of
+	// 60 s; negative disables recycling.
+	IdleTimeout time.Duration
+
+	// Guest picks the honeypot personality. Default GuestWindowsXP.
+	Guest GuestKind
+	// GuestProfile, when non-nil, overrides Guest with a custom
+	// personality (see guest.LoadProfile for the JSON form; the
+	// potemkind -profile flag loads one). Must Validate.
+	GuestProfile *guest.Profile
+
+	// FullBoot disables flash cloning (baseline mode).
+	FullBoot bool
+
+	// SnapshotWarmup, when positive, prepares images the way the paper
+	// deployed them: each server boots a reference VM, runs the guest
+	// workload for this long, and snapshots the settled system as the
+	// clone source. New returns with the simulation clock already
+	// advanced past boot+warmup.
+	SnapshotWarmup time.Duration
+
+	// ScanFilter, when positive, sheds probes from sources whose scans
+	// have already been serviced this many times per destination port,
+	// without instantiating VMs for them. See gateway.Config.ScanFilter.
+	ScanFilter int
+	// PinDetected quarantines VMs flagged by the scan detector instead
+	// of recycling them, preserving the infection for analysis.
+	PinDetected bool
+
+	// EventLog, when non-nil, receives the gateway's forensic event log
+	// as JSON lines (bound/active/recycled/detected/reflected/…).
+	EventLog io.Writer
+
+	// CheckpointDir, when set, saves a delta checkpoint of every VM the
+	// scan detector flags (its dirtied memory pages and disk blocks) to
+	// <dir>/<addr>-<t>.ckpt before the VM can be recycled.
+	CheckpointDir string
+
+	// CaptureDir, when set, records every packet crossing the gateway
+	// into three trace files (in.potm, tovm.potm, out.potm) readable
+	// with cmd/telescope. Call Close to flush them.
+	CaptureDir string
+
+	// OnDetected fires when the gateway's scan detector flags a VM.
+	OnDetected func(addr string, distinctTargets int)
+	// OnInfected fires when a guest is compromised.
+	OnInfected func(addr string, generation int)
+	// OnEgress observes every packet the policy allows to leave.
+	OnEgress func(pkt string)
+}
+
+// Stats is the aggregate honeyfarm state.
+type Stats struct {
+	Now               time.Duration // simulated time elapsed
+	LiveVMs           int
+	PeakVMs           int
+	InfectedVMs       int
+	BindingsCreated   uint64
+	BindingsRecycled  uint64
+	InboundPackets    uint64
+	DeliveredToVM     uint64
+	OutboundDropped   uint64
+	OutboundToSource  uint64
+	OutboundReflected uint64
+	DNSProxied        uint64
+	SpawnFailures     uint64
+	DetectedInfected  uint64
+	ScanFiltered      uint64
+	MemoryInUse       uint64 // modeled bytes across servers
+}
+
+// String renders a one-line summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("t=%v vms=%d (peak %d, infected %d) bindings=%d/%d in=%d out[drop=%d src=%d refl=%d] mem=%dMiB",
+		s.Now, s.LiveVMs, s.PeakVMs, s.InfectedVMs,
+		s.BindingsCreated, s.BindingsRecycled, s.InboundPackets,
+		s.OutboundDropped, s.OutboundToSource, s.OutboundReflected,
+		s.MemoryInUse>>20)
+}
+
+// gatewayFront is the surface the facade needs from either a single
+// gateway or a sharded set.
+type gatewayFront interface {
+	gateway.Egress
+	HandleInbound(now sim.Time, pkt *netsim.Packet)
+	Stats() gateway.Stats
+	NumBindings() int
+	RecycleAll(now sim.Time)
+	Close()
+}
+
+// Honeyfarm is a running simulated honeyfarm.
+type Honeyfarm struct {
+	opts     Options
+	k        *sim.Kernel
+	g        gatewayFront
+	single   *gateway.Gateway // nil when sharded
+	f        *farm.Farm
+	space    netsim.Prefix
+	resolver *dns.Resolver
+	captures []*captureFile
+}
+
+// New constructs a honeyfarm from opts.
+func New(opts Options) (*Honeyfarm, error) {
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.MonitoredSpace == "" {
+		opts.MonitoredSpace = "10.5.0.0/16"
+	}
+	space, err := netsim.ParsePrefix(opts.MonitoredSpace)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Servers == 0 {
+		opts.Servers = 4
+	}
+	if opts.Servers < 0 {
+		return nil, fmt.Errorf("potemkin: negative server count")
+	}
+	if opts.ServerMemory == 0 {
+		opts.ServerMemory = 16 << 30
+	}
+
+	k := sim.NewKernel(opts.Seed)
+	hf := &Honeyfarm{opts: opts, k: k, space: space}
+
+	fc := farm.DefaultConfig()
+	fc.Servers = opts.Servers
+	fc.HostConfig.MemoryBytes = opts.ServerMemory
+	fc.FullBoot = opts.FullBoot
+	switch {
+	case opts.GuestProfile != nil:
+		if err := opts.GuestProfile.Validate(); err != nil {
+			return nil, err
+		}
+		fc.Profile = opts.GuestProfile
+	case opts.Guest == GuestSQLServer:
+		fc.Profile = guest.SQLServer()
+	case opts.Guest == GuestLinuxServer:
+		fc.Profile = guest.LinuxServer()
+	case opts.Guest == GuestMultiStage:
+		fc.Profile = guest.MultiStageDNS("update.evil.example")
+	default:
+		fc.Profile = guest.WindowsXP()
+	}
+	if opts.OnInfected != nil {
+		fc.OnInfected = func(_ sim.Time, in *guest.Instance) {
+			opts.OnInfected(in.IP.String(), in.Generation)
+		}
+	}
+	f := farm.New(k, fc)
+
+	gc := gateway.DefaultConfig()
+	gc.Space = space
+	gc.Policy = gateway.Policy(opts.Policy)
+	gc.ScanFilter = opts.ScanFilter
+	gc.PinDetected = opts.PinDetected
+	if opts.EventLog != nil {
+		gc.EventSink = gateway.JSONLSink(opts.EventLog, nil)
+	}
+	if opts.CaptureDir != "" {
+		capture, err := hf.openCapture(opts.CaptureDir)
+		if err != nil {
+			return nil, err
+		}
+		gc.Capture = capture
+	}
+	switch {
+	case opts.IdleTimeout < 0:
+		gc.IdleTimeout = 0
+	case opts.IdleTimeout == 0:
+		gc.IdleTimeout = 60 * time.Second
+	default:
+		gc.IdleTimeout = opts.IdleTimeout
+	}
+	gc.OnDetected = func(now sim.Time, a netsim.Addr, n int) {
+		if opts.CheckpointDir != "" {
+			if err := hf.checkpointVM(now, a); err != nil {
+				fmt.Fprintf(os.Stderr, "potemkin: checkpoint %s: %v\n", a, err)
+			}
+		}
+		if opts.OnDetected != nil {
+			opts.OnDetected(a.String(), n)
+		}
+	}
+	// The built-in safe resolver answers every VM-originated DNS lookup
+	// with an address inside the monitored space, so second-stage
+	// fetches land on fresh honeypots instead of real infrastructure.
+	resolver := dns.NewResolver(space)
+	hf.resolver = resolver
+	gc.ExternalOut = func(now sim.Time, p *netsim.Packet) {
+		if p.Proto == netsim.ProtoUDP && p.Dst == gc.Resolver {
+			if resp := resolver.ServePacket(p); resp != nil {
+				k.After(time.Millisecond, func(then sim.Time) {
+					hf.g.HandleInbound(then, resp)
+				})
+			}
+			return
+		}
+		if opts.OnEgress != nil {
+			opts.OnEgress(p.String())
+		}
+	}
+	if opts.GatewayShards > 1 {
+		s := gateway.NewSharded(k, gc, f, opts.GatewayShards)
+		f.SetGateway(s)
+		hf.f, hf.g = f, s
+	} else {
+		g := gateway.New(k, gc, f)
+		f.SetGateway(g)
+		hf.f, hf.g, hf.single = f, g, g
+	}
+
+	if opts.SnapshotWarmup > 0 {
+		if opts.FullBoot {
+			return nil, fmt.Errorf("potemkin: SnapshotWarmup requires flash cloning (FullBoot off)")
+		}
+		if err := f.PrepareSnapshotImages(fc.Image.Name+"-settled", opts.SnapshotWarmup); err != nil {
+			return nil, err
+		}
+	}
+	return hf, nil
+}
+
+// Resolver exposes the built-in safe DNS resolver (to add zone entries
+// or inspect query counts).
+func (hf *Honeyfarm) Resolver() *dns.Resolver { return hf.resolver }
+
+// checkpointVM saves the delta state of the VM bound to addr into
+// CheckpointDir.
+func (hf *Honeyfarm) checkpointVM(now sim.Time, addr netsim.Addr) error {
+	vm := hf.f.VMAt(addr)
+	if vm == nil {
+		return fmt.Errorf("no VM bound")
+	}
+	ck := vmm.TakeCheckpoint(vm)
+	if err := os.MkdirAll(hf.opts.CheckpointDir, 0o755); err != nil {
+		return err
+	}
+	name := fmt.Sprintf("%s-%.3fs.ckpt", addr, now.Seconds())
+	f, err := os.Create(filepath.Join(hf.opts.CheckpointDir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = ck.WriteTo(f)
+	return err
+}
+
+// MustNew is New that panics on error (examples, tests).
+func MustNew(opts Options) *Honeyfarm {
+	hf, err := New(opts)
+	if err != nil {
+		panic(err)
+	}
+	return hf
+}
+
+// Now returns elapsed simulated time.
+func (hf *Honeyfarm) Now() time.Duration { return time.Duration(hf.k.Now()) }
+
+// RunFor advances the simulation by d.
+func (hf *Honeyfarm) RunFor(d time.Duration) { hf.k.RunFor(d) }
+
+// InjectProbe delivers a TCP SYN from src to dst:port, as a scanner on
+// the real Internet would. Returns an error for unparseable addresses
+// or a destination outside the monitored space.
+func (hf *Honeyfarm) InjectProbe(src, dst string, port uint16) error {
+	s, d, err := hf.parsePair(src, dst)
+	if err != nil {
+		return err
+	}
+	hf.g.HandleInbound(hf.k.Now(), netsim.TCPSyn(s, d, 40000, port, 1))
+	return nil
+}
+
+// InjectExploit delivers the exploit payload for the configured guest
+// personality to dst (compromising it if the service is vulnerable).
+func (hf *Honeyfarm) InjectExploit(src, dst string) error {
+	s, d, err := hf.parsePair(src, dst)
+	if err != nil {
+		return err
+	}
+	prof := hf.f.Cfg.Profile
+	payload := prof.ExploitPayload(0)
+	if payload == nil {
+		return fmt.Errorf("potemkin: guest %q has no vulnerability", prof.Name)
+	}
+	var pkt *netsim.Packet
+	if prof.ScanProto == netsim.ProtoUDP {
+		pkt = netsim.UDPDatagram(s, d, 40000, prof.ScanDstPort, payload)
+	} else {
+		pkt = netsim.TCPSyn(s, d, 40000, prof.ScanDstPort, 1)
+		pkt.Flags |= netsim.FlagPSH
+		pkt.Payload = payload
+	}
+	hf.g.HandleInbound(hf.k.Now(), pkt)
+	return nil
+}
+
+func (hf *Honeyfarm) parsePair(src, dst string) (netsim.Addr, netsim.Addr, error) {
+	s, err := netsim.ParseAddr(src)
+	if err != nil {
+		return 0, 0, err
+	}
+	d, err := netsim.ParseAddr(dst)
+	if err != nil {
+		return 0, 0, err
+	}
+	if !hf.space.Contains(d) {
+		return 0, 0, fmt.Errorf("potemkin: %s outside monitored space %s", dst, hf.space)
+	}
+	return s, d, nil
+}
+
+// ReplayTrace schedules a telescope trace (see package
+// internal/telescope for the format, and cmd/telescope to generate
+// files) into the honeyfarm, then runs until it completes. It returns
+// the number of packets injected.
+func (hf *Honeyfarm) ReplayTrace(recs []TraceRecord) int {
+	if len(recs) == 0 {
+		return 0
+	}
+	inner := make([]telescope.Record, len(recs))
+	var end sim.Time
+	base := hf.k.Now()
+	for i, r := range recs {
+		inner[i] = telescope.Record(r)
+		inner[i].At += base
+		if inner[i].At > end {
+			end = inner[i].At
+		}
+	}
+	rp := &telescope.Replayer{K: hf.k, Recs: inner, Emit: func(now sim.Time, pkt *netsim.Packet) {
+		hf.g.HandleInbound(now, pkt)
+	}}
+	rp.Start()
+	hf.k.RunUntil(end.Add(time.Millisecond))
+	return rp.Injected
+}
+
+// TraceRecord is one telescope packet arrival (re-exported for trace
+// replay through the facade). At is relative to the replay start.
+type TraceRecord = telescope.Record
+
+// GenerateTrace synthesizes background-radiation traffic for the
+// honeyfarm's monitored space.
+func (hf *Honeyfarm) GenerateTrace(dur time.Duration, pps float64) ([]TraceRecord, error) {
+	cfg := telescope.DefaultGenConfig()
+	cfg.Space = hf.space
+	cfg.Duration = dur
+	cfg.Rate = pps
+	cfg.Seed = hf.opts.Seed
+	return telescope.Generate(cfg)
+}
+
+// Stats returns the aggregate state.
+func (hf *Honeyfarm) Stats() Stats {
+	gs := hf.g.Stats()
+	fs := hf.f.Stats()
+	return Stats{
+		Now:               time.Duration(hf.k.Now()),
+		LiveVMs:           hf.f.LiveVMs(),
+		PeakVMs:           fs.PeakLiveVMs,
+		InfectedVMs:       hf.f.InfectedVMs(),
+		BindingsCreated:   gs.BindingsCreated,
+		BindingsRecycled:  gs.BindingsRecycled,
+		InboundPackets:    gs.InboundPackets,
+		DeliveredToVM:     gs.DeliveredToVM,
+		OutboundDropped:   gs.OutDropped,
+		OutboundToSource:  gs.OutToSource,
+		OutboundReflected: gs.OutReflected,
+		DNSProxied:        gs.OutDNSProxied,
+		SpawnFailures:     gs.SpawnFailures + fs.SpawnFailures,
+		DetectedInfected:  gs.DetectedInfected,
+		ScanFiltered:      gs.ScanFiltered,
+		MemoryInUse:       hf.f.MemoryInUse(),
+	}
+}
+
+// LiveVMs returns the current VM count (convenience for sampling loops).
+func (hf *Honeyfarm) LiveVMs() int { return hf.f.LiveVMs() }
+
+// Close stops background activity (recycling timers) and flushes
+// capture files.
+func (hf *Honeyfarm) Close() {
+	hf.g.Close()
+	for _, c := range hf.captures {
+		c.w.Flush()
+		c.f.Close()
+	}
+	hf.captures = nil
+}
+
+// captureFile is one open capture trace.
+type captureFile struct {
+	f *os.File
+	w *telescope.Writer
+}
+
+// openCapture creates the per-direction trace writers.
+func (hf *Honeyfarm) openCapture(dir string) (gateway.CaptureSink, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	byDir := make(map[gateway.Direction]*captureFile, 3)
+	for d, name := range map[gateway.Direction]string{
+		gateway.CapInbound: "in.potm",
+		gateway.CapToVM:    "tovm.potm",
+		gateway.CapEgress:  "out.potm",
+	} {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		w, err := telescope.NewWriter(f)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		cf := &captureFile{f: f, w: w}
+		byDir[d] = cf
+		hf.captures = append(hf.captures, cf)
+	}
+	return func(now sim.Time, d gateway.Direction, pkt *netsim.Packet) {
+		if cf, ok := byDir[d]; ok {
+			rec := telescope.RecordOf(now, pkt)
+			if err := cf.w.Write(&rec); err != nil {
+				fmt.Fprintf(os.Stderr, "potemkin: capture: %v\n", err)
+			}
+		}
+	}, nil
+}
+
+// Internals exposes the underlying components for advanced use. The
+// types live in internal packages: importable by code in this module
+// (cmd/, examples/, experiments), visible as opaque handles elsewhere.
+type Internals struct {
+	Kernel *sim.Kernel
+	// Gateway is the single gateway instance, nil when sharded.
+	Gateway *gateway.Gateway
+	// Sharded is the shard set, nil for a single gateway.
+	Sharded *gateway.Sharded
+	Farm    *farm.Farm
+}
+
+// Internals returns the underlying simulation objects.
+func (hf *Honeyfarm) Internals() Internals {
+	in := Internals{Kernel: hf.k, Gateway: hf.single, Farm: hf.f}
+	if s, ok := hf.g.(*gateway.Sharded); ok {
+		in.Sharded = s
+	}
+	return in
+}

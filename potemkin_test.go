@@ -1,0 +1,413 @@
+package potemkin
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"potemkin/internal/telescope"
+	"potemkin/internal/vmm"
+)
+
+func TestNewDefaults(t *testing.T) {
+	hf, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hf.Close()
+	if hf.Now() != 0 {
+		t.Errorf("Now = %v", hf.Now())
+	}
+	st := hf.Stats()
+	if st.LiveVMs != 0 || st.InboundPackets != 0 {
+		t.Errorf("fresh farm stats = %+v", st)
+	}
+}
+
+func TestNewRejectsBadOptions(t *testing.T) {
+	if _, err := New(Options{MonitoredSpace: "garbage"}); err == nil {
+		t.Error("bad CIDR accepted")
+	}
+	if _, err := New(Options{Servers: -1}); err == nil {
+		t.Error("negative servers accepted")
+	}
+}
+
+func TestProbeLifecycle(t *testing.T) {
+	hf := MustNew(Options{Policy: ReflectSource})
+	defer hf.Close()
+	if err := hf.InjectProbe("203.0.113.9", "10.5.1.2", 445); err != nil {
+		t.Fatal(err)
+	}
+	hf.RunFor(2 * time.Second)
+	st := hf.Stats()
+	if st.LiveVMs != 1 {
+		t.Errorf("LiveVMs = %d", st.LiveVMs)
+	}
+	if st.BindingsCreated != 1 || st.DeliveredToVM != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	// Reply went back to the scanner.
+	if st.OutboundToSource != 1 {
+		t.Errorf("OutboundToSource = %d", st.OutboundToSource)
+	}
+}
+
+func TestProbeOutsideSpaceRejected(t *testing.T) {
+	hf := MustNew(Options{})
+	defer hf.Close()
+	if err := hf.InjectProbe("203.0.113.9", "11.0.0.1", 445); err == nil {
+		t.Error("probe outside space accepted")
+	}
+	if err := hf.InjectProbe("bad", "10.5.0.1", 445); err == nil {
+		t.Error("bad source accepted")
+	}
+}
+
+func TestExploitInfectsAndIsDetected(t *testing.T) {
+	var infectedAddr, detectedAddr string
+	hf := MustNew(Options{
+		Policy:     DropAll,
+		OnInfected: func(a string, gen int) { infectedAddr = a },
+		OnDetected: func(a string, n int) { detectedAddr = a },
+	})
+	defer hf.Close()
+	if err := hf.InjectExploit("203.0.113.9", "10.5.1.2"); err != nil {
+		t.Fatal(err)
+	}
+	hf.RunFor(5 * time.Second)
+	if infectedAddr != "10.5.1.2" {
+		t.Errorf("infected = %q", infectedAddr)
+	}
+	if detectedAddr != "10.5.1.2" {
+		t.Errorf("detected = %q", detectedAddr)
+	}
+	if hf.Stats().InfectedVMs != 1 {
+		t.Errorf("InfectedVMs = %d", hf.Stats().InfectedVMs)
+	}
+	// Drop-all: the worm's scans died at the gateway.
+	if hf.Stats().OutboundDropped == 0 {
+		t.Error("no drops recorded")
+	}
+}
+
+func TestExploitOnInvulnerableGuest(t *testing.T) {
+	hf := MustNew(Options{Guest: GuestLinuxServer})
+	defer hf.Close()
+	if err := hf.InjectExploit("203.0.113.9", "10.5.1.2"); err == nil {
+		t.Error("exploit accepted for invulnerable guest")
+	}
+}
+
+func TestRecyclingThroughFacade(t *testing.T) {
+	hf := MustNew(Options{IdleTimeout: 2 * time.Second})
+	defer hf.Close()
+	hf.InjectProbe("203.0.113.9", "10.5.1.2", 80)
+	hf.RunFor(time.Second)
+	if hf.LiveVMs() != 1 {
+		t.Fatalf("LiveVMs = %d", hf.LiveVMs())
+	}
+	hf.RunFor(30 * time.Second)
+	if hf.LiveVMs() != 0 {
+		t.Errorf("idle VM survived: %d", hf.LiveVMs())
+	}
+	if hf.Stats().BindingsRecycled != 1 {
+		t.Errorf("recycled = %d", hf.Stats().BindingsRecycled)
+	}
+}
+
+func TestNegativeIdleTimeoutDisablesRecycling(t *testing.T) {
+	hf := MustNew(Options{IdleTimeout: -1})
+	defer hf.Close()
+	hf.InjectProbe("203.0.113.9", "10.5.1.2", 80)
+	hf.RunFor(5 * time.Minute)
+	if hf.LiveVMs() != 1 {
+		t.Errorf("LiveVMs = %d, want 1 (no recycling)", hf.LiveVMs())
+	}
+}
+
+func TestTraceRoundTripThroughFacade(t *testing.T) {
+	hf := MustNew(Options{IdleTimeout: -1})
+	defer hf.Close()
+	recs, err := hf.GenerateTrace(10*time.Second, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("empty trace")
+	}
+	n := hf.ReplayTrace(recs)
+	if n != len(recs) {
+		t.Errorf("injected %d of %d", n, len(recs))
+	}
+	st := hf.Stats()
+	if st.InboundPackets != uint64(len(recs)) {
+		t.Errorf("InboundPackets = %d", st.InboundPackets)
+	}
+	if st.LiveVMs == 0 {
+		t.Error("trace spawned no VMs")
+	}
+	if st.LiveVMs > len(recs) {
+		t.Errorf("more VMs (%d) than packets (%d)", st.LiveVMs, len(recs))
+	}
+}
+
+func TestReplayEmptyTrace(t *testing.T) {
+	hf := MustNew(Options{})
+	defer hf.Close()
+	if n := hf.ReplayTrace(nil); n != 0 {
+		t.Errorf("injected %d from empty trace", n)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() Stats {
+		hf := MustNew(Options{Seed: 7, IdleTimeout: 2 * time.Second})
+		defer hf.Close()
+		recs, _ := hf.GenerateTrace(30*time.Second, 100)
+		hf.ReplayTrace(recs)
+		return hf.Stats()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("non-deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestEgressObserved(t *testing.T) {
+	var egress []string
+	hf := MustNew(Options{Policy: ReflectSource, OnEgress: func(p string) { egress = append(egress, p) }})
+	defer hf.Close()
+	hf.InjectProbe("203.0.113.9", "10.5.1.2", 445)
+	hf.RunFor(2 * time.Second)
+	if len(egress) != 1 || !strings.Contains(egress[0], "203.0.113.9") {
+		t.Errorf("egress = %v", egress)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	hf := MustNew(Options{})
+	defer hf.Close()
+	s := hf.Stats().String()
+	if !strings.Contains(s, "vms=0") {
+		t.Errorf("summary = %q", s)
+	}
+}
+
+func TestInternalsExposed(t *testing.T) {
+	hf := MustNew(Options{})
+	defer hf.Close()
+	in := hf.Internals()
+	if in.Kernel == nil || in.Gateway == nil || in.Farm == nil {
+		t.Error("internals incomplete")
+	}
+}
+
+func TestScanFilterThroughFacade(t *testing.T) {
+	hf := MustNew(Options{ScanFilter: 2, IdleTimeout: -1})
+	defer hf.Close()
+	for i := 0; i < 20; i++ {
+		hf.InjectProbe("203.0.113.9", "10.5.1."+strconv.Itoa(i+1), 445)
+	}
+	hf.RunFor(2 * time.Second)
+	st := hf.Stats()
+	if st.LiveVMs != 2 {
+		t.Errorf("LiveVMs = %d, want 2", st.LiveVMs)
+	}
+	if st.ScanFiltered != 18 {
+		t.Errorf("ScanFiltered = %d, want 18", st.ScanFiltered)
+	}
+}
+
+func TestPinDetectedThroughFacade(t *testing.T) {
+	hf := MustNew(Options{
+		Policy:      DropAll,
+		IdleTimeout: 2 * time.Second,
+		PinDetected: true,
+	})
+	defer hf.Close()
+	hf.InjectExploit("203.0.113.9", "10.5.1.2")
+	hf.RunFor(2 * time.Minute)
+	if hf.LiveVMs() != 1 {
+		t.Errorf("LiveVMs = %d, want 1 (quarantined)", hf.LiveVMs())
+	}
+	if hf.Stats().InfectedVMs != 1 {
+		t.Errorf("InfectedVMs = %d", hf.Stats().InfectedVMs)
+	}
+}
+
+func TestEventLogThroughFacade(t *testing.T) {
+	var buf bytes.Buffer
+	hf := MustNew(Options{EventLog: &buf, IdleTimeout: 2 * time.Second})
+	defer hf.Close()
+	hf.InjectProbe("203.0.113.9", "10.5.1.2", 445)
+	hf.RunFor(time.Minute)
+	log := buf.String()
+	for _, want := range []string{`"kind":"bound"`, `"kind":"active"`, `"kind":"recycled"`, `"addr":"10.5.1.2"`} {
+		if !strings.Contains(log, want) {
+			t.Errorf("event log missing %s:\n%s", want, log)
+		}
+	}
+}
+
+func TestCheckpointOnDetection(t *testing.T) {
+	dir := t.TempDir()
+	hf := MustNew(Options{Policy: DropAll, CheckpointDir: dir})
+	defer hf.Close()
+	hf.InjectExploit("203.0.113.9", "10.5.1.2")
+	hf.RunFor(5 * time.Second)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("checkpoints = %d, want 1", len(entries))
+	}
+	if !strings.HasPrefix(entries[0].Name(), "10.5.1.2-") {
+		t.Errorf("checkpoint name = %q", entries[0].Name())
+	}
+	// The file is a valid checkpoint with real delta content.
+	f, err := os.Open(filepath.Join(dir, entries[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ck, err := vmm.ReadCheckpoint(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.IP.String() != "10.5.1.2" || len(ck.Pages) == 0 {
+		t.Errorf("checkpoint: ip=%s pages=%d", ck.IP, len(ck.Pages))
+	}
+}
+
+func TestCaptureThroughFacade(t *testing.T) {
+	dir := t.TempDir()
+	hf := MustNew(Options{Policy: ReflectSource, CaptureDir: dir, IdleTimeout: -1})
+	hf.InjectProbe("203.0.113.9", "10.5.1.2", 445)
+	hf.RunFor(2 * time.Second)
+	hf.Close()
+
+	read := func(name string) []telescope.Record {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		recs, err := telescope.ReadAll(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return recs
+	}
+	in := read("in.potm")
+	tovm := read("tovm.potm")
+	out := read("out.potm")
+	if len(in) != 1 || len(tovm) != 1 || len(out) != 1 {
+		t.Fatalf("capture counts in=%d tovm=%d out=%d", len(in), len(tovm), len(out))
+	}
+	if in[0].Dst.String() != "10.5.1.2" || in[0].DstPort != 445 {
+		t.Errorf("inbound capture: %+v", in[0])
+	}
+	// Egress capture is the SYN-ACK back to the scanner.
+	if out[0].Src.String() != "10.5.1.2" || out[0].Dst.String() != "203.0.113.9" {
+		t.Errorf("egress capture: %+v", out[0])
+	}
+	// Delivery happened ~0.5 s after arrival (the clone).
+	if out[0].At <= in[0].At {
+		t.Error("capture timestamps not ordered")
+	}
+}
+
+func TestMultiStageDNSEndToEnd(t *testing.T) {
+	hf := MustNew(Options{
+		Guest:       GuestMultiStage,
+		Policy:      InternalReflect,
+		IdleTimeout: -1,
+	})
+	defer hf.Close()
+	if err := hf.InjectExploit("203.0.113.9", "10.5.1.2"); err != nil {
+		t.Fatal(err)
+	}
+	hf.RunFor(5 * time.Second)
+
+	// The infected guest looked its payload host up via the built-in
+	// safe resolver...
+	if hf.Resolver().Queries == 0 {
+		t.Error("safe resolver never consulted")
+	}
+	if hf.Stats().DNSProxied == 0 {
+		t.Error("gateway did not proxy DNS")
+	}
+	// ...and the sinkholed stage-2 fetch landed on a fresh honeypot VM
+	// inside the monitored space.
+	if hf.LiveVMs() < 2 {
+		t.Errorf("LiveVMs = %d, want >= 2 (victim + sinkhole target)", hf.LiveVMs())
+	}
+}
+
+func TestShardedGatewayThroughFacade(t *testing.T) {
+	hf := MustNew(Options{GatewayShards: 4, IdleTimeout: -1, Policy: ReflectSource})
+	defer hf.Close()
+	in := hf.Internals()
+	if in.Gateway != nil || in.Sharded == nil || in.Sharded.Shards() != 4 {
+		t.Fatalf("internals: %+v", in)
+	}
+	for i := 0; i < 12; i++ {
+		hf.InjectProbe("203.0.113.9", "10.5.1."+strconv.Itoa(i+1), 445)
+	}
+	hf.RunFor(2 * time.Second)
+	st := hf.Stats()
+	if st.LiveVMs != 12 || st.BindingsCreated != 12 {
+		t.Errorf("stats: %+v", st)
+	}
+	if st.OutboundToSource != 12 {
+		t.Errorf("replies = %d", st.OutboundToSource)
+	}
+	if err := in.Sharded.CheckOwnership(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSnapshotWarmupThroughFacade(t *testing.T) {
+	hf := MustNew(Options{SnapshotWarmup: 30 * time.Second, IdleTimeout: -1})
+	defer hf.Close()
+	// Boot+warmup already elapsed.
+	if hf.Now() < 30*time.Second {
+		t.Errorf("Now = %v, want boot+warmup elapsed", hf.Now())
+	}
+	before := hf.Now()
+	hf.InjectProbe("203.0.113.9", "10.5.1.2", 445)
+	hf.RunFor(2 * time.Second)
+	if hf.LiveVMs() != 1 {
+		t.Fatalf("LiveVMs = %d", hf.LiveVMs())
+	}
+	_ = before
+	// Incompatible with FullBoot.
+	if _, err := New(Options{SnapshotWarmup: time.Second, FullBoot: true}); err == nil {
+		t.Error("SnapshotWarmup+FullBoot accepted")
+	}
+}
+
+func TestFullBootBaselineThroughFacade(t *testing.T) {
+	hf := MustNew(Options{FullBoot: true, Policy: ReflectSource})
+	defer hf.Close()
+	var gotReply bool
+	hf2 := MustNew(Options{FullBoot: true, Policy: ReflectSource,
+		OnEgress: func(string) { gotReply = true }})
+	defer hf2.Close()
+	hf2.InjectProbe("203.0.113.9", "10.5.1.2", 445)
+	hf2.RunFor(2 * time.Second)
+	if gotReply {
+		t.Error("full-boot VM replied within 2s; boot should take ~24s")
+	}
+	hf2.RunFor(60 * time.Second)
+	if !gotReply {
+		t.Error("full-boot VM never replied")
+	}
+	_ = hf
+}
