@@ -1,0 +1,33 @@
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: check build test race vet fuzz bench
+
+# The full pre-merge gate: static checks, the race detector over every
+# package, and a short pass over every fuzz target.
+check: vet race fuzz
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# Each fuzz target needs its own invocation: `go test -fuzz` refuses to
+# run more than one target per package.
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzReadAll -fuzztime=$(FUZZTIME) ./internal/telescope
+	$(GO) test -run=^$$ -fuzz=FuzzParse$$ -fuzztime=$(FUZZTIME) ./internal/dns
+	$(GO) test -run=^$$ -fuzz=FuzzResolverServe -fuzztime=$(FUZZTIME) ./internal/dns
+	$(GO) test -run=^$$ -fuzz=FuzzDecap -fuzztime=$(FUZZTIME) ./internal/gre
+	$(GO) test -run=^$$ -fuzz=FuzzReadCheckpoint -fuzztime=$(FUZZTIME) ./internal/vmm
+	$(GO) test -run=^$$ -fuzz=FuzzUnmarshal -fuzztime=$(FUZZTIME) ./internal/netsim
+
+bench:
+	$(GO) test -bench . -benchmem ./...

@@ -97,7 +97,11 @@ func main() {
 			fmt.Printf("  t=%-8v honeyfarm captured infection at %s (generation %d)\n",
 				time.Duration(now).Truncate(time.Millisecond), in.IP, in.Generation)
 		}
-		f = farm.New(k, fc)
+		var err error
+		f, err = farm.New(k, fc)
+		if err != nil {
+			fatalf("%v", err)
+		}
 		gc := gateway.DefaultConfig()
 		gc.Space = prefix
 		gc.Policy = pol

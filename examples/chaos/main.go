@@ -1,0 +1,57 @@
+// Chaos: release a worm outbreak into a 4-server honeyfarm and kill
+// one server halfway through, with a window of flaky clones right
+// after. The farm must degrade, not collapse: bindings stranded on the
+// dead server are recycled, new clones land on the survivors, and when
+// the server comes back its capacity rejoins the pool. Because every
+// fault is drawn from the simulation's own seeded RNG, the run is
+// replayed twice to show the whole failure sequence is deterministic.
+//
+//	go run ./examples/chaos
+package main
+
+import (
+	"fmt"
+
+	"potemkin/internal/core"
+)
+
+func main() {
+	cfg := core.ChaosConfig{Seed: 7, Servers: 4, CrashServer: 0}
+	res := core.RunChaos(cfg)
+
+	fmt.Println(res.Table)
+	fmt.Println("Fault schedule (faulted arm):")
+	for _, line := range res.FaultLog {
+		fmt.Println("  " + line)
+	}
+	fmt.Println()
+
+	fmt.Printf("binding ledger balanced (created == live + recycled): %v\n",
+		res.ConservationOK())
+	f := res.Faulted
+	fmt.Printf("stranded bindings recycled after crash: %d, farm-level retries onto survivors: %d\n",
+		f.BackendLost, f.FarmRetries)
+	fmt.Printf("gateway shed %d bindings and gave up on %d spawns while capacity was short\n",
+		f.BindingsShed, f.SpawnFailures)
+
+	// Replay with the same seed: the event log fingerprint must match
+	// exactly — crashes, retries, sheds and all.
+	again := core.RunChaos(cfg)
+	same := res.Faulted.EventCount == again.Faulted.EventCount &&
+		res.Faulted.EventHash == again.Faulted.EventHash
+	fmt.Printf("replay with seed %d reproduces the identical event sequence: %v (%d events, hash %#x)\n",
+		cfg.Seed, same, f.EventCount, f.EventHash)
+
+	fmt.Println(`
+Reading the table:
+  The farm is sized with little headroom, so even the baseline feels
+  some pressure as the epidemic grows (a fixed farm always saturates
+  eventually — that is the paper's scalability limit). The crash arm
+  additionally loses a quarter of its capacity for a quarter of the
+  run: its stranded bindings are recycled (backend_lost), replacement
+  clones go to the three survivors (farm_retries), and overflow is shed
+  instead of corrupting state. Captures dip proportionally, not to
+  zero, and once the server recovers the farm converges back toward
+  baseline. The balanced ledger is the robustness claim: no binding is
+  ever leaked, even across a crash.`)
+}

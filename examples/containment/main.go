@@ -66,7 +66,10 @@ func run(pol gateway.Policy) (leaked uint64, infected, maxDepth, stage2 int) {
 			}
 		}
 	}
-	f := farm.New(k, fc)
+	f, err := farm.New(k, fc)
+	if err != nil {
+		panic(err)
+	}
 	gc.ExternalOut = func(_ sim.Time, pkt *netsim.Packet) {
 		if len(pkt.Payload) > 0 { // exploit or stage-2 bytes leaving the farm
 			leaked++

@@ -35,7 +35,7 @@ func newIncidentFarm(t *testing.T, sink gateway.EventSink) (*farm.Farm, uint64) 
 			}
 		}
 	}
-	f := farm.New(k, fc)
+	f := farm.MustNew(k, fc)
 	g := gateway.New(k, gc, f)
 	f.SetGateway(g)
 

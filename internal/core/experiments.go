@@ -263,7 +263,7 @@ func runE3Arm(seed uint64, trace []telescope.Record, traceEnd sim.Time,
 	fc.Servers = 64 // measure demand, not capacity
 	fc.Image = farm.ImageSpec{Name: "winxp", NumPages: 32768, ResidentPages: 8192, DiskBlocks: 1024, Seed: 42}
 	fc.Profile = quietProfile()
-	f := farm.New(k, fc)
+	f := farm.MustNew(k, fc)
 	gc := gateway.DefaultConfig()
 	gc.Space = space
 	gc.Policy = gateway.PolicyReflectSource

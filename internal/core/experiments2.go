@@ -151,7 +151,7 @@ func RunE5(seed uint64, arms []E5Arm, dur time.Duration) E5Result {
 					firstCapture = now.Seconds()
 				}
 			}
-			f = farm.New(k, fc)
+			f = farm.MustNew(k, fc)
 			gc := gateway.DefaultConfig()
 			gc.Space = wcfg.Telescope
 			gc.Policy = arm.Policy
@@ -309,7 +309,7 @@ func RunE8(seed uint64, dur time.Duration) E8Result {
 				}
 			}
 		}
-		f := farm.New(k, fc)
+		f := farm.MustNew(k, fc)
 		g := gateway.New(k, gc, f)
 		f.SetGateway(g)
 

@@ -75,6 +75,15 @@ type Config struct {
 	// inbound).
 	DownlinkLatency time.Duration
 
+	// RetryBudget is how many extra clone attempts a VM request gets on
+	// other healthy servers after a failed spawn before the failure is
+	// reported to the gateway. Zero disables retries.
+	RetryBudget int
+	// RetryBackoff is the delay before the first retry; it doubles on
+	// each subsequent attempt. Zero defaults to 100 ms when RetryBudget
+	// is positive.
+	RetryBackoff time.Duration
+
 	// PickTarget chooses scan destinations for infected guests; nil
 	// defaults to uniform over the IPv4 space.
 	PickTarget guest.TargetPicker
@@ -93,20 +102,33 @@ func DefaultConfig() Config {
 		Profile:         guest.WindowsXP(),
 		UplinkLatency:   100 * time.Microsecond,
 		DownlinkLatency: 100 * time.Microsecond,
+		RetryBudget:     2,
+		RetryBackoff:    100 * time.Millisecond,
 	}
 }
 
 // Stats aggregates farm-level counters.
 type Stats struct {
 	Spawns        uint64
-	SpawnFailures uint64
+	SpawnFailures uint64 // requests that exhausted their retry budget (once per request)
+	SpawnRetries  uint64 // failed clone attempts re-placed on another server
 	Reclaims      uint64
 	Infections    uint64
+	CrashRecycles uint64 // bindings stranded by server crashes, reported to the gateway
+	LinkDrops     uint64 // packets lost to farm<->gateway link outages
 	PeakLiveVMs   int
 }
 
-// ErrFarmFull reports that no server could admit a VM.
-var ErrFarmFull = errors.New("farm: all servers at capacity")
+// ErrFarmFull reports that no healthy server could admit a VM. It
+// matches gateway.ErrBackendFull under errors.Is, so the gateway's
+// shed mode recognizes farm exhaustion.
+var ErrFarmFull error = farmFullError{}
+
+type farmFullError struct{}
+
+func (farmFullError) Error() string { return "farm: all servers at capacity" }
+
+func (farmFullError) Is(target error) bool { return target == gateway.ErrBackendFull }
 
 // Farm is the server pool. It implements gateway.Backend.
 type Farm struct {
@@ -119,17 +141,27 @@ type Farm struct {
 	// byAddr tracks the live VM for each bound address.
 	byAddr map[netsim.Addr]*FarmVM
 
+	// inflight holds VM requests whose clone has not completed, in
+	// insertion order (a slice, not a map, so crash handling visits
+	// them deterministically).
+	inflight []*spawnReq
+	// linkDown, while set, drops data-plane traffic between farm and
+	// gateway (see SetLinkDown).
+	linkDown bool
+
 	stats Stats
 	rr    int // round-robin cursor for tie-breaking
 }
 
 // New builds the server pool. Call SetGateway before traffic flows.
-func New(k *sim.Kernel, cfg Config) *Farm {
+// Configuration problems — no servers, no guest personality — are
+// returned, not panicked: they come from callers, not internal bugs.
+func New(k *sim.Kernel, cfg Config) (*Farm, error) {
 	if cfg.Servers <= 0 {
-		panic("farm: no servers")
+		return nil, errors.New("farm: no servers")
 	}
 	if cfg.Profile == nil && len(cfg.Profiles) == 0 {
-		panic("farm: nil guest profile")
+		return nil, errors.New("farm: nil guest profile")
 	}
 	if cfg.PickTarget == nil {
 		cfg.PickTarget = func(r *sim.RNG) netsim.Addr { return netsim.Addr(r.Uint64n(1 << 32)) }
@@ -142,6 +174,16 @@ func New(k *sim.Kernel, cfg Config) *Farm {
 		h.RegisterImage(cfg.Image.Name, cfg.Image.NumPages, cfg.Image.ResidentPages,
 			cfg.Image.DiskBlocks, cfg.Image.Seed)
 		f.hosts = append(f.hosts, h)
+	}
+	return f, nil
+}
+
+// MustNew is New that panics on error (experiments and tests whose
+// configs are hardcoded).
+func MustNew(k *sim.Kernel, cfg Config) *Farm {
+	f, err := New(k, cfg)
+	if err != nil {
+		panic(err)
 	}
 	return f
 }
@@ -232,11 +274,28 @@ func (f *Farm) GuestTotals() guest.Stats {
 	return sum
 }
 
-// pickHost selects a server with capacity.
-func (f *Farm) pickHost() *vmm.VMHost {
+// pickHost selects a healthy server with capacity, preferring one
+// other than avoid (the server whose clone attempt just failed).
+func (f *Farm) pickHost(avoid *vmm.VMHost) *vmm.VMHost {
+	if h := f.pickFrom(avoid); h != nil {
+		return h
+	}
+	if avoid != nil && !avoid.Down() {
+		// Only the just-failed server remains; better to hit it again
+		// than to give up while capacity may be freeing.
+		return f.pickFrom(nil)
+	}
+	return nil
+}
+
+// pickFrom applies the placement policy over up servers, skipping avoid.
+func (f *Farm) pickFrom(avoid *vmm.VMHost) *vmm.VMHost {
 	switch f.Cfg.Placement {
 	case PlaceFirstFit:
 		for _, h := range f.hosts {
+			if h == avoid || h.Down() {
+				continue
+			}
 			if h.MemoryFree() > h.Cfg.PerVMOverheadBytes {
 				return h
 			}
@@ -246,6 +305,9 @@ func (f *Farm) pickHost() *vmm.VMHost {
 		var best *vmm.VMHost
 		for i := range f.hosts {
 			h := f.hosts[(f.rr+i)%len(f.hosts)]
+			if h == avoid || h.Down() {
+				continue
+			}
 			if best == nil || h.MemoryFree() > best.MemoryFree() {
 				best = h
 			}
@@ -304,32 +366,61 @@ func (f *Farm) PrepareSnapshotImages(name string, warmup time.Duration) error {
 	return nil
 }
 
+// spawnReq tracks one gateway VM request through retries and server
+// failures until its ready callback has fired.
+type spawnReq struct {
+	addr    netsim.Addr
+	hint    gateway.SpawnHint
+	ready   func(gateway.VMRef, error)
+	attempt int         // retries already spent
+	host    *vmm.VMHost // server currently cloning for this request
+	done    bool
+}
+
 // RequestVM implements gateway.Backend: flash-clone (or full-boot) a VM
-// for addr and hand the gateway a reference when it is runnable.
+// for addr and hand the gateway a reference when it is runnable. A
+// failed clone is retried on another healthy server with exponential
+// backoff, up to Cfg.RetryBudget extra attempts; ready fires exactly
+// once either way.
 func (f *Farm) RequestVM(now sim.Time, addr netsim.Addr, hint gateway.SpawnHint, ready func(gateway.VMRef, error)) {
-	h := f.pickHost()
+	req := &spawnReq{addr: addr, hint: hint, ready: ready}
+	f.inflight = append(f.inflight, req)
+	f.trySpawn(now, req, nil)
+}
+
+// trySpawn places req's clone on a server, avoiding the one that just
+// failed it.
+func (f *Farm) trySpawn(now sim.Time, req *spawnReq, avoid *vmm.VMHost) {
+	h := f.pickHost(avoid)
 	if h == nil {
-		f.stats.SpawnFailures++
-		f.K.After(0, func(sim.Time) { ready(nil, ErrFarmFull) })
+		f.failOrRetry(now, req, nil, ErrFarmFull)
 		return
 	}
+	req.host = h
 	onReady := func(vm *vmm.VM) {
-		fv := f.attachGuest(h, vm, addr)
+		if req.done {
+			// The request already concluded elsewhere (crash-triggered
+			// retry); never resurrect a superseded clone.
+			h.Destroy(vm.ID)
+			return
+		}
+		f.finish(req)
+		fv := f.attachGuest(h, vm, req.addr)
 		f.stats.Spawns++
 		if live := f.LiveVMs(); live > f.stats.PeakLiveVMs {
 			f.stats.PeakLiveVMs = live
 		}
-		ready(fv, nil)
+		req.ready(fv, nil)
 	}
 	var err error
 	if f.Cfg.FullBoot {
-		_, err = h.FullBoot(f.Cfg.Image.Name, addr, onReady)
+		_, err = h.FullBoot(f.Cfg.Image.Name, req.addr, onReady)
 	} else {
-		_, err = h.FlashClone(f.Cfg.Image.Name, addr, onReady)
+		_, err = h.FlashClone(f.Cfg.Image.Name, req.addr, onReady)
 	}
 	if err != nil {
-		f.stats.SpawnFailures++
-		f.K.After(0, func(sim.Time) { ready(nil, err) })
+		req.host = nil
+		f.failOrRetry(now, req, h, err)
 		return
 	}
 	// Count VMs still mid-clone toward the peak: they hold memory.
@@ -338,10 +429,50 @@ func (f *Farm) RequestVM(now sim.Time, addr netsim.Addr, hint gateway.SpawnHint,
 	}
 }
 
+// failOrRetry retries a failed spawn after backoff while budget
+// remains, otherwise reports the failure — SpawnFailures counts it
+// exactly once per request, however many attempts it took.
+func (f *Farm) failOrRetry(now sim.Time, req *spawnReq, failed *vmm.VMHost, err error) {
+	req.host = nil
+	if req.attempt >= f.Cfg.RetryBudget {
+		f.finish(req)
+		f.stats.SpawnFailures++
+		f.K.After(0, func(sim.Time) { req.ready(nil, err) })
+		return
+	}
+	req.attempt++
+	f.stats.SpawnRetries++
+	backoff := f.Cfg.RetryBackoff
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	f.K.After(backoff<<(req.attempt-1), func(then sim.Time) {
+		if req.done {
+			return
+		}
+		f.trySpawn(then, req, failed)
+	})
+}
+
+// finish marks req concluded and drops it from the in-flight list.
+func (f *Farm) finish(req *spawnReq) {
+	req.done = true
+	for i, r := range f.inflight {
+		if r == req {
+			f.inflight = append(f.inflight[:i], f.inflight[i+1:]...)
+			return
+		}
+	}
+}
+
 // attachGuest builds the guest instance for a freshly-ready VM.
 func (f *Farm) attachGuest(h *vmm.VMHost, vm *vmm.VM, addr netsim.Addr) *FarmVM {
 	fv := &FarmVM{farm: f, VM: vm, Host: h}
 	send := func(pkt *netsim.Packet) {
+		if f.linkDown {
+			f.stats.LinkDrops++
+			return
+		}
 		f.K.After(f.Cfg.UplinkLatency, func(now sim.Time) {
 			if f.gw != nil {
 				f.gw.HandleOutbound(now, pkt)
@@ -391,6 +522,10 @@ type FarmVM struct {
 // hop, then the guest handles it (if the VM is still running by then).
 func (fv *FarmVM) Deliver(now sim.Time, pkt *netsim.Packet) {
 	if fv.VM.State != vmm.StateRunning {
+		return
+	}
+	if fv.farm.linkDown {
+		fv.farm.stats.LinkDrops++
 		return
 	}
 	fv.Host.ChargeCPU(now, fv.Host.Cfg.CPU.PerPacket)

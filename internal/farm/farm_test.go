@@ -28,7 +28,10 @@ func newRig(t *testing.T, mutateFarm func(*Config), mutateGW func(*gateway.Confi
 	if mutateFarm != nil {
 		mutateFarm(&fc)
 	}
-	f := New(k, fc)
+	f, err := New(k, fc)
+	if err != nil {
+		t.Fatal(err)
+	}
 	gc := gateway.DefaultConfig()
 	gc.IdleTimeout = 0
 	if mutateGW != nil {
@@ -356,13 +359,16 @@ func TestFarmBehindShardedGateway(t *testing.T) {
 	fc.Servers = 2
 	fc.HostConfig.MemoryBytes = 2 << 30
 	fc.Image = ImageSpec{Name: "winxp", NumPages: 8192, ResidentPages: 2048, DiskBlocks: 512, Seed: 42}
-	f := New(k, fc)
+	f := MustNew(k, fc)
 	gc := gateway.DefaultConfig()
 	gc.IdleTimeout = 0
 	gc.Policy = gateway.PolicyInternalReflect
 	gc.DetectThreshold = 0
 	gc.ReflectionLimit = 16
-	s := gateway.NewSharded(k, gc, f, 4)
+	s, err := gateway.NewSharded(k, gc, f, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	f.SetGateway(s)
 
 	exploit := probe(scanner, victim)
@@ -457,14 +463,20 @@ func TestFarmConfigValidation(t *testing.T) {
 	} {
 		cfg := DefaultConfig()
 		mutate(&cfg)
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Error("bad config accepted")
-				}
-			}()
-			New(k, cfg)
-		}()
+		if f, err := New(k, cfg); err == nil || f != nil {
+			t.Errorf("bad config accepted: farm=%v err=%v", f, err)
+		}
 	}
+	// MustNew panics on the same bad configs.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MustNew did not panic on bad config")
+			}
+		}()
+		cfg := DefaultConfig()
+		cfg.Servers = 0
+		MustNew(k, cfg)
+	}()
 	_ = vmm.DefaultHostConfig // keep import
 }

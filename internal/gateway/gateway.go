@@ -19,6 +19,8 @@
 package gateway
 
 import (
+	"errors"
+	"sort"
 	"time"
 
 	"potemkin/internal/netsim"
@@ -87,6 +89,20 @@ type Backend interface {
 	RequestVM(now sim.Time, addr netsim.Addr, hint SpawnHint, ready func(VMRef, error))
 }
 
+// ErrBackendFull is the sentinel a Backend wraps into (or matches via
+// an Is method on) the error it hands ready when its entire pool is at
+// capacity — as opposed to a transient, retryable failure. The
+// gateway's shed mode (Config.ShedOnFull) keys off it.
+var ErrBackendFull = errors.New("backend at capacity")
+
+// Recycler is implemented by gateway frontends (Gateway and Sharded)
+// that can tear a binding down on demand. The backend calls it when it
+// loses a VM out from under a binding — a crashed server — so the
+// address is released for rebinding instead of pointing at a corpse.
+type Recycler interface {
+	RecycleBinding(now sim.Time, addr netsim.Addr, detail string) bool
+}
+
 // Config parameterizes a gateway.
 type Config struct {
 	// Space is the monitored address range the gateway answers for.
@@ -121,6 +137,23 @@ type Config struct {
 	// idle/lifetime recycling, quarantining the infected VM for
 	// analysis instead of destroying the evidence.
 	PinDetected bool
+
+	// SpawnRetryBudget re-requests a VM from the backend after a failed
+	// spawn, up to this many extra attempts per binding, before the
+	// binding is torn down. Zero disables retries (every failure is
+	// final, the pre-fault behaviour).
+	SpawnRetryBudget int
+	// SpawnRetryBackoff is the delay before the first spawn retry; it
+	// doubles on each subsequent attempt. Zero defaults to 100 ms when
+	// SpawnRetryBudget is positive.
+	SpawnRetryBackoff time.Duration
+
+	// ShedOnFull enables graceful degradation under farm exhaustion:
+	// after a spawn fails with ErrBackendFull, new bindings are refused
+	// (counted as BindingsShed, logged as EvShed) for this duration
+	// instead of queueing more doomed clone requests. Existing bindings
+	// and their pending queues are untouched. Zero disables shedding.
+	ShedOnFull time.Duration
 
 	// ScanFilter, when positive, sheds load from repeat scanners: once
 	// a source has had N probes to the same destination port answered,
@@ -186,6 +219,9 @@ type Stats struct {
 	BindingsCreated  uint64
 	BindingsRecycled uint64
 	SpawnFailures    uint64
+	SpawnRetries     uint64 // failed spawns re-requested after backoff
+	BindingsShed     uint64 // new bindings refused while shedding load
+	BackendLost      uint64 // bindings recycled because the backend lost their VM
 	PendingDropped   uint64 // queue overflow during clone
 	DeliveredToVM    uint64
 
@@ -228,6 +264,8 @@ type Gateway struct {
 	rng      *sim.RNG
 	stats    Stats
 	scrub    *sim.Ticker
+	// shedUntil, while in the future, refuses new bindings (ShedOnFull).
+	shedUntil sim.Time
 
 	// Sharding hooks (set by Sharded; nil for a standalone gateway):
 	// owns restricts which monitored addresses this instance may bind,
@@ -308,7 +346,10 @@ func (g *Gateway) startScrubber() {
 func (g *Gateway) Scrub(now sim.Time) { g.scrubOnce(now) }
 
 // scrubOnce recycles bindings that exceeded idle or lifetime limits.
+// Expired addresses are recycled in sorted order so the event log is a
+// pure function of the seed (map iteration order is randomized).
 func (g *Gateway) scrubOnce(now sim.Time) {
+	var expired []netsim.Addr
 	for addr, b := range g.bindings {
 		if b.State != BindingActive {
 			continue // never recycle mid-clone
@@ -319,8 +360,12 @@ func (g *Gateway) scrubOnce(now sim.Time) {
 		idleOut := g.Cfg.IdleTimeout > 0 && now.Sub(b.LastActive) >= g.Cfg.IdleTimeout
 		lifeOut := g.Cfg.MaxLifetime > 0 && now.Sub(b.CreatedAt) >= g.Cfg.MaxLifetime
 		if idleOut || lifeOut {
-			g.recycle(now, addr, b)
+			expired = append(expired, addr)
 		}
+	}
+	sort.Slice(expired, func(i, j int) bool { return expired[i] < expired[j] })
+	for _, addr := range expired {
+		g.recycle(now, addr, g.bindings[addr])
 	}
 }
 
@@ -341,9 +386,31 @@ func (g *Gateway) recycle(now sim.Time, addr netsim.Addr, b *Binding) {
 	g.stats.BindingsRecycled++
 }
 
-// RecycleAll destroys every binding (end of experiment).
+// RecycleBinding implements Recycler: the backend reports it lost the
+// VM behind addr (server crash), so the binding is recycled and the
+// address freed for rebinding. Queued packets on a still-pending
+// binding are dropped. Reports whether a binding existed.
+func (g *Gateway) RecycleBinding(now sim.Time, addr netsim.Addr, detail string) bool {
+	b, ok := g.bindings[addr]
+	if !ok {
+		return false
+	}
+	g.stats.BackendLost++
+	g.stats.PendingDropped += uint64(len(b.pending))
+	g.logEvent(now, EvBackendLost, addr, 0, detail)
+	g.recycle(now, addr, b)
+	return true
+}
+
+// RecycleAll destroys every binding (end of experiment), in sorted
+// address order for a reproducible event log.
 func (g *Gateway) RecycleAll(now sim.Time) {
-	for addr, b := range g.bindings {
-		g.recycle(now, addr, b)
+	addrs := make([]netsim.Addr, 0, len(g.bindings))
+	for addr := range g.bindings {
+		addrs = append(addrs, addr)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, addr := range addrs {
+		g.recycle(now, addr, g.bindings[addr])
 	}
 }

@@ -23,16 +23,25 @@ func (f *fakeVM) Destroy(_ sim.Time)                     { f.destroyed = true }
 type fakeBackend struct {
 	k        *sim.Kernel
 	delay    time.Duration
-	failNext bool
+	failNext bool  // fail the next request only
+	failN    int   // fail the next N requests
+	failErr  error // error to fail with (default ErrFake)
 	spawned  []*fakeVM
 	requests int
 }
 
 func (fb *fakeBackend) RequestVM(now sim.Time, addr netsim.Addr, hint SpawnHint, ready func(VMRef, error)) {
 	fb.requests++
-	if fb.failNext {
+	if fb.failNext || fb.failN > 0 {
 		fb.failNext = false
-		fb.k.After(fb.delay, func(sim.Time) { ready(nil, ErrFake) })
+		if fb.failN > 0 {
+			fb.failN--
+		}
+		err := fb.failErr
+		if err == nil {
+			err = ErrFake
+		}
+		fb.k.After(fb.delay, func(sim.Time) { ready(nil, err) })
 		return
 	}
 	vm := &fakeVM{addr: addr}

@@ -1,6 +1,9 @@
 package gateway
 
 import (
+	"errors"
+	"time"
+
 	"potemkin/internal/gre"
 	"potemkin/internal/netsim"
 	"potemkin/internal/sim"
@@ -83,8 +86,14 @@ func (g *Gateway) filterScan(pkt *netsim.Packet) bool {
 }
 
 // bind creates a pending binding for addr and requests a VM. Returns
-// nil if the backend failed synchronously.
+// nil if the backend failed synchronously or the gateway is shedding
+// load (ShedOnFull window after a backend-full failure).
 func (g *Gateway) bind(now sim.Time, addr netsim.Addr, hint SpawnHint) *Binding {
+	if g.Cfg.ShedOnFull > 0 && now < g.shedUntil {
+		g.stats.BindingsShed++
+		g.logEvent(now, EvShed, addr, hint.Source, "")
+		return nil
+	}
 	b := newBinding(now, addr, hint)
 	g.bindings[addr] = b
 	g.stats.BindingsCreated++
@@ -96,6 +105,15 @@ func (g *Gateway) bind(now sim.Time, addr netsim.Addr, hint SpawnHint) *Binding 
 		detail = "reflected"
 	}
 	g.logEvent(now, EvBound, addr, hint.Source, detail)
+	g.requestVM(now, addr, b, hint, 0)
+	return g.bindings[addr]
+}
+
+// requestVM asks the backend for addr's VM, attempt counting retries
+// already spent. On failure it retries with exponential backoff while
+// budget remains and the binding is still current; the final failure
+// recycles the binding (keeping BindingsCreated == live + recycled).
+func (g *Gateway) requestVM(now sim.Time, addr netsim.Addr, b *Binding, hint SpawnHint, attempt int) {
 	g.backend.RequestVM(now, addr, hint, func(vm VMRef, err error) {
 		// The binding may have been recycled while the clone was in
 		// flight; in that case destroy the late VM.
@@ -107,10 +125,7 @@ func (g *Gateway) bind(now sim.Time, addr netsim.Addr, hint SpawnHint) *Binding 
 			return
 		}
 		if err != nil {
-			g.stats.SpawnFailures++
-			g.stats.PendingDropped += uint64(len(b.pending))
-			delete(g.bindings, addr)
-			g.logEvent(g.K.Now(), EvSpawnFail, addr, 0, err.Error())
+			g.spawnFailed(addr, b, hint, attempt, err)
 			return
 		}
 		b.VM = vm
@@ -124,5 +139,33 @@ func (g *Gateway) bind(now sim.Time, addr netsim.Addr, hint SpawnHint) *Binding 
 		}
 		b.pending = nil
 	})
-	return g.bindings[addr]
+}
+
+// spawnFailed handles a backend error for a still-current binding:
+// retry after backoff if budget remains, otherwise tear down. The
+// pending queue rides along across retries untouched.
+func (g *Gateway) spawnFailed(addr netsim.Addr, b *Binding, hint SpawnHint, attempt int, err error) {
+	now := g.K.Now()
+	if attempt < g.Cfg.SpawnRetryBudget {
+		g.stats.SpawnRetries++
+		g.logEvent(now, EvSpawnRetry, addr, 0, err.Error())
+		backoff := g.Cfg.SpawnRetryBackoff
+		if backoff <= 0 {
+			backoff = 100 * time.Millisecond
+		}
+		g.K.After(backoff<<attempt, func(then sim.Time) {
+			if cur, ok := g.bindings[addr]; !ok || cur != b {
+				return // recycled while backing off
+			}
+			g.requestVM(then, addr, b, hint, attempt+1)
+		})
+		return
+	}
+	g.stats.SpawnFailures++
+	g.stats.PendingDropped += uint64(len(b.pending))
+	g.logEvent(now, EvSpawnFail, addr, 0, err.Error())
+	if g.Cfg.ShedOnFull > 0 && errors.Is(err, ErrBackendFull) {
+		g.shedUntil = now.Add(g.Cfg.ShedOnFull)
+	}
+	g.recycle(now, addr, b)
 }

@@ -18,13 +18,16 @@ type EventKind string
 
 // Logged event kinds.
 const (
-	EvBound      EventKind = "bound"       // address bound, clone requested
-	EvActive     EventKind = "active"      // VM live, queued packets flushed
-	EvSpawnFail  EventKind = "spawn-fail"  // backend could not provide a VM
-	EvRecycled   EventKind = "recycled"    // binding reclaimed
-	EvDetected   EventKind = "detected"    // scan detector flagged the VM
-	EvReflected  EventKind = "reflected"   // outbound redirected into the farm
-	EvDNSProxied EventKind = "dns-proxied" // lookup rewritten to the safe resolver
+	EvBound       EventKind = "bound"        // address bound, clone requested
+	EvActive      EventKind = "active"       // VM live, queued packets flushed
+	EvSpawnFail   EventKind = "spawn-fail"   // backend could not provide a VM
+	EvSpawnRetry  EventKind = "spawn-retry"  // failed spawn re-requested after backoff
+	EvShed        EventKind = "shed"         // new binding refused while shedding load
+	EvBackendLost EventKind = "backend-lost" // backend reported the binding's VM lost
+	EvRecycled    EventKind = "recycled"     // binding reclaimed
+	EvDetected    EventKind = "detected"     // scan detector flagged the VM
+	EvReflected   EventKind = "reflected"    // outbound redirected into the farm
+	EvDNSProxied  EventKind = "dns-proxied"  // lookup rewritten to the safe resolver
 )
 
 // Event is one log record.

@@ -27,10 +27,12 @@ type Sharded struct {
 
 // NewSharded builds n gateways over cfg (each sees the full Space in
 // its config — ownership is enforced by the router, and internal
-// traffic may legitimately cross shards).
-func NewSharded(k *sim.Kernel, cfg Config, backend Backend, n int) *Sharded {
+// traffic may legitimately cross shards). It returns an error for a
+// non-positive shard count — caller configuration, not an internal
+// invariant.
+func NewSharded(k *sim.Kernel, cfg Config, backend Backend, n int) (*Sharded, error) {
 	if n <= 0 {
-		panic("gateway: non-positive shard count")
+		return nil, fmt.Errorf("gateway: non-positive shard count %d", n)
 	}
 	s := &Sharded{Space: cfg.Space}
 	for i := 0; i < n; i++ {
@@ -45,7 +47,7 @@ func NewSharded(k *sim.Kernel, cfg Config, backend Backend, n int) *Sharded {
 		g.reinject = s.HandleInbound
 		s.shards = append(s.shards, g)
 	}
-	return s
+	return s, nil
 }
 
 // Shards returns the number of shards.
@@ -88,6 +90,9 @@ func (s *Sharded) Stats() Stats {
 		sum.BindingsCreated += st.BindingsCreated
 		sum.BindingsRecycled += st.BindingsRecycled
 		sum.SpawnFailures += st.SpawnFailures
+		sum.SpawnRetries += st.SpawnRetries
+		sum.BindingsShed += st.BindingsShed
+		sum.BackendLost += st.BackendLost
 		sum.PendingDropped += st.PendingDropped
 		sum.DeliveredToVM += st.DeliveredToVM
 		sum.OutAllowedOpen += st.OutAllowedOpen
@@ -121,6 +126,15 @@ func (s *Sharded) Binding(addr netsim.Addr) *Binding {
 		return nil
 	}
 	return s.shardFor(addr).Binding(addr)
+}
+
+// RecycleBinding implements Recycler on the shard set: the request is
+// routed to the shard owning addr.
+func (s *Sharded) RecycleBinding(now sim.Time, addr netsim.Addr, detail string) bool {
+	if !s.Space.Contains(addr) {
+		return false
+	}
+	return s.shardFor(addr).RecycleBinding(now, addr, detail)
 }
 
 // RecycleAll recycles every binding on every shard.

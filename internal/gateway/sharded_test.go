@@ -17,7 +17,11 @@ func newShardedRig(t *testing.T, n int, mutate func(*Config)) (*Sharded, *fakeBa
 	if mutate != nil {
 		mutate(&cfg)
 	}
-	return NewSharded(k, cfg, fb, n), fb, k
+	s, err := NewSharded(k, cfg, fb, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, fb, k
 }
 
 func TestShardedRoutesByDestination(t *testing.T) {
@@ -149,7 +153,10 @@ func TestShardedSingleShardEquivalence(t *testing.T) {
 		var in func(sim.Time, *netsim.Packet)
 		var stats func() Stats
 		if sharded {
-			s := NewSharded(k, cfg, fb, 1)
+			s, err := NewSharded(k, cfg, fb, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
 			in, stats = s.HandleInbound, s.Stats
 		} else {
 			g := New(k, cfg, fb)

@@ -146,13 +146,17 @@ func DefaultHostConfig(name string) HostConfig {
 
 // HostStats counts host-level activity.
 type HostStats struct {
-	Clones       uint64
-	FullBoots    uint64
-	Destroys     uint64
-	CloneRejects uint64 // admission failures
-	CowFaults    uint64
-	PeakVMs      int
-	PeakMemory   uint64
+	Clones         uint64
+	FullBoots      uint64
+	Destroys       uint64
+	CloneRejects   uint64 // admission failures
+	CloneFaults    uint64 // injected transient clone failures
+	CowFaults      uint64
+	Crashes        uint64 // host failures (fault injection)
+	Recoveries     uint64
+	CrashKilledVMs uint64 // VMs lost to host crashes
+	PeakVMs        int
+	PeakMemory     uint64
 }
 
 // Admission errors.
@@ -176,6 +180,11 @@ type VMHost struct {
 
 	stats HostStats
 	cpu   cpuAccount
+
+	// Failure model (see failure.go).
+	down       bool
+	cloneFault func() error
+	cloneSlow  float64
 
 	// Per-step clone latency distributions (E1).
 	StepLatency [NumCloneSteps]metrics.Histogram
@@ -287,6 +296,9 @@ func (h *VMHost) FlashClone(imageName string, ip netsim.Addr, ready func(*VM)) (
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoImage, imageName)
 	}
+	if err := h.checkFault(); err != nil {
+		return nil, err
+	}
 	if err := h.admit(0); err != nil {
 		h.stats.CloneRejects++
 		return nil, err
@@ -302,7 +314,7 @@ func (h *VMHost) FlashClone(imageName string, ip netsim.Addr, ready func(*VM)) (
 
 	var total time.Duration
 	for step := CloneStep(0); step < NumCloneSteps; step++ {
-		d := h.Cfg.Latency.cloneStepCost(step, img.Mem.ResidentPages(), h.rng)
+		d := h.slowed(h.Cfg.Latency.cloneStepCost(step, img.Mem.ResidentPages(), h.rng))
 		h.StepLatency[step].Observe(float64(d) / float64(time.Millisecond))
 		total += d
 	}
@@ -333,6 +345,9 @@ func (h *VMHost) FullBoot(imageName string, ip netsim.Addr, ready func(*VM)) (*V
 	}
 	if !img.synthetic {
 		return nil, fmt.Errorf("vmm: image %q is a VM snapshot; full boot requires a synthetic image", imageName)
+	}
+	if err := h.checkFault(); err != nil {
+		return nil, err
 	}
 	footprint := img.ResidentPages * mem.PageSize
 	if err := h.admit(footprint); err != nil {

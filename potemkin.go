@@ -253,7 +253,10 @@ func New(opts Options) (*Honeyfarm, error) {
 			opts.OnInfected(in.IP.String(), in.Generation)
 		}
 	}
-	f := farm.New(k, fc)
+	f, err := farm.New(k, fc)
+	if err != nil {
+		return nil, err
+	}
 
 	gc := gateway.DefaultConfig()
 	gc.Space = space
@@ -307,7 +310,10 @@ func New(opts Options) (*Honeyfarm, error) {
 		}
 	}
 	if opts.GatewayShards > 1 {
-		s := gateway.NewSharded(k, gc, f, opts.GatewayShards)
+		s, err := gateway.NewSharded(k, gc, f, opts.GatewayShards)
+		if err != nil {
+			return nil, err
+		}
 		f.SetGateway(s)
 		hf.f, hf.g = f, s
 	} else {
