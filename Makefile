@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check build test race vet fuzz bench
+.PHONY: check build test race vet fuzz bench trace-demo
 
 # The full pre-merge gate: static checks, the race detector over every
 # package, and a short pass over every fuzz target.
@@ -31,3 +31,9 @@ fuzz:
 
 bench:
 	$(GO) test -bench . -benchmem ./...
+
+# Produce a sample Chrome trace from the outbreak example: load
+# outbreak.trace.json in Perfetto (ui.perfetto.dev) or chrome://tracing
+# to see every binding's bind -> clone -> active -> recycle timeline.
+trace-demo:
+	$(GO) run ./examples/outbreak -chrome-trace outbreak.trace.json

@@ -1,26 +1,42 @@
 // Command analyze reconstructs an incident from a gateway event log
 // (the JSONL produced by potemkind -eventlog or gateway.JSONLSink):
 // binding statistics, compromised-VM timeline, and the infection chains
-// internal reflection captured.
+// internal reflection captured. With -snapshot it instead renders a
+// JSON snapshot (potemkind -snapshot-out or the live /snapshot
+// endpoint) as a readable report.
 //
 // Usage:
 //
 //	analyze [-chains] [FILE]     (reads stdin when FILE is omitted)
+//	analyze -snapshot FILE
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
+	"potemkin"
 	"potemkin/internal/analysis"
+	"potemkin/internal/metrics"
 )
 
 func main() {
 	chains := flag.Bool("chains", false, "also dump the reflection chain edges in time order")
 	csvOut := flag.String("csv", "", "write the per-address timeline table as CSV to this file")
+	snapF := flag.String("snapshot", "", "render a honeyfarm JSON snapshot instead of an event log")
 	flag.Parse()
+
+	if *snapF != "" {
+		if err := renderSnapshot(*snapF); err != nil {
+			fmt.Fprintf(os.Stderr, "analyze: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var in io.Reader = os.Stdin
 	if flag.NArg() > 0 {
@@ -55,4 +71,47 @@ func main() {
 		}
 		fmt.Printf("\n[csv] %s\n", *csvOut)
 	}
+}
+
+// renderSnapshot prints a potemkin.Snapshot as a readable report.
+func renderSnapshot(path string) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var s potemkin.Snapshot
+	if err := json.Unmarshal(b, &s); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	fmt.Printf("snapshot at t=%.3fs\n", s.TSeconds)
+	fmt.Printf("  live VMs              %d (peak %d, infected %d)\n", s.LiveVMs, s.PeakVMs, s.InfectedVMs)
+	fmt.Printf("  bindings live         %d (created %d, recycled %d, shed %d)\n",
+		s.BindingsLive, s.BindingsCreated, s.BindingsRecycled, s.BindingsShed)
+	fmt.Printf("  pending queue depth   %d packets\n", s.PendingQueued)
+	fmt.Printf("  inbound packets       %d (delivered %d)\n", s.InboundPackets, s.DeliveredToVM)
+	fmt.Printf("  spawn failures        %d (retries %d)\n", s.SpawnFailures, s.SpawnRetries)
+	fmt.Printf("  detector flagged      %d\n", s.DetectedInfected)
+	fmt.Printf("  memory in use         %d MiB\n", s.MemoryInUseBytes>>20)
+	if s.CloneMs.Count > 0 {
+		fmt.Printf("  clone latency (ms)    p50=%.1f p90=%.1f p99=%.1f max=%.1f over %d clones\n",
+			s.CloneMs.P50, s.CloneMs.P90, s.CloneMs.P99, s.CloneMs.Max, s.CloneMs.Count)
+	}
+	if len(s.StagesMs) > 0 {
+		names := make([]string, 0, len(s.StagesMs))
+		for n := range s.StagesMs {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		tab := metrics.NewTable("\nper-stage latency (ms)",
+			"stage", "count", "mean", "p50", "p90", "p99", "max")
+		for _, n := range names {
+			st := s.StagesMs[n]
+			tab.AddRow(n, st.Count, st.Mean, st.P50, st.P90, st.P99, st.Max)
+		}
+		tab.Render(os.Stdout)
+	}
+	if s.OpenSpans > 0 {
+		fmt.Printf("\n  open spans            %d (bindings still live when snapped)\n", s.OpenSpans)
+	}
+	return nil
 }

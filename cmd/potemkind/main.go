@@ -17,17 +17,26 @@
 //	-guest NAME      winxp|sqlserver|linux
 //	-seed N          simulation seed
 //	-interval D      progress report interval in simulated time (default 10s)
+//	-trace-out F     write the binding-lifecycle span trace (JSONL; see cmd/tracetool)
+//	-trace-chrome F  write the trace in Chrome trace-event format (Perfetto)
+//	-debug-addr A    serve /snapshot, expvar and pprof on this HTTP address
+//	-snapshot-out F  write the final JSON snapshot
 package main
 
 import (
 	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
+	"sync/atomic"
 	"time"
 
 	"potemkin"
 	"potemkin/internal/guest"
+	"potemkin/internal/metrics"
 	"potemkin/internal/sim"
 	"potemkin/internal/telescope"
 )
@@ -50,6 +59,10 @@ func main() {
 		capture  = flag.String("capture", "", "record all gateway traffic into trace files under this directory")
 		ckptDir  = flag.String("checkpoints", "", "save delta checkpoints of detected VMs into this directory")
 		jsonOut  = flag.Bool("json", false, "emit the final stats as JSON on stdout")
+		traceOut = flag.String("trace-out", "", "write the binding-lifecycle span trace (JSONL) to this file")
+		traceChr = flag.String("trace-chrome", "", "write the trace in Chrome trace-event format (Perfetto-loadable) to this file")
+		debug    = flag.String("debug-addr", "", "serve /snapshot, /debug/vars (expvar) and /debug/pprof on this address while running")
+		snapOut  = flag.String("snapshot-out", "", "write the final JSON snapshot to this file")
 	)
 	flag.Parse()
 
@@ -111,6 +124,25 @@ func main() {
 	}
 	opts.CaptureDir = *capture
 	opts.CheckpointDir = *ckptDir
+	// Trace files are registered for closing before the honeyfarm so the
+	// deferred hf.Close() (which flushes open spans and terminates the
+	// Chrome array) runs first.
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		opts.TraceOut = f
+	}
+	if *traceChr != "" {
+		f, err := os.Create(*traceChr)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		opts.TraceChrome = f
+	}
 
 	hf, err := potemkin.New(opts)
 	if err != nil {
@@ -139,16 +171,57 @@ func main() {
 		fmt.Printf("synthesized %d packets over %v at %.0f pps\n", len(recs), *duration, *rate)
 	}
 
+	// The live debug endpoint must never touch simulation state from the
+	// HTTP goroutine (the sim is single-threaded): the periodic progress
+	// callback below marshals a snapshot on the sim thread and stores the
+	// bytes in an atomic pointer; HTTP handlers serve the stored bytes.
+	var lastSnap atomic.Pointer[[]byte]
+	publishSnap := func() {
+		if b, err := hf.MarshalSnapshot(); err == nil {
+			lastSnap.Store(&b)
+		}
+	}
+	publishSnap()
+	if *debug != "" {
+		expvar.Publish("potemkin", varFunc(func() string {
+			if b := lastSnap.Load(); b != nil {
+				return string(*b)
+			}
+			return "{}"
+		}))
+		http.HandleFunc("/snapshot", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			if b := lastSnap.Load(); b != nil {
+				w.Write(*b)
+			} else {
+				w.Write([]byte("{}"))
+			}
+		})
+		go func() {
+			if err := http.ListenAndServe(*debug, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "potemkind: debug endpoint: %v\n", err)
+			}
+		}()
+		fmt.Printf("debug endpoint on http://%s (/snapshot, /debug/vars, /debug/pprof)\n", *debug)
+	}
+
 	// Progress reporting rides the simulation clock.
 	in := hf.Internals()
 	in.Kernel.Every(*interval, func(now sim.Time) {
-		st := hf.Stats()
-		fmt.Printf("  t=%-8v live=%-5d infected=%-4d bindings=%d recycled=%d mem=%dMiB\n",
-			time.Duration(now).Truncate(time.Millisecond), st.LiveVMs, st.InfectedVMs,
-			st.BindingsCreated, st.BindingsRecycled, st.MemoryInUse>>20)
+		snap := hf.Snapshot()
+		line := fmt.Sprintf("  t=%-8v live=%-5d infected=%-4d bindings=%d recycled=%d pending=%d mem=%dMiB",
+			time.Duration(now).Truncate(time.Millisecond), snap.LiveVMs, snap.InfectedVMs,
+			snap.BindingsCreated, snap.BindingsRecycled, snap.PendingQueued,
+			snap.MemoryInUseBytes>>20)
+		if snap.CloneMs.Count > 0 {
+			line += fmt.Sprintf(" clone[p50=%.1fms p99=%.1fms]", snap.CloneMs.P50, snap.CloneMs.P99)
+		}
+		fmt.Println(line)
+		publishSnap()
 	})
 
 	injected := hf.ReplayTrace(recs)
+	publishSnap()
 
 	st := hf.Stats()
 	if *jsonOut {
@@ -175,7 +248,34 @@ func main() {
 	gt := hf.Internals().Farm.GuestTotals()
 	fmt.Printf("  guest activity (live VMs): conns=%d established=%d app-responses=%d dns=%d scans-out=%d\n",
 		gt.ConnsAccepted, gt.ConnsEstablished, gt.AppResponses, gt.DNSQueries, gt.ScansOut)
+
+	if tr := hf.Tracer(); tr != nil {
+		tab := metrics.NewTable("\nper-stage latency (ms)",
+			"stage", "count", "mean", "p50", "p90", "p99", "max")
+		for _, name := range tr.StageNames() {
+			h := tr.Stage(name)
+			tab.AddRow(name, h.Count(), h.Mean(),
+				h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99), h.Max())
+		}
+		tab.Render(os.Stdout)
+	}
+	if *snapOut != "" {
+		b, err := hf.MarshalSnapshot()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := os.WriteFile(*snapOut, b, 0o644); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("\n[snapshot] %s\n", *snapOut)
+	}
 }
+
+// varFunc adapts a closure to expvar.Var, returning pre-marshaled JSON
+// (expvar.Func would re-marshal, and must not touch sim state).
+type varFunc func() string
+
+func (f varFunc) String() string { return f() }
 
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "potemkind: "+format+"\n", args...)

@@ -1,0 +1,95 @@
+// Command tracetool analyzes a binding-lifecycle trace (the JSONL
+// written by potemkind -trace-out, potemkin.Options.TraceOut, or
+// core.RunChaos): per-stage latency percentile tables and the critical
+// paths of the slowest bindings. It can also convert the JSONL into the
+// Chrome trace-event format for Perfetto / chrome://tracing.
+//
+// Usage:
+//
+//	tracetool [-top N] [-csv FILE] [-chrome FILE] [FILE]
+//
+// Reads stdin when FILE is omitted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"potemkin/internal/trace"
+)
+
+func main() {
+	top := flag.Int("top", 5, "show the critical path of the N slowest bindings")
+	csvOut := flag.String("csv", "", "write the stage table as CSV to this file")
+	chromeOut := flag.String("chrome", "", "convert the trace to Chrome trace-event JSON at this path")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	recs, err := trace.ReadAll(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(recs) == 0 {
+		fatal(fmt.Errorf("no spans in input"))
+	}
+
+	if *chromeOut != "" {
+		f, err := os.Create(*chromeOut)
+		if err != nil {
+			fatal(err)
+		}
+		cw := trace.NewChromeWriter(f)
+		for _, r := range recs {
+			cw.Write(r)
+		}
+		if err := cw.Close(); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("[chrome] %s (%d spans) — open in Perfetto or chrome://tracing\n\n", *chromeOut, len(recs))
+	}
+
+	a := trace.Analyze(recs)
+	fmt.Printf("%d spans in %d traces (%d roots)\n\n", a.Spans, a.Traces, len(a.Roots))
+	tab := a.StageTable()
+	tab.Render(os.Stdout)
+
+	if *csvOut != "" {
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tab.WriteCSV(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\n[csv] %s\n", *csvOut)
+	}
+
+	slow := a.SlowestRoots("binding", *top)
+	if len(slow) > 0 {
+		fmt.Printf("\nslowest %d bindings (critical path):\n", len(slow))
+		for _, r := range slow {
+			fmt.Printf("  t=%.3fs %s\n", float64(r.StartNS)/1e9, trace.FormatPath(a.CriticalPath(r)))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "tracetool: %v\n", err)
+	os.Exit(1)
+}

@@ -3,11 +3,18 @@
 // infection within seconds, and its detector flags the compromised VM —
 // while containment keeps every worm byte inside.
 //
-//	go run ./examples/outbreak
+//	go run ./examples/outbreak [-chrome-trace FILE]
+//
+// With -chrome-trace, the run's binding-lifecycle trace is written in
+// the Chrome trace-event format — load it in Perfetto (ui.perfetto.dev)
+// or chrome://tracing to see every binding's bind → clone → active →
+// recycle timeline. `make trace-demo` produces one.
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
 	"time"
 
 	"potemkin"
@@ -18,7 +25,10 @@ import (
 )
 
 func main() {
-	hf := potemkin.MustNew(potemkin.Options{
+	chromeOut := flag.String("chrome-trace", "", "write a Chrome trace-event file of all binding lifecycles")
+	flag.Parse()
+
+	opts := potemkin.Options{
 		Seed:   7,
 		Policy: potemkin.DropAll,
 		OnInfected: func(addr string, gen int) {
@@ -27,7 +37,17 @@ func main() {
 		OnDetected: func(addr string, n int) {
 			fmt.Printf("  !! detector: %s began scanning (%d distinct targets)\n", addr, n)
 		},
-	})
+	}
+	if *chromeOut != "" {
+		f, err := os.Create(*chromeOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "outbreak: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		opts.TraceChrome = f
+	}
+	hf := potemkin.MustNew(opts)
 	defer hf.Close()
 	in := hf.Internals()
 
@@ -62,4 +82,8 @@ func main() {
 		st.OutboundDropped)
 	fmt.Printf("first capture happened %v after patient zero's scan hit the telescope\n",
 		time.Duration(e.Stats().FirstTelescopeHit).Truncate(time.Millisecond))
+	if *chromeOut != "" {
+		hf.Close() // flush open spans, terminate the trace array
+		fmt.Printf("\n[trace] %s — open in Perfetto (ui.perfetto.dev) or chrome://tracing\n", *chromeOut)
+	}
 }

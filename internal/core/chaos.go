@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"potemkin/internal/farm"
@@ -11,6 +12,7 @@ import (
 	"potemkin/internal/metrics"
 	"potemkin/internal/netsim"
 	"potemkin/internal/sim"
+	"potemkin/internal/trace"
 	"potemkin/internal/worm"
 )
 
@@ -34,6 +36,13 @@ type ChaosConfig struct {
 	// once the farm is loaded, and the server recovers at 3*Duration/4.
 	// Default 2 minutes.
 	Duration time.Duration
+
+	// TraceOut, when set, receives the binding-lifecycle span trace of
+	// both arms as JSONL — baseline first, then the faulted arm, with
+	// still-open spans flushed at the end of each arm. Two runs with the
+	// same seed write byte-identical output (the determinism tests diff
+	// exactly this). Nil disables tracing.
+	TraceOut io.Writer
 }
 
 // ChaosArm is one arm's outcome.
@@ -99,8 +108,16 @@ func RunChaos(cfg ChaosConfig) ChaosResult {
 		"arm", "captured", "detected", "bindings", "recycled", "backend_lost",
 		"farm_retries", "shed", "spawn_failures", "crash_killed", "live_vms")}
 
-	res.Baseline = runChaosArm(cfg, false, nil)
-	res.Faulted = runChaosArm(cfg, true, &res.FaultLog)
+	// One tracer spans both arms so span IDs stay globally unique in the
+	// combined JSONL stream (FlushOpen drains all per-arm state between
+	// arms, so reuse is safe).
+	var tr *trace.Tracer
+	if cfg.TraceOut != nil {
+		tr = trace.New(trace.JSONL(cfg.TraceOut, nil))
+	}
+
+	res.Baseline = runChaosArm(cfg, tr, false, nil)
+	res.Faulted = runChaosArm(cfg, tr, true, &res.FaultLog)
 	for _, a := range []ChaosArm{res.Baseline, res.Faulted} {
 		res.Table.AddRow(a.Name, a.Captured, a.Detected, a.BindingsCreated,
 			a.BindingsRecycled, a.BackendLost, a.FarmRetries, a.BindingsShed,
@@ -110,7 +127,7 @@ func RunChaos(cfg ChaosConfig) ChaosResult {
 }
 
 // runChaosArm runs one arm of the experiment.
-func runChaosArm(cfg ChaosConfig, faulted bool, faultLog *[]string) ChaosArm {
+func runChaosArm(cfg ChaosConfig, tr *trace.Tracer, faulted bool, faultLog *[]string) ChaosArm {
 	k := sim.NewKernel(cfg.Seed)
 
 	wcfg := worm.DefaultConfig()
@@ -153,8 +170,10 @@ func runChaosArm(cfg ChaosConfig, faulted bool, faultLog *[]string) ChaosArm {
 		}
 	}
 	gc.ExternalOut = func(_ sim.Time, pkt *netsim.Packet) { e.InjectLeak(pkt) }
+	gc.Tracer = tr
 	g := gateway.New(k, gc, f)
 	f.SetGateway(g)
+	f.SetTracer(tr)
 	e.Cfg.Deliver = func(now sim.Time, pkt *netsim.Packet) { g.HandleInbound(now, pkt) }
 
 	name := "baseline"
@@ -182,10 +201,12 @@ func runChaosArm(cfg ChaosConfig, faulted bool, faultLog *[]string) ChaosArm {
 		inj.Start()
 	}
 
+	tr.Instant(k.Now(), "arm-start", trace.Attr{K: "arm", V: name})
 	e.Start()
 	k.RunUntil(sim.Start.Add(cfg.Duration))
 	e.Stop()
 	g.Close()
+	tr.FlushOpen(k.Now())
 
 	if inj != nil && faultLog != nil {
 		for _, ev := range inj.Log() {

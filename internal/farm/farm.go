@@ -9,12 +9,14 @@ package farm
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 
 	"potemkin/internal/gateway"
 	"potemkin/internal/guest"
 	"potemkin/internal/netsim"
 	"potemkin/internal/sim"
+	"potemkin/internal/trace"
 	"potemkin/internal/vmm"
 )
 
@@ -151,6 +153,9 @@ type Farm struct {
 
 	stats Stats
 	rr    int // round-robin cursor for tie-breaking
+	// tr, when non-nil, records placement spans under the gateway's
+	// binding trace (shared via the tracer's per-address context).
+	tr *trace.Tracer
 }
 
 // New builds the server pool. Call SetGateway before traffic flows.
@@ -191,6 +196,15 @@ func MustNew(k *sim.Kernel, cfg Config) *Farm {
 // SetGateway wires the gateway (or sharded gateway set) guests send
 // their traffic through.
 func (f *Farm) SetGateway(g gateway.Egress) { f.gw = g }
+
+// SetTracer wires span tracing through the farm and down into every
+// server's VMM. A nil tracer (the default) disables tracing.
+func (f *Farm) SetTracer(t *trace.Tracer) {
+	f.tr = t
+	for _, h := range f.hosts {
+		h.SetTracer(t)
+	}
+}
 
 // Hosts returns the server pool.
 func (f *Farm) Hosts() []*vmm.VMHost { return f.hosts }
@@ -375,6 +389,12 @@ type spawnReq struct {
 	attempt int         // retries already spent
 	host    *vmm.VMHost // server currently cloning for this request
 	done    bool
+
+	// parent is the caller's span at request time (the gateway's spawn
+	// span); span is the current attempt's placement span. Nil when
+	// tracing is off.
+	parent *trace.Span
+	span   *trace.Span
 }
 
 // RequestVM implements gateway.Backend: flash-clone (or full-boot) a VM
@@ -384,6 +404,9 @@ type spawnReq struct {
 // once either way.
 func (f *Farm) RequestVM(now sim.Time, addr netsim.Addr, hint gateway.SpawnHint, ready func(gateway.VMRef, error)) {
 	req := &spawnReq{addr: addr, hint: hint, ready: ready}
+	if f.tr != nil {
+		req.parent = f.tr.Current(uint64(addr))
+	}
 	f.inflight = append(f.inflight, req)
 	f.trySpawn(now, req, nil)
 }
@@ -391,11 +414,17 @@ func (f *Farm) RequestVM(now sim.Time, addr netsim.Addr, hint gateway.SpawnHint,
 // trySpawn places req's clone on a server, avoiding the one that just
 // failed it.
 func (f *Farm) trySpawn(now sim.Time, req *spawnReq, avoid *vmm.VMHost) {
+	if f.tr != nil {
+		req.span = f.tr.StartChild(now, req.parent, "place",
+			trace.Attr{K: "attempt", V: strconv.Itoa(req.attempt)})
+	}
+	ps := req.span
 	h := f.pickHost(avoid)
 	if h == nil {
 		f.failOrRetry(now, req, nil, ErrFarmFull)
 		return
 	}
+	ps.SetAttr("server", h.Cfg.Name)
 	req.host = h
 	onReady := func(vm *vmm.VM) {
 		if req.done {
@@ -404,6 +433,7 @@ func (f *Farm) trySpawn(now sim.Time, req *spawnReq, avoid *vmm.VMHost) {
 			h.Destroy(vm.ID)
 			return
 		}
+		ps.Finish(f.K.Now())
 		f.finish(req)
 		fv := f.attachGuest(h, vm, req.addr)
 		f.stats.Spawns++
@@ -412,12 +442,15 @@ func (f *Farm) trySpawn(now sim.Time, req *spawnReq, avoid *vmm.VMHost) {
 		}
 		req.ready(fv, nil)
 	}
+	// The VMM parents its clone span under this attempt's placement span.
+	f.tr.Push(uint64(req.addr), ps)
 	var err error
 	if f.Cfg.FullBoot {
 		_, err = h.FullBoot(f.Cfg.Image.Name, req.addr, onReady)
 	} else {
 		_, err = h.FlashClone(f.Cfg.Image.Name, req.addr, onReady)
 	}
+	f.tr.Pop(uint64(req.addr), ps)
 	if err != nil {
 		req.host = nil
 		f.failOrRetry(now, req, h, err)
@@ -434,6 +467,10 @@ func (f *Farm) trySpawn(now sim.Time, req *spawnReq, avoid *vmm.VMHost) {
 // exactly once per request, however many attempts it took.
 func (f *Farm) failOrRetry(now sim.Time, req *spawnReq, failed *vmm.VMHost, err error) {
 	req.host = nil
+	if req.span != nil && !req.span.Done() {
+		req.span.Event(now, "place-fail", err.Error())
+		req.span.Finish(now)
+	}
 	if req.attempt >= f.Cfg.RetryBudget {
 		f.finish(req)
 		f.stats.SpawnFailures++
@@ -442,6 +479,9 @@ func (f *Farm) failOrRetry(now sim.Time, req *spawnReq, failed *vmm.VMHost, err 
 	}
 	req.attempt++
 	f.stats.SpawnRetries++
+	if req.parent != nil {
+		req.parent.Event(now, "clone-retry", err.Error())
+	}
 	backoff := f.Cfg.RetryBackoff
 	if backoff <= 0 {
 		backoff = 100 * time.Millisecond

@@ -3,6 +3,7 @@ package gateway
 import (
 	"potemkin/internal/netsim"
 	"potemkin/internal/sim"
+	"potemkin/internal/trace"
 )
 
 // BindingState tracks a binding's lifecycle.
@@ -43,6 +44,16 @@ type Binding struct {
 
 	// rate is the outbound token bucket (lazily created).
 	rate *bucket
+
+	// Tracing state (nil/empty when Config.Tracer is unset). span is the
+	// binding's root span; spawnSpan covers the current clone request;
+	// activeSpan covers the VM-live phase. pendingAt records when each
+	// queued packet arrived, so the flush can observe per-packet
+	// pending-wait latency.
+	span       *trace.Span
+	spawnSpan  *trace.Span
+	activeSpan *trace.Span
+	pendingAt  []sim.Time
 }
 
 func newBinding(now sim.Time, addr netsim.Addr, hint SpawnHint) *Binding {

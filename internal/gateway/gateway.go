@@ -25,6 +25,7 @@ import (
 
 	"potemkin/internal/netsim"
 	"potemkin/internal/sim"
+	"potemkin/internal/trace"
 )
 
 // Policy selects the outbound-containment mode.
@@ -189,6 +190,13 @@ type Config struct {
 	// JSONLSink). Nil disables logging.
 	EventSink EventSink
 
+	// Tracer, when set, records every binding's lifecycle as a span
+	// tree (bind → spawn → place → clone → active → recycle) and folds
+	// the forensic event kinds into span events, so the trace and the
+	// event log share one source of truth. Nil (the default) disables
+	// tracing; the hot paths then pay a single nil check.
+	Tracer *trace.Tracer
+
 	// Capture, when set, taps every packet crossing the gateway (see
 	// CaptureSink). Nil disables capture.
 	Capture CaptureSink
@@ -240,6 +248,10 @@ type Stats struct {
 	ProxyReturns      uint64 // sacrificial-host replies rewritten back
 	PeakBindings      int
 	ReflectionsActive int
+	// PendingQueued is the current number of packets waiting in pending
+	// queues across all bindings mid-clone — a live gauge, not a
+	// cumulative counter.
+	PendingQueued int
 }
 
 // Gateway is the honeyfarm's routing and containment engine. It is
@@ -264,6 +276,9 @@ type Gateway struct {
 	rng      *sim.RNG
 	stats    Stats
 	scrub    *sim.Ticker
+	// pendingDepth is the live count of packets queued across all
+	// pending bindings (the Stats.PendingQueued gauge).
+	pendingDepth int
 	// shedUntil, while in the future, refuses new bindings (ShedOnFull).
 	shedUntil sim.Time
 
@@ -311,6 +326,7 @@ func New(k *sim.Kernel, cfg Config, backend Backend) *Gateway {
 func (g *Gateway) Stats() Stats {
 	s := g.stats
 	s.ReflectionsActive = len(g.reflections)
+	s.PendingQueued = g.pendingDepth
 	return s
 }
 
@@ -371,6 +387,7 @@ func (g *Gateway) scrubOnce(now sim.Time) {
 
 func (g *Gateway) recycle(now sim.Time, addr netsim.Addr, b *Binding) {
 	g.logEvent(now, EvRecycled, addr, 0, "")
+	g.pendingDepth -= len(b.pending)
 	if b.VM != nil {
 		b.VM.Destroy(now)
 	}
@@ -384,6 +401,18 @@ func (g *Gateway) recycle(now sim.Time, addr netsim.Addr, b *Binding) {
 		}
 	}
 	g.stats.BindingsRecycled++
+	if tr := g.Cfg.Tracer; tr != nil && b.span != nil {
+		b.activeSpan.Finish(now)
+		if b.spawnSpan != nil && !b.spawnSpan.Done() {
+			b.spawnSpan.Event(now, "abandoned", "recycled mid-clone")
+			b.spawnSpan.Finish(now)
+		}
+		b.span.Finish(now)
+		// Drop the whole context stack for the address: if recycle ran
+		// inside a synchronous spawn callback the spawn span is still
+		// pushed above the root, and a plain Pop would strand it.
+		tr.Clear(uint64(addr))
+	}
 }
 
 // RecycleBinding implements Recycler: the backend reports it lost the

@@ -2,11 +2,13 @@ package gateway
 
 import (
 	"errors"
+	"strconv"
 	"time"
 
 	"potemkin/internal/gre"
 	"potemkin/internal/netsim"
 	"potemkin/internal/sim"
+	"potemkin/internal/trace"
 )
 
 // HandleGREFrame is the wire-level inbound entry point: a GRE frame as
@@ -60,6 +62,10 @@ func (g *Gateway) HandleInbound(now sim.Time, pkt *netsim.Packet) {
 			return
 		}
 		b.pending = append(b.pending, pkt)
+		g.pendingDepth++
+		if g.Cfg.Tracer != nil {
+			b.pendingAt = append(b.pendingAt, now)
+		}
 	case BindingActive:
 		g.stats.DeliveredToVM++
 		g.capture(now, CapToVM, pkt)
@@ -104,6 +110,17 @@ func (g *Gateway) bind(now sim.Time, addr netsim.Addr, hint SpawnHint) *Binding 
 	if hint.Reflected {
 		detail = "reflected"
 	}
+	if tr := g.Cfg.Tracer; tr != nil {
+		attrs := []trace.Attr{
+			{K: "addr", V: addr.String()},
+			{K: "src", V: hint.Source.String()},
+		}
+		if hint.Reflected {
+			attrs = append(attrs, trace.Attr{K: "reflected", V: "true"})
+		}
+		b.span = tr.StartTrace(now, "binding", attrs...)
+		tr.Push(uint64(addr), b.span)
+	}
 	g.logEvent(now, EvBound, addr, hint.Source, detail)
 	g.requestVM(now, addr, b, hint, 0)
 	return g.bindings[addr]
@@ -114,6 +131,17 @@ func (g *Gateway) bind(now sim.Time, addr netsim.Addr, hint SpawnHint) *Binding 
 // budget remains and the binding is still current; the final failure
 // recycles the binding (keeping BindingsCreated == live + recycled).
 func (g *Gateway) requestVM(now sim.Time, addr netsim.Addr, b *Binding, hint SpawnHint, attempt int) {
+	tr := g.Cfg.Tracer
+	if tr != nil && b.span != nil {
+		b.spawnSpan = tr.StartChild(now, b.span, "spawn",
+			trace.Attr{K: "attempt", V: strconv.Itoa(attempt)})
+		// Expose the spawn span as the address's current context so the
+		// backend (farm) parents its placement span under it. RequestVM
+		// returns synchronously even when ready fires later, so the Pop
+		// below restores the root before control returns to the caller.
+		tr.Push(uint64(addr), b.spawnSpan)
+		defer tr.Pop(uint64(addr), b.spawnSpan)
+	}
 	g.backend.RequestVM(now, addr, hint, func(vm VMRef, err error) {
 		// The binding may have been recycled while the clone was in
 		// flight; in that case destroy the late VM.
@@ -130,8 +158,17 @@ func (g *Gateway) requestVM(now sim.Time, addr netsim.Addr, b *Binding, hint Spa
 		}
 		b.VM = vm
 		b.State = BindingActive
-		g.logEvent(g.K.Now(), EvActive, addr, 0, "")
 		flushAt := g.K.Now()
+		b.spawnSpan.Finish(flushAt)
+		g.logEvent(flushAt, EvActive, addr, 0, "")
+		if tr != nil && b.span != nil {
+			b.activeSpan = tr.StartChild(flushAt, b.span, "active")
+			for _, at := range b.pendingAt {
+				tr.ObserveStage("pending-wait", flushAt.Sub(at).Seconds()*1e3)
+			}
+			b.pendingAt = nil
+		}
+		g.pendingDepth -= len(b.pending)
 		for _, queued := range b.pending {
 			g.stats.DeliveredToVM++
 			g.capture(flushAt, CapToVM, queued)
@@ -146,6 +183,10 @@ func (g *Gateway) requestVM(now sim.Time, addr netsim.Addr, b *Binding, hint Spa
 // pending queue rides along across retries untouched.
 func (g *Gateway) spawnFailed(addr netsim.Addr, b *Binding, hint SpawnHint, attempt int, err error) {
 	now := g.K.Now()
+	if b.spawnSpan != nil && !b.spawnSpan.Done() {
+		b.spawnSpan.Event(now, "spawn-error", err.Error())
+		b.spawnSpan.Finish(now)
+	}
 	if attempt < g.Cfg.SpawnRetryBudget {
 		g.stats.SpawnRetries++
 		g.logEvent(now, EvSpawnRetry, addr, 0, err.Error())

@@ -6,6 +6,7 @@ import (
 
 	"potemkin/internal/netsim"
 	"potemkin/internal/sim"
+	"potemkin/internal/trace"
 )
 
 // The event log is the honeyfarm's forensic record: who was bound when,
@@ -57,14 +58,38 @@ func JSONLSink(w io.Writer, errFn func(error)) EventSink {
 	}
 }
 
-// logEvent emits a record if a sink is configured.
+// logEvent emits a record if a sink is configured, and folds the same
+// event onto the address's binding span when tracing is on — one source
+// of truth, two views. Events with no live binding (a shed refusal)
+// become standalone instant spans so the trace fully subsumes the log.
 func (g *Gateway) logEvent(now sim.Time, kind EventKind, addr netsim.Addr, peer netsim.Addr, detail string) {
-	if g.Cfg.EventSink == nil {
+	if g.Cfg.EventSink == nil && g.Cfg.Tracer == nil {
 		return
 	}
-	ev := Event{T: now.Seconds(), Kind: kind, Addr: addr.String(), Detail: detail}
-	if peer != 0 {
-		ev.Peer = peer.String()
+	if g.Cfg.EventSink != nil {
+		ev := Event{T: now.Seconds(), Kind: kind, Addr: addr.String(), Detail: detail}
+		if peer != 0 {
+			ev.Peer = peer.String()
+		}
+		g.Cfg.EventSink(ev)
 	}
-	g.Cfg.EventSink(ev)
+	if tr := g.Cfg.Tracer; tr != nil {
+		d := detail
+		if peer != 0 {
+			if d != "" {
+				d = peer.String() + " " + d
+			} else {
+				d = peer.String()
+			}
+		}
+		if b := g.bindings[addr]; b != nil && b.span != nil {
+			b.span.Event(now, string(kind), d)
+		} else {
+			attrs := []trace.Attr{{K: "addr", V: addr.String()}}
+			if d != "" {
+				attrs = append(attrs, trace.Attr{K: "detail", V: d})
+			}
+			tr.Instant(now, string(kind), attrs...)
+		}
+	}
 }

@@ -105,8 +105,11 @@ func (s *Sharded) Stats() Stats {
 		sum.DetectedInfected += st.DetectedInfected
 		sum.ScanFiltered += st.ScanFiltered
 		sum.OutRateLimited += st.OutRateLimited
+		sum.OutProxied += st.OutProxied
+		sum.ProxyReturns += st.ProxyReturns
 		sum.PeakBindings += st.PeakBindings
 		sum.ReflectionsActive += st.ReflectionsActive
+		sum.PendingQueued += st.PendingQueued
 	}
 	return sum
 }

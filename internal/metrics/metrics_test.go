@@ -227,3 +227,41 @@ func TestSeriesTable(t *testing.T) {
 		t.Errorf("row 1 = %v", row)
 	}
 }
+
+// Property: merging histograms built from any split of a value set is
+// indistinguishable from observing the whole set into one histogram —
+// same count, sum, min, max, and every quantile. This is the contract
+// Snapshot() relies on when it merges per-server clone histograms.
+func TestHistogramMergeEqualsUnionProperty(t *testing.T) {
+	rng := sim.NewKernel(99).Stream("merge-prop")
+	for iter := 0; iter < 200; iter++ {
+		n := int(rng.Uint64n(200)) + 1
+		cut := int(rng.Uint64n(uint64(n) + 1))
+		var a, b, union Histogram
+		for i := 0; i < n; i++ {
+			// Span many octaves, including zero and sub-1 values.
+			v := rng.Float64() * math.Pow(10, float64(rng.Uint64n(7))-2)
+			union.Observe(v)
+			if i < cut {
+				a.Observe(v)
+			} else {
+				b.Observe(v)
+			}
+		}
+		a.Merge(&b)
+		// Sum is compared with a relative tolerance: float addition is
+		// not associative, and the union observes in a different order.
+		sumClose := math.Abs(a.Sum()-union.Sum()) <= 1e-12*math.Abs(union.Sum())
+		if a.Count() != union.Count() || !sumClose ||
+			a.Min() != union.Min() || a.Max() != union.Max() {
+			t.Fatalf("iter %d (n=%d cut=%d): merged count/sum/min/max %d/%v/%v/%v, union %d/%v/%v/%v",
+				iter, n, cut, a.Count(), a.Sum(), a.Min(), a.Max(),
+				union.Count(), union.Sum(), union.Min(), union.Max())
+		}
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			if got, want := a.Quantile(q), union.Quantile(q); got != want {
+				t.Fatalf("iter %d: Quantile(%.2f) = %v after merge, %v for union", iter, q, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildAnalysis records two binding traces — one fast, one slow with a
+// deeper tree — and returns their analysis.
+func buildAnalysis(t *testing.T) *Analysis {
+	t.Helper()
+	var recs []Record
+	tr := New(func(r Record) { recs = append(recs, r) })
+
+	fast := tr.StartTrace(0, "binding", Attr{K: "addr", V: "10.5.0.1"})
+	fs := tr.StartChild(0, fast, "spawn")
+	fs.Finish(10e6) // 10 ms
+	fast.Finish(20e6)
+
+	slow := tr.StartTrace(0, "binding", Attr{K: "addr", V: "10.5.0.2"})
+	ss := tr.StartChild(0, slow, "spawn")
+	pl := tr.StartChild(0, ss, "place", Attr{K: "server", V: "s1"})
+	cl := tr.StartChild(0, pl, "clone")
+	cl.Finish(700e6)
+	pl.Finish(750e6)
+	ss.Finish(800e6)
+	ac := tr.StartChild(800e6, slow, "active")
+	ac.Finish(850e6)
+	slow.Finish(900e6)
+
+	return Analyze(recs)
+}
+
+func TestAnalyzeStageTable(t *testing.T) {
+	a := buildAnalysis(t)
+	if a.Spans != 7 || a.Traces != 2 || len(a.Roots) != 2 {
+		t.Fatalf("spans=%d traces=%d roots=%d", a.Spans, a.Traces, len(a.Roots))
+	}
+	if got := a.StageNames(); len(got) != 5 || got[0] != "active" || got[1] != "binding" {
+		t.Fatalf("stage names %v", got)
+	}
+	if a.Stage("binding").Count() != 2 || a.Stage("clone").Count() != 1 {
+		t.Fatal("stage counts wrong")
+	}
+	out := a.StageTable().String()
+	for _, want := range []string{"binding", "spawn", "place", "clone", "p99"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stage table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSlowestRootsAndCriticalPath(t *testing.T) {
+	a := buildAnalysis(t)
+	slow := a.SlowestRoots("binding", 10)
+	if len(slow) != 2 {
+		t.Fatalf("slowest = %d", len(slow))
+	}
+	if slow[0].Attr("addr") != "10.5.0.2" || slow[1].Attr("addr") != "10.5.0.1" {
+		t.Fatalf("order wrong: %s, %s", slow[0].Attr("addr"), slow[1].Attr("addr"))
+	}
+	if capped := a.SlowestRoots("binding", 1); len(capped) != 1 {
+		t.Fatalf("cap ignored: %d", len(capped))
+	}
+
+	// The slow binding's critical path descends through the
+	// latest-finishing children: binding > active would stop there,
+	// but spawn (end 800ms) is... active ends at 850ms, so the path is
+	// binding > active. Verify exactly that, then check the deep chain
+	// from the spawn span.
+	path := a.CriticalPath(slow[0])
+	if len(path) != 2 || path[0].Name != "binding" || path[1].Name != "active" {
+		t.Fatalf("critical path: %s", FormatPath(path))
+	}
+	spawn := a.Children(slow[0].Span)[0]
+	deep := a.CriticalPath(spawn)
+	if len(deep) != 3 || deep[0].Name != "spawn" || deep[1].Name != "place" || deep[2].Name != "clone" {
+		t.Fatalf("spawn chain: %s", FormatPath(deep))
+	}
+	line := FormatPath(deep)
+	if !strings.Contains(line, "place[s1]") || !strings.Contains(line, "750.0ms") {
+		t.Fatalf("formatted path: %s", line)
+	}
+}

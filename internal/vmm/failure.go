@@ -2,7 +2,10 @@ package vmm
 
 import (
 	"errors"
+	"strconv"
 	"time"
+
+	"potemkin/internal/trace"
 )
 
 // Host failure model. A host can be crashed (all resident VMs die, new
@@ -29,6 +32,9 @@ func (h *VMHost) Crash() int {
 	h.stats.Crashes++
 	killed := len(h.vms)
 	h.stats.CrashKilledVMs += uint64(killed)
+	h.tr.Instant(h.K.Now(), "host-crash",
+		trace.Attr{K: "server", V: h.Cfg.Name},
+		trace.Attr{K: "killed", V: strconv.Itoa(killed)})
 	h.DestroyAll()
 	return killed
 }
@@ -41,6 +47,7 @@ func (h *VMHost) Recover() {
 	}
 	h.down = false
 	h.stats.Recoveries++
+	h.tr.Instant(h.K.Now(), "host-recover", trace.Attr{K: "server", V: h.Cfg.Name})
 }
 
 // Down reports whether the host is crashed.

@@ -12,12 +12,14 @@ package vmm
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"potemkin/internal/mem"
 	"potemkin/internal/metrics"
 	"potemkin/internal/netsim"
 	"potemkin/internal/sim"
+	"potemkin/internal/trace"
 )
 
 // VMID names a VM within one Host. IDs are never reused.
@@ -87,6 +89,9 @@ type VM struct {
 	Tag any
 
 	host *VMHost
+	// span covers the in-flight clone/boot; finished when the VM comes
+	// up or is destroyed mid-flight. Nil when tracing is off.
+	span *trace.Span
 }
 
 // Touch records guest activity for idle-reclamation decisions.
@@ -180,6 +185,9 @@ type VMHost struct {
 
 	stats HostStats
 	cpu   cpuAccount
+	// tr, when non-nil, records clone/boot spans and lifecycle events
+	// under the binding trace registered for the VM's address.
+	tr *trace.Tracer
 
 	// Failure model (see failure.go).
 	down       bool
@@ -213,6 +221,10 @@ func NewHost(k *sim.Kernel, cfg HostConfig) *VMHost {
 // Store exposes the host's frame store (tests and experiments read
 // accounting off it).
 func (h *VMHost) Store() *mem.Store { return h.store }
+
+// SetTracer wires span tracing for clone/boot operations and VM
+// lifecycle events. A nil tracer (the default) disables tracing.
+func (h *VMHost) SetTracer(t *trace.Tracer) { h.tr = t }
 
 // Stats returns a copy of the host counters.
 func (h *VMHost) Stats() HostStats { return h.stats }
@@ -311,6 +323,10 @@ func (h *VMHost) FlashClone(imageName string, ip netsim.Addr, ready func(*VM)) (
 	vm := h.newVM(img, ip, StateCloning)
 	vm.Mem = img.Mem.NewClone()
 	vm.Disk = NewOverlay(img.Disk)
+	if h.tr != nil {
+		vm.span = h.tr.StartChild(h.K.Now(), h.tr.Current(uint64(ip)), "clone",
+			trace.Attr{K: "server", V: h.Cfg.Name}, trace.Attr{K: "image", V: img.Name})
+	}
 
 	var total time.Duration
 	for step := CloneStep(0); step < NumCloneSteps; step++ {
@@ -328,6 +344,7 @@ func (h *VMHost) FlashClone(imageName string, ip netsim.Addr, ready func(*VM)) (
 		vm.State = StateRunning
 		vm.ReadyAt = now
 		vm.LastActive = now
+		vm.span.Finish(now)
 		if ready != nil {
 			ready(vm)
 		}
@@ -358,6 +375,10 @@ func (h *VMHost) FullBoot(imageName string, ip netsim.Addr, ready func(*VM)) (*V
 	vm.Mem = mem.NewPatternSpace(h.store, img.NumPages, img.ResidentPages, img.Seed)
 	vm.Disk = NewOverlay(img.Disk)
 	h.stats.FullBoots++
+	if h.tr != nil {
+		vm.span = h.tr.StartChild(h.K.Now(), h.tr.Current(uint64(ip)), "boot",
+			trace.Attr{K: "server", V: h.Cfg.Name}, trace.Attr{K: "image", V: img.Name})
+	}
 
 	d := h.Cfg.Latency.jittered(h.Cfg.Latency.FullBoot, h.rng)
 	h.K.After(d, func(now sim.Time) {
@@ -367,6 +388,7 @@ func (h *VMHost) FullBoot(imageName string, ip netsim.Addr, ready func(*VM)) (*V
 		vm.State = StateRunning
 		vm.ReadyAt = now
 		vm.LastActive = now
+		vm.span.Finish(now)
 		if ready != nil {
 			ready(vm)
 		}
@@ -403,15 +425,28 @@ func (h *VMHost) Destroy(id VMID) {
 	if !ok {
 		return
 	}
+	if vm.span != nil && !vm.span.Done() {
+		// Torn down mid-clone/boot: close the span so the trace shows
+		// the aborted instantiation rather than leaking an open span.
+		vm.span.Event(h.K.Now(), "destroyed-in-flight", vm.State.String())
+		vm.span.Finish(h.K.Now())
+	}
 	vm.State = StateDead
 	vm.Mem.Release()
 	delete(h.vms, id)
 	h.stats.Destroys++
 }
 
-// DestroyAll tears down every VM (end-of-experiment cleanup).
+// DestroyAll tears down every VM (end-of-experiment cleanup and host
+// crashes), in VMID order so teardown — and any trace output it emits —
+// is a pure function of the seed.
 func (h *VMHost) DestroyAll() {
+	ids := make([]VMID, 0, len(h.vms))
 	for id := range h.vms {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
 		h.Destroy(id)
 	}
 }
@@ -428,6 +463,11 @@ func (h *VMHost) Pause(id VMID) error {
 		return fmt.Errorf("vmm: VM %d is %v, not running", id, vm.State)
 	}
 	vm.State = StatePaused
+	if h.tr != nil {
+		if sp := h.tr.Current(uint64(vm.IP)); sp != nil {
+			sp.Event(h.K.Now(), "vm-paused", h.Cfg.Name)
+		}
+	}
 	return nil
 }
 
@@ -442,6 +482,11 @@ func (h *VMHost) Resume(id VMID) error {
 	}
 	vm.State = StateRunning
 	vm.LastActive = h.K.Now()
+	if h.tr != nil {
+		if sp := h.tr.Current(uint64(vm.IP)); sp != nil {
+			sp.Event(h.K.Now(), "vm-resumed", h.Cfg.Name)
+		}
+	}
 	return nil
 }
 

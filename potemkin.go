@@ -38,6 +38,7 @@ import (
 	"potemkin/internal/netsim"
 	"potemkin/internal/sim"
 	"potemkin/internal/telescope"
+	"potemkin/internal/trace"
 	"potemkin/internal/vmm"
 )
 
@@ -134,6 +135,19 @@ type Options struct {
 	// as JSON lines (bound/active/recycled/detected/reflected/…).
 	EventLog io.Writer
 
+	// TraceOut, when non-nil, receives the binding-lifecycle span trace
+	// as JSON lines (see internal/trace): one trace per binding, spans
+	// for bind → spawn → placement → clone → active → recycle, with the
+	// forensic events folded on. Deterministic: the same seed writes the
+	// same bytes. Call Close to flush spans still open at shutdown.
+	TraceOut io.Writer
+
+	// TraceChrome, when non-nil, receives the same trace in the Chrome
+	// trace-event format — load the file in Perfetto or chrome://tracing
+	// to see binding lifecycles on a timeline, one track per trace.
+	// Call Close to terminate the JSON array.
+	TraceChrome io.Writer
+
 	// CheckpointDir, when set, saves a delta checkpoint of every VM the
 	// scan detector flags (its dirtied memory pages and disk blocks) to
 	// <dir>/<addr>-<t>.ckpt before the VM can be recycled.
@@ -202,6 +216,8 @@ type Honeyfarm struct {
 	space    netsim.Prefix
 	resolver *dns.Resolver
 	captures []*captureFile
+	tracer   *trace.Tracer
+	chromeW  *trace.ChromeWriter
 }
 
 // New constructs a honeyfarm from opts.
@@ -265,6 +281,21 @@ func New(opts Options) (*Honeyfarm, error) {
 	gc.PinDetected = opts.PinDetected
 	if opts.EventLog != nil {
 		gc.EventSink = gateway.JSONLSink(opts.EventLog, nil)
+	}
+	if opts.TraceOut != nil || opts.TraceChrome != nil {
+		var sinks []trace.Sink
+		if opts.TraceOut != nil {
+			sinks = append(sinks, trace.JSONL(opts.TraceOut, func(err error) {
+				fmt.Fprintf(os.Stderr, "potemkin: trace: %v\n", err)
+			}))
+		}
+		if opts.TraceChrome != nil {
+			hf.chromeW = trace.NewChromeWriter(opts.TraceChrome)
+			sinks = append(sinks, hf.chromeW.Sink())
+		}
+		hf.tracer = trace.New(sinks...)
+		gc.Tracer = hf.tracer
+		f.SetTracer(hf.tracer)
 	}
 	if opts.CaptureDir != "" {
 		capture, err := hf.openCapture(opts.CaptureDir)
@@ -492,8 +523,9 @@ func (hf *Honeyfarm) Stats() Stats {
 // LiveVMs returns the current VM count (convenience for sampling loops).
 func (hf *Honeyfarm) LiveVMs() int { return hf.f.LiveVMs() }
 
-// Close stops background activity (recycling timers) and flushes
-// capture files.
+// Close stops background activity (recycling timers), flushes capture
+// files, finishes spans still open in the trace, and terminates the
+// Chrome trace array.
 func (hf *Honeyfarm) Close() {
 	hf.g.Close()
 	for _, c := range hf.captures {
@@ -501,7 +533,19 @@ func (hf *Honeyfarm) Close() {
 		c.f.Close()
 	}
 	hf.captures = nil
+	hf.tracer.FlushOpen(hf.k.Now())
+	if hf.chromeW != nil {
+		if err := hf.chromeW.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "potemkin: trace: %v\n", err)
+		}
+		hf.chromeW = nil
+	}
 }
+
+// Tracer exposes the span tracer when tracing is on (Options.TraceOut
+// or TraceChrome set), for stage histograms and live statistics. Nil —
+// safe to call methods on — when tracing is off.
+func (hf *Honeyfarm) Tracer() *trace.Tracer { return hf.tracer }
 
 // captureFile is one open capture trace.
 type captureFile struct {

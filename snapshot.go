@@ -1,0 +1,121 @@
+package potemkin
+
+import (
+	"encoding/json"
+
+	"potemkin/internal/metrics"
+)
+
+// Snapshot is a single point-in-time view of the honeyfarm, designed
+// to marshal to one JSON object: the live gauges an operator watches
+// (bindings, VMs, queue depths), the cumulative counters, and latency
+// summaries — clone latency merged across every server, plus the
+// tracer's per-stage histograms when tracing is on. potemkind serves it
+// from the live debug endpoint and cmd/analyze renders it offline.
+type Snapshot struct {
+	TSeconds float64 `json:"t_seconds"` // simulated time
+
+	// Live gauges.
+	LiveVMs       int `json:"live_vms"`
+	BindingsLive  int `json:"bindings_live"`
+	PendingQueued int `json:"pending_queued"` // packets waiting on in-flight clones
+	OpenSpans     int `json:"open_spans,omitempty"`
+
+	// Cumulative counters.
+	PeakVMs          int    `json:"peak_vms"`
+	InfectedVMs      int    `json:"infected_vms"`
+	BindingsCreated  uint64 `json:"bindings_created"`
+	BindingsRecycled uint64 `json:"bindings_recycled"`
+	InboundPackets   uint64 `json:"inbound_packets"`
+	DeliveredToVM    uint64 `json:"delivered_to_vm"`
+	SpawnFailures    uint64 `json:"spawn_failures"`
+	SpawnRetries     uint64 `json:"spawn_retries"`
+	BindingsShed     uint64 `json:"bindings_shed"`
+	DetectedInfected uint64 `json:"detected_infected"`
+	MemoryInUseBytes uint64 `json:"memory_in_use_bytes"`
+
+	// CloneMs summarizes flash-clone latency, merged across all servers
+	// (metrics.Histogram.Merge over the per-host histograms).
+	CloneMs LatencySummary `json:"clone_ms"`
+
+	// StagesMs carries the tracer's per-stage latency summaries
+	// (binding, spawn, place, clone, active, pending-wait, …), present
+	// only when tracing is on. encoding/json sorts map keys, so the
+	// rendered snapshot is deterministic.
+	StagesMs map[string]LatencySummary `json:"stages_ms,omitempty"`
+}
+
+// LatencySummary condenses a histogram for JSON export. All latency
+// fields are milliseconds.
+type LatencySummary struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// summarize condenses h; an empty or nil histogram yields the zero
+// summary.
+func summarize(h *metrics.Histogram) LatencySummary {
+	if h == nil || h.Count() == 0 {
+		return LatencySummary{}
+	}
+	return LatencySummary{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+		Max:   h.Max(),
+	}
+}
+
+// Snapshot captures the current state.
+func (hf *Honeyfarm) Snapshot() Snapshot {
+	gs := hf.g.Stats()
+	fs := hf.f.Stats()
+
+	var clone metrics.Histogram
+	for _, h := range hf.f.Hosts() {
+		clone.Merge(&h.CloneLatency)
+	}
+
+	s := Snapshot{
+		TSeconds:         hf.k.Now().Seconds(),
+		LiveVMs:          hf.f.LiveVMs(),
+		BindingsLive:     hf.g.NumBindings(),
+		PendingQueued:    gs.PendingQueued,
+		PeakVMs:          fs.PeakLiveVMs,
+		InfectedVMs:      hf.f.InfectedVMs(),
+		BindingsCreated:  gs.BindingsCreated,
+		BindingsRecycled: gs.BindingsRecycled,
+		InboundPackets:   gs.InboundPackets,
+		DeliveredToVM:    gs.DeliveredToVM,
+		SpawnFailures:    gs.SpawnFailures + fs.SpawnFailures,
+		SpawnRetries:     gs.SpawnRetries + fs.SpawnRetries,
+		BindingsShed:     gs.BindingsShed,
+		DetectedInfected: gs.DetectedInfected,
+		MemoryInUseBytes: hf.f.MemoryInUse(),
+		CloneMs:          summarize(&clone),
+	}
+	if tr := hf.tracer; tr != nil {
+		s.OpenSpans = tr.OpenSpans()
+		names := tr.StageNames()
+		if len(names) > 0 {
+			s.StagesMs = make(map[string]LatencySummary, len(names))
+			for _, n := range names {
+				s.StagesMs[n] = summarize(tr.Stage(n))
+			}
+		}
+	}
+	return s
+}
+
+// MarshalSnapshot renders the snapshot as indented JSON — the exact
+// bytes potemkind's debug endpoint serves and cmd/analyze -snapshot
+// reads.
+func (hf *Honeyfarm) MarshalSnapshot() ([]byte, error) {
+	return json.MarshalIndent(hf.Snapshot(), "", "  ")
+}
