@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check build test race vet fuzz bench trace-demo
+.PHONY: check build test race vet fuzz bench bench-all trace-demo
 
 # The full pre-merge gate: static checks, the race detector over every
 # package, and a short pass over every fuzz target.
@@ -29,7 +29,14 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzReadCheckpoint -fuzztime=$(FUZZTIME) ./internal/vmm
 	$(GO) test -run=^$$ -fuzz=FuzzUnmarshal -fuzztime=$(FUZZTIME) ./internal/netsim
 
+# The core fast-path benchmarks (store alloc, CoW write, gateway scrub,
+# flash clone), compared against the recorded pre-slab baseline and
+# written to BENCH_core.json as before/after ns/op + allocs/op.
 bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkE1FlashClone$$|BenchmarkE2DeltaVirt$$|BenchmarkE4Gateway|BenchmarkAblation' -benchmem -benchtime 1s . \
+		| $(GO) run ./cmd/benchjson -baseline results/bench_baseline.json -out BENCH_core.json
+
+bench-all:
 	$(GO) test -bench . -benchmem ./...
 
 # Produce a sample Chrome trace from the outbreak example: load

@@ -1,0 +1,186 @@
+// Command benchjson turns `go test -bench` output into the repository's
+// BENCH_*.json before/after format. It reads benchmark output on stdin,
+// parses ns/op, B/op, and allocs/op per benchmark, merges a recorded
+// baseline ("before") file, and writes a single JSON document with both
+// sides plus the ns/op speedup factor.
+//
+// Usage:
+//
+//	go test -run '^$' -bench PATTERN -benchmem . | benchjson \
+//	    -baseline results/bench_baseline.json -out BENCH_core.json
+//
+// The baseline file is the same shape as the output's "before" section
+// (see results/bench_baseline.json); benchmarks present only on one
+// side are kept, with no speedup reported.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one benchmark's measurements.
+type Sample struct {
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Baseline is the recorded "before" side.
+type Baseline struct {
+	Description string            `json:"description,omitempty"`
+	CPU         string            `json:"cpu,omitempty"`
+	Benchtime   string            `json:"benchtime,omitempty"`
+	Notes       string            `json:"notes,omitempty"`
+	Benchmarks  map[string]Sample `json:"benchmarks"`
+}
+
+// Output is the merged document.
+type Output struct {
+	Description string             `json:"description"`
+	Goos        string             `json:"goos,omitempty"`
+	Goarch      string             `json:"goarch,omitempty"`
+	CPU         string             `json:"cpu,omitempty"`
+	Benchtime   string             `json:"benchtime,omitempty"`
+	Unit        string             `json:"unit"`
+	Before      map[string]Sample  `json:"before"`
+	After       map[string]Sample  `json:"after"`
+	SpeedupNs   map[string]float64 `json:"speedup_ns_per_op"`
+	Notes       string             `json:"notes,omitempty"`
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "", "JSON file with the recorded 'before' numbers")
+		outPath      = flag.String("out", "BENCH_core.json", "output file")
+		desc         = flag.String("description", "", "override the output description")
+	)
+	flag.Parse()
+
+	out := Output{
+		Unit:      "ns/op",
+		Before:    map[string]Sample{},
+		After:     map[string]Sample{},
+		SpeedupNs: map[string]float64{},
+	}
+	if *baselinePath != "" {
+		raw, err := os.ReadFile(*baselinePath)
+		if err != nil {
+			fatal(err)
+		}
+		var base Baseline
+		if err := json.Unmarshal(raw, &base); err != nil {
+			fatal(fmt.Errorf("%s: %w", *baselinePath, err))
+		}
+		out.Before = base.Benchmarks
+		out.Description = base.Description
+		out.Benchtime = base.Benchtime
+		out.Notes = base.Notes
+	}
+	if *desc != "" {
+		out.Description = *desc
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass through so the run stays readable
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			out.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			out.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			out.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			name, s, ok := parseBenchLine(line)
+			if ok {
+				out.After[name] = s
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(out.After) == 0 {
+		fatal(fmt.Errorf("no benchmark lines on stdin"))
+	}
+
+	for name, after := range out.After {
+		if before, ok := out.Before[name]; ok && after.NsPerOp > 0 {
+			out.SpeedupNs[name] = math.Round(100*before.NsPerOp/after.NsPerOp) / 100
+		}
+	}
+
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*outPath, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nwrote %s (%d benchmarks", *outPath, len(out.After))
+	var names []string
+	for name := range out.SpeedupNs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("; %s %.2fx", strings.TrimPrefix(name, "Benchmark"), out.SpeedupNs[name])
+	}
+	fmt.Println(")")
+}
+
+// parseBenchLine parses one `go test -bench` result line:
+//
+//	BenchmarkName-8   1000   123.4 ns/op   56 B/op   7 allocs/op   0.9 custom-unit
+//
+// Custom units are ignored; only ns/op, B/op, allocs/op are kept.
+func parseBenchLine(line string) (string, Sample, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return "", Sample{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		// strip the -GOMAXPROCS suffix
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	s := Sample{NsPerOp: -1}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			s.NsPerOp = v
+		case "B/op":
+			b := v
+			s.BytesPerOp = &b
+		case "allocs/op":
+			a := v
+			s.AllocsPerOp = &a
+		}
+	}
+	if s.NsPerOp < 0 {
+		return "", Sample{}, false
+	}
+	return name, s, true
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+	os.Exit(1)
+}

@@ -4,11 +4,16 @@
 //
 // Usage:
 //
-//	benchtab [-seed N] [-csv DIR] [-quick] [e1 e2 ... e8 | all]
+//	benchtab [-seed N] [-csv DIR] [-quick] [-parallel N] [e1 e2 ... e8 | all]
 //
 // With no experiment arguments, runs all of them. -quick shrinks every
 // workload for a fast smoke run; the full-size run matches the
-// parameters EXPERIMENTS.md reports.
+// parameters EXPERIMENTS.md reports. -parallel caps the worker
+// goroutines the experiment sweeps fan independent arms across (0, the
+// default, uses all cores; 1 forces sequential). The tables are
+// byte-identical at every setting — each arm owns its deterministic
+// sim kernel and results merge in input order — so -parallel trades
+// wall-clock only.
 package main
 
 import (
@@ -26,11 +31,13 @@ import (
 
 func main() {
 	var (
-		seed  = flag.Uint64("seed", 1, "simulation seed")
-		csv   = flag.String("csv", "", "directory to write CSV series into")
-		quick = flag.Bool("quick", false, "shrink workloads for a fast smoke run")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		csv      = flag.String("csv", "", "directory to write CSV series into")
+		quick    = flag.Bool("quick", false, "shrink workloads for a fast smoke run")
+		parallel = flag.Int("parallel", 0, "worker goroutines for experiment sweeps (0 = all cores, 1 = sequential)")
 	)
 	flag.Parse()
+	core.SetParallelism(*parallel)
 
 	args := flag.Args()
 	if len(args) == 0 || (len(args) == 1 && args[0] == "all") {

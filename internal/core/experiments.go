@@ -244,8 +244,17 @@ func RunE3(seed uint64, trace []telescope.Record, space netsim.Prefix, timeouts 
 	if len(trace) > 0 {
 		traceEnd = trace[len(trace)-1].At
 	}
-	for _, timeout := range timeouts {
-		series, st := runE3Arm(seed, trace, traceEnd, space, timeout, 0)
+	type armResult struct {
+		series *metrics.Series
+		st     gateway.Stats
+	}
+	results := make([]armResult, len(timeouts))
+	ForEach(len(timeouts), func(i int) {
+		series, st := runE3Arm(seed, trace, traceEnd, space, timeouts[i], 0)
+		results[i] = armResult{series, st}
+	})
+	for i, timeout := range timeouts {
+		series, st := results[i].series, results[i].st
 		res.Table.AddRow(labelTimeout(timeout), series.Quantile(0.5), series.Quantile(0.95),
 			st.PeakBindings, st.BindingsCreated, st.BindingsRecycled)
 		res.Series = append(res.Series, series.Downsample(120))
@@ -299,12 +308,16 @@ func RunE3ScanFilter(seed uint64, trace []telescope.Record, space netsim.Prefix,
 	if len(trace) > 0 {
 		traceEnd = trace[len(trace)-1].At
 	}
-	for _, filt := range filters {
+	results := make([]gateway.Stats, len(filters))
+	ForEach(len(filters), func(i int) {
+		_, results[i] = runE3Arm(seed, trace, traceEnd, space, timeout, filters[i])
+	})
+	for i, filt := range filters {
 		label := "off"
 		if filt > 0 {
 			label = itoa(filt)
 		}
-		_, st := runE3Arm(seed, trace, traceEnd, space, timeout, filt)
+		st := results[i]
 		tab.AddRow(label, st.PeakBindings, st.BindingsCreated, st.ScanFiltered, st.DeliveredToVM)
 	}
 	return tab

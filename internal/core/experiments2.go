@@ -118,80 +118,104 @@ func RunE5(seed uint64, arms []E5Arm, dur time.Duration) E5Result {
 		"E5: Worm spread vs containment policy ("+dur.String()+" epidemic)",
 		"arm", "final_infected", "leaked_pkts", "leak_infections", "first_capture_s", "honeyfarm_infected")}
 
-	for _, arm := range arms {
-		k := sim.NewKernel(seed)
-		wcfg := worm.DefaultConfig()
-		wcfg.Seed = seed
-		// A Blaster-scale outbreak already underway: hot enough that the
-		// telescope sees it within seconds even on short runs.
-		wcfg.InitialInfected = 500
-		wcfg.ScanRate = 100
-		wcfg.ExploitPayload = guest.WindowsXP().ExploitPayload(0)
-		wcfg.MaxDeliverPerStep = 8
-
-		var g *gateway.Gateway
-		var f *farm.Farm
-		var leakedPkts uint64
-		firstCapture := -1.0
-
-		e := worm.New(k, wcfg)
-
-		if !arm.NoHoneyfarm {
-			fc := farm.DefaultConfig()
-			// A deliberately small farm: two 256 MiB servers bound the
-			// honeypot population (≈500 VMs), which keeps long epidemics
-			// tractable and exercises admission control the way a real
-			// under-provisioned farm would.
-			fc.Servers = 2
-			fc.HostConfig.MemoryBytes = 256 << 20
-			fc.Image = farm.ImageSpec{Name: "winxp", NumPages: 8192, ResidentPages: 2048, DiskBlocks: 256, Seed: 42}
-			fc.Profile = guest.WindowsXP()
-			fc.OnInfected = func(now sim.Time, in *guest.Instance) {
-				if firstCapture < 0 {
-					firstCapture = now.Seconds()
-				}
-			}
-			f = farm.MustNew(k, fc)
-			gc := gateway.DefaultConfig()
-			gc.Space = wcfg.Telescope
-			gc.Policy = arm.Policy
-			gc.IdleTimeout = 60 * time.Second
-			gc.MaxLifetime = 120 * time.Second // churn even busy (infected) VMs
-			gc.ReflectionLimit = 256
-			gc.ExternalOut = func(_ sim.Time, pkt *netsim.Packet) {
-				leakedPkts++
-				e.InjectLeak(pkt)
-			}
-			g = gateway.New(k, gc, f)
-			f.SetGateway(g)
-			e.Cfg.Deliver = func(now sim.Time, pkt *netsim.Packet) { g.HandleInbound(now, pkt) }
-		}
-
-		e.Start()
-		k.RunUntil(sim.Start.Add(dur))
-		e.Stop()
-		if g != nil {
-			g.Close()
-		}
-
-		st := e.Stats()
-		curve := e.Curve.Downsample(120)
-		curve.Name = arm.Name
-		res.Curves = append(res.Curves, curve)
-
-		hfInfected := 0
-		if f != nil {
-			hfInfected = f.InfectedVMs()
-		}
+	results := make([]e5ArmResult, len(arms))
+	ForEach(len(arms), func(i int) {
+		results[i] = runE5Arm(seed, arms[i], dur)
+	})
+	for i, arm := range arms {
+		r := results[i]
+		res.Curves = append(res.Curves, r.curve)
 		captureCell := any("n/a")
-		if firstCapture >= 0 {
-			captureCell = firstCapture
+		if r.firstCapture >= 0 {
+			captureCell = r.firstCapture
 		} else if !arm.NoHoneyfarm {
 			captureCell = "none"
 		}
-		res.Table.AddRow(arm.Name, st.Infected, leakedPkts, st.LeakInfections, captureCell, hfInfected)
+		res.Table.AddRow(arm.Name, r.st.Infected, r.leakedPkts, r.st.LeakInfections, captureCell, r.hfInfected)
 	}
 	return res
+}
+
+// e5ArmResult carries one containment arm's outputs to the merge step.
+type e5ArmResult struct {
+	st           worm.Stats
+	curve        *metrics.Series
+	leakedPkts   uint64
+	firstCapture float64
+	hfInfected   int
+}
+
+// runE5Arm couples one epidemic to one honeyfarm configuration. All
+// state is arm-local, so arms run concurrently under ForEach.
+func runE5Arm(seed uint64, arm E5Arm, dur time.Duration) e5ArmResult {
+	k := sim.NewKernel(seed)
+	wcfg := worm.DefaultConfig()
+	wcfg.Seed = seed
+	// A Blaster-scale outbreak already underway: hot enough that the
+	// telescope sees it within seconds even on short runs.
+	wcfg.InitialInfected = 500
+	wcfg.ScanRate = 100
+	wcfg.ExploitPayload = guest.WindowsXP().ExploitPayload(0)
+	wcfg.MaxDeliverPerStep = 8
+
+	var g *gateway.Gateway
+	var f *farm.Farm
+	var leakedPkts uint64
+	firstCapture := -1.0
+
+	e := worm.New(k, wcfg)
+
+	if !arm.NoHoneyfarm {
+		fc := farm.DefaultConfig()
+		// A deliberately small farm: two 256 MiB servers bound the
+		// honeypot population (≈500 VMs), which keeps long epidemics
+		// tractable and exercises admission control the way a real
+		// under-provisioned farm would.
+		fc.Servers = 2
+		fc.HostConfig.MemoryBytes = 256 << 20
+		fc.Image = farm.ImageSpec{Name: "winxp", NumPages: 8192, ResidentPages: 2048, DiskBlocks: 256, Seed: 42}
+		fc.Profile = guest.WindowsXP()
+		fc.OnInfected = func(now sim.Time, in *guest.Instance) {
+			if firstCapture < 0 {
+				firstCapture = now.Seconds()
+			}
+		}
+		f = farm.MustNew(k, fc)
+		gc := gateway.DefaultConfig()
+		gc.Space = wcfg.Telescope
+		gc.Policy = arm.Policy
+		gc.IdleTimeout = 60 * time.Second
+		gc.MaxLifetime = 120 * time.Second // churn even busy (infected) VMs
+		gc.ReflectionLimit = 256
+		gc.ExternalOut = func(_ sim.Time, pkt *netsim.Packet) {
+			leakedPkts++
+			e.InjectLeak(pkt)
+		}
+		g = gateway.New(k, gc, f)
+		f.SetGateway(g)
+		e.Cfg.Deliver = func(now sim.Time, pkt *netsim.Packet) { g.HandleInbound(now, pkt) }
+	}
+
+	e.Start()
+	k.RunUntil(sim.Start.Add(dur))
+	e.Stop()
+	if g != nil {
+		g.Close()
+	}
+
+	curve := e.Curve.Downsample(120)
+	curve.Name = arm.Name
+	hfInfected := 0
+	if f != nil {
+		hfInfected = f.InfectedVMs()
+	}
+	return e5ArmResult{
+		st:           e.Stats(),
+		curve:        curve,
+		leakedPkts:   leakedPkts,
+		firstCapture: firstCapture,
+		hfInfected:   hfInfected,
+	}
 }
 
 // E6Result holds detection-time measurements.
@@ -211,27 +235,53 @@ func RunE6(seed uint64, prefixBits []int, scanRates []float64, trials int) E6Res
 			return cols
 		}()...)...)
 
+	// Flatten the bits × rate × trial nest so every kernel run — not
+	// just every cell — fans out under ForEach.
+	type e6Trial struct {
+		bits  int
+		rate  float64
+		trial int
+		hit   bool
+		hitAt float64
+	}
+	var runs []e6Trial
+	for _, bits := range prefixBits {
+		for _, rate := range scanRates {
+			for trial := 0; trial < trials; trial++ {
+				runs = append(runs, e6Trial{bits: bits, rate: rate, trial: trial})
+			}
+		}
+	}
+	ForEach(len(runs), func(i int) {
+		r := &runs[i]
+		k := sim.NewKernel(seed + uint64(r.trial)*1000 + uint64(r.bits))
+		cfg := worm.DefaultConfig()
+		cfg.Seed = seed + uint64(r.trial)
+		cfg.Telescope = netsim.Prefix{Base: netsim.MustParseAddr("10.0.0.0"), Bits: r.bits}
+		cfg.InitialInfected = 10
+		cfg.ScanRate = r.rate
+		cfg.Susceptible = 1 << 20
+		cfg.Deliver = nil
+		e := worm.New(k, cfg)
+		e.Start()
+		k.RunUntil(sim.Start.Add(2 * time.Hour))
+		e.Stop()
+		if e.Stats().SeenTelescope {
+			r.hit = true
+			r.hitAt = e.Stats().FirstTelescopeHit.Seconds()
+		}
+	})
+	next := 0
 	for _, bits := range prefixBits {
 		row := []any{"/" + itoa(bits)}
-		for _, rate := range scanRates {
+		for range scanRates {
 			sum, n := 0.0, 0
 			for trial := 0; trial < trials; trial++ {
-				k := sim.NewKernel(seed + uint64(trial)*1000 + uint64(bits))
-				cfg := worm.DefaultConfig()
-				cfg.Seed = seed + uint64(trial)
-				cfg.Telescope = netsim.Prefix{Base: netsim.MustParseAddr("10.0.0.0"), Bits: bits}
-				cfg.InitialInfected = 10
-				cfg.ScanRate = rate
-				cfg.Susceptible = 1 << 20
-				cfg.Deliver = nil
-				e := worm.New(k, cfg)
-				e.Start()
-				k.RunUntil(sim.Start.Add(2 * time.Hour))
-				e.Stop()
-				if e.Stats().SeenTelescope {
-					sum += e.Stats().FirstTelescopeHit.Seconds()
+				if r := runs[next]; r.hit {
+					sum += r.hitAt
 					n++
 				}
+				next++
 			}
 			if n == 0 {
 				row = append(row, "none")

@@ -127,7 +127,16 @@ func RunE10(seed uint64, arms []E10Arm, dur time.Duration, patchRate float64) E1
 		"E10: Epidemic outcome vs honeyfarm-enabled response ("+dur.String()+", patch rate "+ftoa(patchRate*100)+"%/s)",
 		"arm", "capture_s", "response_s", "final_infected", "immunized")}
 
-	for _, arm := range arms {
+	type armResult struct {
+		curve      *metrics.Series
+		captureAt  float64
+		responseAt float64
+		infected   int
+		immunized  int
+	}
+	results := make([]armResult, len(arms))
+	ForEach(len(arms), func(i int) {
+		arm := arms[i]
 		k := sim.NewKernel(seed)
 		cfg := worm.DefaultConfig()
 		cfg.Seed = seed
@@ -162,15 +171,25 @@ func RunE10(seed uint64, arms []E10Arm, dur time.Duration, patchRate float64) E1
 
 		curve := e.Curve.Downsample(120)
 		curve.Name = arm.Name
-		res.Curves = append(res.Curves, curve)
+		results[i] = armResult{
+			curve:      curve,
+			captureAt:  captureAt,
+			responseAt: responseAt,
+			infected:   e.Infected(),
+			immunized:  e.Immunized(),
+		}
+	})
+	for i, arm := range arms {
+		r := results[i]
+		res.Curves = append(res.Curves, r.curve)
 		capCell, respCell := any("n/a"), any("n/a")
-		if captureAt >= 0 {
-			capCell = captureAt
+		if r.captureAt >= 0 {
+			capCell = r.captureAt
 		}
-		if responseAt >= 0 {
-			respCell = responseAt
+		if r.responseAt >= 0 {
+			respCell = r.responseAt
 		}
-		res.Table.AddRow(arm.Name, capCell, respCell, e.Infected(), e.Immunized())
+		res.Table.AddRow(arm.Name, capCell, respCell, r.infected, r.immunized)
 	}
 	return res
 }

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Experiment arms are embarrassingly parallel: each owns its own
+// sim.Kernel (single-threaded, seeded), its own farm/gateway/worm state,
+// and reads only immutable shared inputs (telescope traces, arm specs).
+// ForEach fans such arms across goroutines; the Run* sweeps write each
+// arm's result into a pre-sized slot and assemble tables only after all
+// arms finish, in input order — so the output is byte-identical to the
+// sequential path and the parallelism setting can never change a result,
+// only the wall-clock. The same-output regression test in
+// parallel_test.go holds this to account.
+
+// parallelism is the worker cap for ForEach; 0 means GOMAXPROCS.
+var parallelism atomic.Int64
+
+// SetParallelism caps the number of worker goroutines experiment sweeps
+// use (cmd/benchtab's -parallel flag). n <= 0 restores the default,
+// GOMAXPROCS. Safe to call concurrently; 1 forces sequential execution.
+func SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	parallelism.Store(int64(n))
+}
+
+// Parallelism returns the effective worker count.
+func Parallelism() int {
+	if n := int(parallelism.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(0) … fn(n-1), each exactly once, across up to
+// Parallelism() goroutines, and returns when all have finished. fn must
+// not touch another index's state; callers write results into a
+// pre-sized slice at their own index. Iteration order is unspecified —
+// any ordering requirement belongs in the caller's merge step. A panic
+// in fn is re-raised here after the remaining indices complete.
+func ForEach(n int, fn func(i int)) {
+	workers := Parallelism()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	type capturedPanic struct{ val any }
+	var next atomic.Int64
+	var panicVal atomic.Value
+	var wg sync.WaitGroup
+	run := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				panicVal.CompareAndSwap(nil, capturedPanic{r})
+			}
+		}()
+		fn(i)
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				run(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if r := panicVal.Load(); r != nil {
+		panic(r.(capturedPanic).val)
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"potemkin/internal/gateway"
+	"potemkin/internal/metrics"
+	"potemkin/internal/telescope"
+)
+
+func TestForEachCoversAllIndicesOnce(t *testing.T) {
+	defer SetParallelism(0)
+	for _, workers := range []int{1, 3, 16} {
+		SetParallelism(workers)
+		const n = 100
+		var counts [n]atomic.Int64
+		ForEach(n, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+	ForEach(0, func(int) { t.Fatal("fn called for n=0") })
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	defer SetParallelism(0)
+	SetParallelism(4)
+	var ran atomic.Int64
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic did not propagate")
+			}
+		}()
+		ForEach(8, func(i int) {
+			ran.Add(1)
+			if i == 3 {
+				panic("arm failure")
+			}
+		})
+	}()
+	// Remaining arms still complete: a failed arm must not strand its
+	// siblings' results.
+	if ran.Load() != 8 {
+		t.Errorf("ran %d of 8 arms", ran.Load())
+	}
+}
+
+func TestSetParallelismConcurrent(t *testing.T) {
+	defer SetParallelism(0)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			SetParallelism(n)
+			if Parallelism() < 1 {
+				t.Error("Parallelism < 1")
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestParallelMatchesSequential is the regression test the parallel
+// runner's determinism claim hangs on: every parallelized sweep must
+// render byte-identical tables (and series) whether arms run on one
+// goroutine or many. CI runs this under -race, which also proves the
+// arms share no mutable state.
+func TestParallelMatchesSequential(t *testing.T) {
+	defer SetParallelism(0)
+
+	render := func() map[string]string {
+		out := make(map[string]string)
+
+		trace := StandardTrace(2, time.Minute)
+		space := telescope.DefaultGenConfig().Space
+		e3 := RunE3(2, trace, space, []time.Duration{5 * time.Second, 0})
+		out["e3"] = e3.Table.String() + metrics.SeriesTable("live", e3.Series...).String()
+		out["e3b"] = RunE3ScanFilter(2, trace, space, 30*time.Second, []int{0, 3}).String()
+
+		arms := []E5Arm{
+			{Name: "no-honeyfarm", NoHoneyfarm: true},
+			{Name: "open", Policy: gateway.PolicyOpen},
+			{Name: "internal-reflect", Policy: gateway.PolicyInternalReflect},
+		}
+		e5 := RunE5(2, arms, 20*time.Second)
+		out["e5"] = e5.Table.String() + metrics.SeriesTable("infected", e5.Curves...).String()
+
+		out["e6"] = RunE6(2, []int{8, 16}, []float64{100}, 2).Table.String()
+
+		e10 := RunE10(2, []E10Arm{
+			{Name: "no-response"},
+			{Name: "/8 + 1m", TelescopeBits: 8, ReactionDelay: time.Minute},
+		}, 10*time.Minute, 0.01)
+		out["e10"] = e10.Table.String() + metrics.SeriesTable("infected", e10.Curves...).String()
+		return out
+	}
+
+	SetParallelism(1)
+	seq := render()
+	SetParallelism(4)
+	par := render()
+
+	for name, want := range seq {
+		if got := par[name]; got != want {
+			t.Errorf("%s diverged between sequential and parallel runs:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+				name, want, got)
+		}
+	}
+}

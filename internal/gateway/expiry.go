@@ -1,0 +1,86 @@
+package gateway
+
+import (
+	"container/heap"
+
+	"potemkin/internal/netsim"
+	"potemkin/internal/sim"
+)
+
+// The binding-expiry index: a lazy-deletion min-heap of (deadline,
+// binding) entries, so a scrub tick costs O(expired · log n) instead of
+// scanning every live binding (the 10k-binding steady state in
+// BenchmarkAblationScrub never expires anything — the old scan paid for
+// all 10k each tick, the heap pays one peek).
+//
+// Invariants that make lazy deletion sound:
+//
+//   - Every live binding has exactly one heap entry, pushed at bind time
+//     with the deadline computed from its then-current LastActive.
+//     Packet arrivals refresh LastActive without touching the heap, so a
+//     pushed deadline is always ≤ the binding's actual deadline — the
+//     heap can fire early (the entry is then re-pushed at the true
+//     deadline) but never late.
+//   - Recycling does not remove entries. A popped entry is validated
+//     against g.bindings by pointer; entries for recycled (or rebound —
+//     the address may carry a new *Binding) bindings are dropped.
+//   - Entries for pinned-detected bindings are dropped permanently:
+//     Binding.detected is sticky, so such a binding can never become
+//     scrubbable again (RecycleAll and backend-loss recycling don't
+//     consult the heap).
+//
+// seq breaks deadline ties in insertion order, keeping pop order — and
+// therefore the recycle event log — a pure function of the seed.
+
+type expiryEntry struct {
+	at   sim.Time
+	seq  uint64
+	addr netsim.Addr
+	b    *Binding
+}
+
+type expiryHeap []expiryEntry
+
+func (h expiryHeap) Len() int { return len(h) }
+func (h expiryHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h expiryHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *expiryHeap) Push(x any)        { *h = append(*h, x.(expiryEntry)) }
+func (h *expiryHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = expiryEntry{}
+	*h = old[:n-1]
+	return e
+}
+
+// bindingDeadline computes when b becomes scrubbable: the earlier of
+// idle expiry (from LastActive) and lifetime expiry (from CreatedAt).
+// ok is false when neither timeout is configured.
+func (g *Gateway) bindingDeadline(b *Binding) (at sim.Time, ok bool) {
+	if g.Cfg.IdleTimeout > 0 {
+		at, ok = b.LastActive.Add(g.Cfg.IdleTimeout), true
+	}
+	if g.Cfg.MaxLifetime > 0 {
+		if l := b.CreatedAt.Add(g.Cfg.MaxLifetime); !ok || l < at {
+			at, ok = l, true
+		}
+	}
+	return at, ok
+}
+
+// scheduleExpiry pushes b's current deadline onto the expiry heap.
+// No-op when recycling is disabled (the heap would only grow).
+func (g *Gateway) scheduleExpiry(addr netsim.Addr, b *Binding) {
+	at, ok := g.bindingDeadline(b)
+	if !ok {
+		return
+	}
+	g.expirySeq++
+	heap.Push(&g.expiry, expiryEntry{at: at, seq: g.expirySeq, addr: addr, b: b})
+}

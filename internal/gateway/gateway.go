@@ -19,6 +19,7 @@
 package gateway
 
 import (
+	"container/heap"
 	"errors"
 	"sort"
 	"time"
@@ -276,6 +277,10 @@ type Gateway struct {
 	rng      *sim.RNG
 	stats    Stats
 	scrub    *sim.Ticker
+	// expiry indexes bindings by recycling deadline (see expiry.go);
+	// expirySeq breaks deadline ties deterministically.
+	expiry    expiryHeap
+	expirySeq uint64
 	// pendingDepth is the live count of packets queued across all
 	// pending bindings (the Stats.PendingQueued gauge).
 	pendingDepth int
@@ -361,23 +366,39 @@ func (g *Gateway) startScrubber() {
 // benchmarks; the background ticker calls the same pass).
 func (g *Gateway) Scrub(now sim.Time) { g.scrubOnce(now) }
 
-// scrubOnce recycles bindings that exceeded idle or lifetime limits.
+// scrubOnce recycles bindings that exceeded idle or lifetime limits,
+// driven by the expiry heap: only entries whose pushed deadline has
+// arrived are examined, so a tick over a quiet steady state is O(1).
 // Expired addresses are recycled in sorted order so the event log is a
-// pure function of the seed (map iteration order is randomized).
+// pure function of the seed.
 func (g *Gateway) scrubOnce(now sim.Time) {
 	var expired []netsim.Addr
-	for addr, b := range g.bindings {
-		if b.State != BindingActive {
-			continue // never recycle mid-clone
+	var requeue []*Binding
+	var requeueAddrs []netsim.Addr
+	for len(g.expiry) > 0 && g.expiry[0].at <= now {
+		e := heap.Pop(&g.expiry).(expiryEntry)
+		b, ok := g.bindings[e.addr]
+		if !ok || b != e.b {
+			continue // stale: recycled, or the address was rebound
 		}
 		if g.Cfg.PinDetected && b.detected {
-			continue // quarantined for analysis
+			continue // quarantined for analysis; detected is sticky
 		}
-		idleOut := g.Cfg.IdleTimeout > 0 && now.Sub(b.LastActive) >= g.Cfg.IdleTimeout
-		lifeOut := g.Cfg.MaxLifetime > 0 && now.Sub(b.CreatedAt) >= g.Cfg.MaxLifetime
-		if idleOut || lifeOut {
-			expired = append(expired, addr)
+		at, _ := g.bindingDeadline(b)
+		if b.State != BindingActive || at > now {
+			// Mid-clone (never recycle those), or activity pushed the
+			// real deadline past the one recorded at push time. Re-push
+			// after the pop loop — a pending binding's deadline may
+			// already have arrived, and pushing it now would pop again
+			// in this same pass.
+			requeue = append(requeue, b)
+			requeueAddrs = append(requeueAddrs, e.addr)
+			continue
 		}
+		expired = append(expired, e.addr)
+	}
+	for i, b := range requeue {
+		g.scheduleExpiry(requeueAddrs[i], b)
 	}
 	sort.Slice(expired, func(i, j int) bool { return expired[i] < expired[j] })
 	for _, addr := range expired {

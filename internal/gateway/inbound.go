@@ -102,6 +102,7 @@ func (g *Gateway) bind(now sim.Time, addr netsim.Addr, hint SpawnHint) *Binding 
 	}
 	b := newBinding(now, addr, hint)
 	g.bindings[addr] = b
+	g.scheduleExpiry(addr, b)
 	g.stats.BindingsCreated++
 	if n := len(g.bindings); n > g.stats.PeakBindings {
 		g.stats.PeakBindings = n

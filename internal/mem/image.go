@@ -71,7 +71,7 @@ func NewPatternSpace(store *Store, numPages, residentPages, seed uint64) *Addres
 	}
 	a := NewAddressSpace(store, numPages)
 	for i := uint64(0); i < residentPages; i++ {
-		a.pages[i] = PTE{Frame: store.AllocPattern(seed + i + 1), Private: true}
+		a.setPage(i, PTE{Frame: store.AllocPattern(seed + i + 1), Private: true})
 	}
 	return a
 }

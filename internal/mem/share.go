@@ -55,8 +55,8 @@ func SharePass(store *Store, spaces []*AddressSpace) SharePassResult {
 				}
 				if bytesEqual(store.View(c.frame), content) {
 					store.IncRef(c.frame)
+					a.setPage(vpn, PTE{Frame: c.frame})
 					store.DecRef(pte.Frame)
-					a.pages[vpn] = PTE{Frame: c.frame}
 					res.PagesMerged++
 					res.BytesFreed += PageSize
 					merged = true
@@ -69,10 +69,4 @@ func SharePass(store *Store, spaces []*AddressSpace) SharePassResult {
 		}
 	}
 	return res
-}
-
-// alive reports whether a frame id is still present.
-func (s *Store) alive(id FrameID) bool {
-	_, ok := s.frames[id]
-	return ok
 }

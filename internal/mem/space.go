@@ -35,6 +35,13 @@ type AddressSpace struct {
 	numPages uint64 // guest-physical size in pages
 	released bool
 
+	// Incremental accounting, maintained by setPage/dropPage and the
+	// store's updatePrivate hook so PrivatePages/ResidentPages are O(1):
+	// private counts frames this space is the sole holder of (refs ==
+	// 1); shadowed counts owned vpns that also exist in the base image.
+	private  int
+	shadowed int
+
 	stats SpaceStats
 }
 
@@ -65,6 +72,27 @@ func (a *AddressSpace) checkPage(vpn uint64) {
 	}
 	if vpn >= a.numPages {
 		panic(fmt.Sprintf("mem: page %d outside space of %d pages", vpn, a.numPages))
+	}
+}
+
+// setPage installs or replaces the mapping for vpn, keeping holder
+// registration and the shadowed counter consistent. Reference counts
+// are the caller's business.
+func (a *AddressSpace) setPage(vpn uint64, pte PTE) {
+	if old, ok := a.pages[vpn]; ok {
+		if old.Frame != pte.Frame {
+			a.store.dropHolder(old.Frame, a)
+			a.store.addHolder(pte.Frame, a)
+		}
+		a.pages[vpn] = pte
+		return
+	}
+	a.pages[vpn] = pte
+	a.store.addHolder(pte.Frame, a)
+	if a.base != nil {
+		if _, inBase := a.base.pages[vpn]; inBase {
+			a.shadowed++
+		}
 	}
 }
 
@@ -103,7 +131,7 @@ func (a *AddressSpace) Write(vpn uint64, off int, b []byte) bool {
 	if pte, ok := a.pages[vpn]; ok {
 		newID, copied := a.store.CowWrite(pte.Frame, off, b)
 		if copied {
-			a.pages[vpn] = PTE{Frame: newID, Private: true}
+			a.setPage(vpn, PTE{Frame: newID, Private: true})
 			a.stats.CowFaults++
 			return true
 		}
@@ -117,17 +145,15 @@ func (a *AddressSpace) Write(vpn uint64, off int, b []byte) bool {
 			// CoW fault against the reference image: copy its content
 			// into a frame this space owns.
 			id := a.store.AllocCopyWrite(bpte.Frame, off, b)
-			a.pages[vpn] = PTE{Frame: id, Private: true}
+			a.setPage(vpn, PTE{Frame: id, Private: true})
 			a.stats.CowFaults++
 			return true
 		}
 	}
 	// Unmapped: writing to fresh zero-backed memory.
-	page := make([]byte, PageSize)
-	copy(page[off:], b)
-	id := a.store.AllocData(page) // may return the zero frame for zero writes
+	id := a.store.AllocZeroFill(off, b) // may return the zero frame for zero writes
 	private := !a.store.IsZeroFrame(id) && a.store.Refs(id) == 1
-	a.pages[vpn] = PTE{Frame: id, Private: private}
+	a.setPage(vpn, PTE{Frame: id, Private: private})
 	a.stats.ZeroFills++
 	return true
 }
@@ -136,10 +162,11 @@ func (a *AddressSpace) Write(vpn uint64, off int, b []byte) bool {
 // content). Replaces any owned mapping and shadows any base mapping.
 func (a *AddressSpace) MapPattern(vpn, seed uint64) {
 	a.checkPage(vpn)
-	if old, ok := a.pages[vpn]; ok {
+	old, replaced := a.pages[vpn]
+	a.setPage(vpn, PTE{Frame: a.store.AllocPattern(seed), Private: true})
+	if replaced {
 		a.store.DecRef(old.Frame)
 	}
-	a.pages[vpn] = PTE{Frame: a.store.AllocPattern(seed), Private: true}
 }
 
 // EachOwnedPage visits every page the space maps directly (private
@@ -157,32 +184,21 @@ func (a *AddressSpace) EachOwnedPage(fn func(vpn uint64)) {
 func (a *AddressSpace) OwnedPages() int { return len(a.pages) }
 
 // ResidentPages returns the number of pages with backing content:
-// owned pages plus base pages not shadowed by an owned copy.
+// owned pages plus base pages not shadowed by an owned copy. O(1): the
+// shadow count is maintained as mappings change.
 func (a *AddressSpace) ResidentPages() int {
-	n := len(a.pages)
-	if a.base != nil {
-		n = len(a.base.pages)
-		for vpn := range a.pages {
-			if _, inBase := a.base.pages[vpn]; !inBase {
-				n++
-			}
-		}
+	if a.base == nil {
+		return len(a.pages)
 	}
-	return n
+	return len(a.base.pages) + len(a.pages) - a.shadowed
 }
 
 // PrivatePages returns the number of pages backed by frames this space
 // holds exclusively — the VM's incremental memory cost, the quantity
-// delta virtualization minimizes.
-func (a *AddressSpace) PrivatePages() int {
-	n := 0
-	for _, pte := range a.pages {
-		if !a.store.IsZeroFrame(pte.Frame) && a.store.Refs(pte.Frame) == 1 {
-			n++
-		}
-	}
-	return n
-}
+// delta virtualization minimizes. O(1): the store attributes private
+// frames to their sole holder as reference counts change, so sampling
+// this in a loop (E2 does) no longer scans the page table.
+func (a *AddressSpace) PrivatePages() int { return a.private }
 
 // PrivateBytes is PrivatePages in bytes.
 func (a *AddressSpace) PrivateBytes() uint64 { return uint64(a.PrivatePages()) * PageSize }
@@ -198,9 +214,11 @@ func (a *AddressSpace) Release() {
 		return
 	}
 	for vpn, pte := range a.pages {
+		a.store.dropHolder(pte.Frame, a)
 		a.store.DecRef(pte.Frame)
 		delete(a.pages, vpn)
 	}
+	a.shadowed = 0
 	if a.base != nil {
 		a.base.live--
 		a.base = nil

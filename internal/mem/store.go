@@ -9,9 +9,17 @@
 // shared frame genuinely copies bytes, and accounting is derived from the
 // frame table — so the memory-savings experiments (E2) measure mechanism
 // behaviour, not a formula.
+//
+// The frame table is a dense slab ([]frame) with an intrusive free list
+// rather than a map of heap-allocated frames: allocation is a free-list
+// pop (or append), freeing is a push, and FrameIDs carry a generation
+// number so dangling IDs are caught when a slot is reused. Page buffers
+// of freed frames are recycled through a bounded pool, so steady-state
+// VM churn allocates no garbage on the alloc/CoW hot paths.
 package mem
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 )
@@ -20,18 +28,46 @@ import (
 const PageSize = 4096
 
 // FrameID names a machine frame in a Store. The zero FrameID is invalid.
+//
+// IDs pack a slab index (low 32 bits) with the slot's generation (high
+// 32 bits). The generation is bumped every time a slot is freed, so an
+// ID held across a free/reuse cycle no longer matches its slot and any
+// use panics instead of silently aliasing the new tenant.
 type FrameID uint64
 
-// frame is one machine page. Content is either explicit bytes, a
-// deterministic pattern (materialized lazily, so large synthetic
+func makeFrameID(idx, gen uint32) FrameID {
+	return FrameID(uint64(gen)<<32 | uint64(idx))
+}
+
+func (id FrameID) index() uint32      { return uint32(id) }
+func (id FrameID) generation() uint32 { return uint32(id >> 32) }
+
+// frame is one machine page slot in the slab. Content is either explicit
+// bytes, a deterministic pattern (materialized lazily, so large synthetic
 // reference images do not occupy host RAM), or all-zeroes (data == nil,
-// pattern == 0).
+// pattern == 0). refs == 0 marks a free slot.
 type frame struct {
 	refs    int64
 	data    []byte
 	pattern uint64 // nonzero: content is pattern-generated until materialized
 	hash    uint64
 	hashed  bool
+
+	// gen is the slot generation FrameIDs must match; bumped on free.
+	gen uint32
+	// nextFree links free slots (intrusive free list); meaningful only
+	// while refs == 0.
+	nextFree uint32
+
+	// Private-page accounting (see Store.updatePrivate): holder/extra
+	// form the multiset of address spaces currently mapping this frame
+	// (one entry per mapping; the single-holder common case costs one
+	// pointer, no allocation). priv is the space currently counting this
+	// frame as private, i.e. the sole holder of a refs==1 frame.
+	holder      *AddressSpace
+	extra       []*AddressSpace
+	holderCount int32
+	priv        *AddressSpace
 }
 
 // StoreStats counts frame-store activity.
@@ -45,12 +81,23 @@ type StoreStats struct {
 	PeakModeled uint64 // high-water mark of modeled bytes
 }
 
+// noFreeSlot terminates the intrusive free list.
+const noFreeSlot = ^uint32(0)
+
+// bufPoolCap bounds the recycled page-buffer pool (4 MiB of 4 KiB
+// pages). Churn beyond the cap falls back to the allocator, exactly the
+// pre-slab behaviour.
+const bufPoolCap = 1024
+
 // Store is a machine-wide refcounted frame table shared by every VM on a
 // simulated physical host. It is not safe for concurrent use; the VMM is
 // single-threaded under the sim kernel.
 type Store struct {
-	frames map[FrameID]*frame
-	next   FrameID
+	// slab[0] is a permanently-dead sentinel so index 0 (and hence
+	// FrameID 0) is never valid.
+	slab     []frame
+	freeHead uint32
+	live     int // live frames, maintained incrementally
 
 	// ShareContent enables content-based page sharing: AllocData and
 	// snapshot registration coalesce identical pages. Zero pages are
@@ -60,34 +107,86 @@ type Store struct {
 	zero  FrameID
 	dedup map[uint64][]FrameID
 
+	bufPool [][]byte
+
 	stats StoreStats
 }
 
 // NewStore returns an empty store with a preallocated shared zero frame.
 func NewStore() *Store {
 	s := &Store{
-		frames: make(map[FrameID]*frame),
-		next:   1,
-		dedup:  make(map[uint64][]FrameID),
+		slab:     make([]frame, 1, 64), // slot 0 reserved
+		freeHead: noFreeSlot,
+		dedup:    make(map[uint64][]FrameID),
 	}
 	// The canonical zero frame holds one permanent self-reference so VM
 	// churn can never free it.
-	s.zero = s.alloc(&frame{refs: 1})
+	s.zero, _ = s.alloc()
 	return s
 }
 
-func (s *Store) alloc(f *frame) FrameID {
-	id := s.next
-	s.next++
-	s.frames[id] = f
+// alloc carves a fresh frame slot (free-list pop or slab append) with
+// refs == 1 and updates the incremental live/peak counters. The returned
+// pointer is valid only until the next alloc (the slab may move).
+func (s *Store) alloc() (FrameID, *frame) {
+	var idx uint32
+	if s.freeHead != noFreeSlot {
+		idx = s.freeHead
+		s.freeHead = s.slab[idx].nextFree
+	} else {
+		s.slab = append(s.slab, frame{gen: 1})
+		idx = uint32(len(s.slab) - 1)
+	}
+	f := &s.slab[idx]
+	f.refs = 1
+	s.live++
 	s.stats.Allocs++
-	if n := len(s.frames); n > s.stats.PeakFrames {
-		s.stats.PeakFrames = n
+	if s.live > s.stats.PeakFrames {
+		s.stats.PeakFrames = s.live
+		s.stats.PeakModeled = uint64(s.live) * PageSize
 	}
-	if b := s.ModeledBytes(); b > s.stats.PeakModeled {
-		s.stats.PeakModeled = b
+	return makeFrameID(idx, f.gen), f
+}
+
+// free returns a slot to the free list, bumping its generation so stale
+// FrameIDs are caught, and recycles its page buffer.
+func (s *Store) free(idx uint32) {
+	f := &s.slab[idx]
+	if f.data != nil {
+		s.putBuf(f.data)
+		f.data = nil
 	}
-	return id
+	f.pattern = 0
+	f.hash = 0
+	f.hashed = false
+	f.holder = nil
+	if f.extra != nil {
+		clear(f.extra)
+		f.extra = f.extra[:0]
+	}
+	f.holderCount = 0
+	f.priv = nil
+	f.gen++
+	f.nextFree = s.freeHead
+	s.freeHead = idx
+	s.live--
+	s.stats.Frees++
+}
+
+func (s *Store) getBuf() []byte {
+	if n := len(s.bufPool); n > 0 {
+		b := s.bufPool[n-1]
+		s.bufPool[n-1] = nil
+		s.bufPool = s.bufPool[:n-1]
+		return b
+	}
+	return make([]byte, PageSize)
+}
+
+func (s *Store) putBuf(b []byte) {
+	if len(s.bufPool) < bufPoolCap {
+		s.bufPool = append(s.bufPool, b)
+	}
 }
 
 // Stats returns a copy of the store counters.
@@ -95,7 +194,7 @@ func (s *Store) Stats() StoreStats { return s.stats }
 
 // ZeroFrame returns the canonical all-zero frame with an added reference.
 func (s *Store) ZeroFrame() FrameID {
-	s.frames[s.zero].refs++
+	s.must(s.zero).refs++
 	s.stats.ZeroHits++
 	return s.zero
 }
@@ -103,31 +202,49 @@ func (s *Store) ZeroFrame() FrameID {
 // IsZeroFrame reports whether id is the canonical zero frame.
 func (s *Store) IsZeroFrame(id FrameID) bool { return id == s.zero }
 
-// FrameCount returns the number of live frames (including the zero frame).
-func (s *Store) FrameCount() int { return len(s.frames) }
+// FrameCount returns the number of live frames (including the zero
+// frame). O(1): the count is maintained as frames come and go.
+func (s *Store) FrameCount() int { return s.live }
 
 // ModeledBytes returns the machine memory the frames would occupy on real
 // hardware: one PageSize per live frame. This is the quantity the
-// paper's VMs-per-server arithmetic is about.
-func (s *Store) ModeledBytes() uint64 { return uint64(len(s.frames)) * PageSize }
+// paper's VMs-per-server arithmetic is about. O(1): derived from the
+// incremental live-frame counter, so sampling it in a loop (E2 does)
+// costs nothing.
+func (s *Store) ModeledBytes() uint64 { return uint64(s.live) * PageSize }
 
 // Refs returns the reference count of a frame.
 func (s *Store) Refs(id FrameID) int64 {
-	f := s.must(id)
-	return f.refs
+	return s.must(id).refs
 }
 
 func (s *Store) must(id FrameID) *frame {
-	f, ok := s.frames[id]
-	if !ok {
+	idx := id.index()
+	if idx == 0 || int(idx) >= len(s.slab) {
+		panic(fmt.Sprintf("mem: dangling frame %d", id))
+	}
+	f := &s.slab[idx]
+	if f.gen != id.generation() || f.refs <= 0 {
 		panic(fmt.Sprintf("mem: dangling frame %d", id))
 	}
 	return f
 }
 
+// alive reports whether a frame id is still present.
+func (s *Store) alive(id FrameID) bool {
+	idx := id.index()
+	if idx == 0 || int(idx) >= len(s.slab) {
+		return false
+	}
+	f := &s.slab[idx]
+	return f.gen == id.generation() && f.refs > 0
+}
+
 // IncRef adds a reference to a frame.
 func (s *Store) IncRef(id FrameID) {
-	s.must(id).refs++
+	f := s.must(id)
+	f.refs++
+	s.updatePrivate(f)
 }
 
 // DecRef drops a reference, freeing the frame at zero.
@@ -137,13 +254,82 @@ func (s *Store) DecRef(id FrameID) {
 	if f.refs < 0 {
 		panic(fmt.Sprintf("mem: negative refcount on frame %d", id))
 	}
+	s.updatePrivate(f)
 	if f.refs == 0 {
 		if f.hashed {
 			s.dropDedup(f.hash, id)
 		}
-		delete(s.frames, id)
-		s.stats.Frees++
+		s.free(id.index())
 	}
+}
+
+// addHolder records that space a maps frame id (one call per mapping).
+// The zero frame is exempt: it is never private and its holder multiset
+// would be as large as the page tables mapping it.
+func (s *Store) addHolder(id FrameID, a *AddressSpace) {
+	if id == s.zero {
+		return
+	}
+	f := s.must(id)
+	if f.holderCount == 0 {
+		f.holder = a
+	} else {
+		f.extra = append(f.extra, a)
+	}
+	f.holderCount++
+	s.updatePrivate(f)
+}
+
+// dropHolder removes one mapping of frame id by space a. Must be called
+// before the mapping's DecRef.
+func (s *Store) dropHolder(id FrameID, a *AddressSpace) {
+	if id == s.zero {
+		return
+	}
+	f := s.must(id)
+	if f.holder == a {
+		if n := len(f.extra); n > 0 {
+			f.holder = f.extra[n-1]
+			f.extra[n-1] = nil
+			f.extra = f.extra[:n-1]
+		} else {
+			f.holder = nil
+		}
+	} else {
+		for i, h := range f.extra {
+			if h == a {
+				n := len(f.extra)
+				f.extra[i] = f.extra[n-1]
+				f.extra[n-1] = nil
+				f.extra = f.extra[:n-1]
+				break
+			}
+		}
+	}
+	f.holderCount--
+	s.updatePrivate(f)
+}
+
+// updatePrivate maintains the per-space private-page counters: a frame
+// is private to a space exactly when that space holds the frame's only
+// reference. Called after every refcount or holder change, it moves the
+// frame's private attribution in O(1), which is what lets
+// AddressSpace.PrivatePages stop scanning.
+func (s *Store) updatePrivate(f *frame) {
+	var p *AddressSpace
+	if f.refs == 1 && f.holderCount == 1 {
+		p = f.holder
+	}
+	if p == f.priv {
+		return
+	}
+	if f.priv != nil {
+		f.priv.private--
+	}
+	if p != nil {
+		p.private++
+	}
+	f.priv = p
 }
 
 func (s *Store) dropDedup(hash uint64, id FrameID) {
@@ -163,13 +349,16 @@ func (s *Store) dropDedup(hash uint64, id FrameID) {
 }
 
 // materialize ensures f.data holds explicit bytes.
-func materialize(f *frame) []byte {
+func (s *Store) materialize(f *frame) []byte {
 	if f.data == nil {
-		f.data = make([]byte, PageSize)
+		buf := s.getBuf()
 		if f.pattern != 0 {
-			fillPattern(f.data, f.pattern)
+			fillPattern(buf, f.pattern)
 			f.pattern = 0
+		} else {
+			clear(buf) // recycled buffers carry stale content
 		}
+		f.data = buf
 	}
 	return f.data
 }
@@ -187,7 +376,15 @@ func fillPattern(dst []byte, seed uint64) {
 	}
 }
 
+// isAllZero scans a word (uint64) at a time; pages are 8-byte aligned in
+// length so the tail loop is for short slices only.
 func isAllZero(b []byte) bool {
+	for len(b) >= 8 {
+		if binary.LittleEndian.Uint64(b) != 0 {
+			return false
+		}
+		b = b[8:]
+	}
 	for _, c := range b {
 		if c != 0 {
 			return false
@@ -209,41 +406,79 @@ func (s *Store) AllocData(b []byte) FrameID {
 	if s.ShareContent {
 		h := contentHash(b)
 		for _, cand := range s.dedup[h] {
-			f := s.frames[cand]
-			if bytesEqual(materialize(f), b) {
+			f := s.must(cand)
+			if bytes.Equal(s.materialize(f), b) {
 				f.refs++
+				s.updatePrivate(f)
 				s.stats.DedupHits++
 				return cand
 			}
 		}
-		f := &frame{refs: 1, data: append([]byte(nil), b...), hash: h, hashed: true}
-		id := s.alloc(f)
+		id, f := s.alloc()
+		f.data = s.getBuf()
+		copy(f.data, b)
+		f.hash = h
+		f.hashed = true
 		s.dedup[h] = append(s.dedup[h], id)
 		return id
 	}
-	return s.alloc(&frame{refs: 1, data: append([]byte(nil), b...)})
+	id, f := s.alloc()
+	f.data = s.getBuf()
+	copy(f.data, b)
+	return id
 }
 
+// AllocZeroFill allocates a frame whose content is all-zero except b
+// written at off — the zero-fill fault path for writes to unmapped
+// pages. It avoids building a scratch page: small writes of zeroes still
+// coalesce onto the zero frame, and under ShareContent the constructed
+// page participates in dedup exactly as AllocData would.
+func (s *Store) AllocZeroFill(off int, b []byte) FrameID {
+	if off < 0 || off+len(b) > PageSize {
+		panic(fmt.Sprintf("mem: write [%d,%d) outside page", off, off+len(b)))
+	}
+	if isAllZero(b) {
+		return s.ZeroFrame()
+	}
+	if s.ShareContent {
+		// Dedup needs the full page bytes to hash; build it in a pooled
+		// buffer and hand it to the regular dedup path.
+		buf := s.getBuf()
+		clear(buf)
+		copy(buf[off:], b)
+		id := s.AllocData(buf)
+		s.putBuf(buf)
+		return id
+	}
+	id, f := s.alloc()
+	buf := s.getBuf()
+	clear(buf)
+	copy(buf[off:], b)
+	f.data = buf
+	return id
+}
+
+// contentHash hashes a page a word (uint64) at a time: FNV-style
+// combine per word with a final avalanche. Only used as a dedup bucket
+// key (matches are verified byte-for-byte), so the exact function may
+// change; it must only be deterministic within a process.
 func contentHash(b []byte) uint64 {
 	h := uint64(0xcbf29ce484222325)
-	for _, c := range b {
-		h ^= uint64(c)
-		h *= 0x100000001b3
+	for len(b) >= 8 {
+		h = (h ^ binary.LittleEndian.Uint64(b)) * 0x100000001b3
+		b = b[8:]
 	}
-	return h
+	for _, c := range b {
+		h = (h ^ uint64(c)) * 0x100000001b3
+	}
+	// splitmix64 finalizer: the FNV word loop alone mixes high bytes
+	// poorly.
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	return h ^ (h >> 31)
 }
 
-func bytesEqual(a, b []byte) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
-}
+func bytesEqual(a, b []byte) bool { return bytes.Equal(a, b) }
 
 // AllocCopyWrite allocates a new private frame holding a copy of src's
 // content with b applied at off — the copy-on-write fault path for
@@ -253,11 +488,14 @@ func (s *Store) AllocCopyWrite(src FrameID, off int, b []byte) FrameID {
 	if off < 0 || off+len(b) > PageSize {
 		panic(fmt.Sprintf("mem: write [%d,%d) outside page", off, off+len(b)))
 	}
-	nf := &frame{refs: 1, data: make([]byte, PageSize)}
-	copy(nf.data, s.View(src))
-	copy(nf.data[off:], b)
+	s.must(src) // validate before the slab may move
+	id, nf := s.alloc()
+	buf := s.getBuf()
+	nf.data = buf
+	copy(buf, s.View(src))
+	copy(buf[off:], b)
 	s.stats.CowCopies++
-	return s.alloc(nf)
+	return id
 }
 
 // AllocPattern allocates a frame whose content is a deterministic
@@ -268,7 +506,9 @@ func (s *Store) AllocPattern(seed uint64) FrameID {
 	if seed == 0 {
 		panic("mem: AllocPattern with zero seed")
 	}
-	return s.alloc(&frame{refs: 1, pattern: seed})
+	id, f := s.alloc()
+	f.pattern = seed
+	return id
 }
 
 // View returns the frame's content for reading. The returned slice must
@@ -279,7 +519,7 @@ func (s *Store) View(id FrameID) []byte {
 	if f.data == nil && f.pattern == 0 {
 		return zeroPage[:]
 	}
-	return materialize(f)
+	return s.materialize(f)
 }
 
 var zeroPage [PageSize]byte
@@ -294,13 +534,18 @@ func (s *Store) CowWrite(id FrameID, off int, b []byte) (FrameID, bool) {
 	}
 	f := s.must(id)
 	if f.refs > 1 {
-		// Shared: copy, drop our reference on the original.
-		nf := &frame{refs: 1, data: make([]byte, PageSize)}
-		copy(nf.data, s.View(id))
-		copy(nf.data[off:], b)
+		// Shared: copy, drop our reference on the original. The refs
+		// drop happens before alloc so private accounting settles while
+		// f is still addressable (alloc may move the slab).
 		f.refs--
+		s.updatePrivate(f)
+		nid, nf := s.alloc()
+		buf := s.getBuf()
+		nf.data = buf
+		copy(buf, s.View(id))
+		copy(buf[off:], b)
 		s.stats.CowCopies++
-		return s.alloc(nf), true
+		return nid, true
 	}
 	// Exclusive. A frame that was registered for dedup changes content,
 	// so its hash entry must be dropped.
@@ -308,7 +553,7 @@ func (s *Store) CowWrite(id FrameID, off int, b []byte) (FrameID, bool) {
 		s.dropDedup(f.hash, id)
 		f.hashed = false
 	}
-	copy(materialize(f)[off:], b)
+	copy(s.materialize(f)[off:], b)
 	return id, false
 }
 
@@ -322,7 +567,12 @@ func (s *Store) CheckRefs(external map[FrameID]int64) error {
 		seen[id] = n
 	}
 	seen[s.zero]++ // permanent self-reference
-	for id, f := range s.frames {
+	for idx := 1; idx < len(s.slab); idx++ {
+		f := &s.slab[idx]
+		if f.refs <= 0 {
+			continue // free slot
+		}
+		id := makeFrameID(uint32(idx), f.gen)
 		if f.refs != seen[id] {
 			return fmt.Errorf("mem: frame %d has %d refs, expected %d", id, f.refs, seen[id])
 		}
