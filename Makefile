@@ -28,12 +28,15 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzDecap -fuzztime=$(FUZZTIME) ./internal/gre
 	$(GO) test -run=^$$ -fuzz=FuzzReadCheckpoint -fuzztime=$(FUZZTIME) ./internal/vmm
 	$(GO) test -run=^$$ -fuzz=FuzzUnmarshal -fuzztime=$(FUZZTIME) ./internal/netsim
+	$(GO) test -run=^$$ -fuzz=FuzzPcapRead -fuzztime=$(FUZZTIME) ./internal/ingest
 
 # The core fast-path benchmarks (store alloc, CoW write, gateway scrub,
-# flash clone), compared against the recorded pre-slab baseline and
-# written to BENCH_core.json as before/after ns/op + allocs/op.
+# flash clone, wire ingest), compared against the recorded pre-slab
+# baseline and written to BENCH_core.json as before/after ns/op +
+# allocs/op.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkE1FlashClone$$|BenchmarkE2DeltaVirt$$|BenchmarkE4Gateway|BenchmarkAblation' -benchmem -benchtime 1s . \
+	( $(GO) test -run '^$$' -bench 'BenchmarkE1FlashClone$$|BenchmarkE2DeltaVirt$$|BenchmarkE4Gateway|BenchmarkAblation|BenchmarkE11WireIngest$$' -benchmem -benchtime 1s . ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkIngestDecap$$|BenchmarkWireSenderEncap$$' -benchmem -benchtime 1s ./internal/ingest ) \
 		| $(GO) run ./cmd/benchjson -baseline results/bench_baseline.json -out BENCH_core.json
 
 bench-all:

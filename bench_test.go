@@ -19,6 +19,7 @@ import (
 	"potemkin/internal/gateway"
 	"potemkin/internal/gre"
 	"potemkin/internal/guest"
+	"potemkin/internal/ingest"
 	"potemkin/internal/mem"
 	"potemkin/internal/netsim"
 	"potemkin/internal/sim"
@@ -359,5 +360,63 @@ func BenchmarkFacadeProbeLifecycle(b *testing.B) {
 		dst := space.Nth(uint64(i) % space.Size())
 		hf.InjectProbe("203.0.113.9", dst.String(), 445)
 		hf.RunFor(600 * time.Millisecond)
+	}
+}
+
+// --- E11: closed-loop wire ingest ---
+
+// BenchmarkE11WireIngest measures the full wire path end to end: a
+// sender GRE-encapsulates SYN probes over a real loopback UDP socket,
+// the listener decapsulates them, and the bridge drives them through
+// the whole honeyfarm simulation (clone, deliver, reply). ns/op is the
+// end-to-end per-packet cost; the sender is flow-controlled so the
+// number excludes drops (lossless transport, like the determinism
+// test).
+func BenchmarkE11WireIngest(b *testing.B) {
+	hf := MustNew(Options{Seed: 1, Servers: 64})
+	defer hf.Close()
+	l, err := ingest.Listen(ingest.Config{Addr: "127.0.0.1:0", Timestamped: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bridge := hf.WireBridge(1)
+	s, err := ingest.DialWire(l.Addr().String(), 1, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	space := netsim.MustParsePrefix("10.5.0.0/16")
+
+	b.ResetTimer()
+	go func() {
+		var pkt netsim.Packet
+		for i := 0; i < b.N; i++ {
+			pkt = netsim.Packet{
+				Src:   netsim.Addr(0x01000001 + uint32(i)%8192),
+				Dst:   space.Nth(uint64(i) % 1024),
+				Proto: netsim.ProtoTCP, TTL: 116,
+				SrcPort: uint16(1024 + i%60000), DstPort: 445,
+				Flags: netsim.FlagSYN, Window: 65535,
+			}
+			// 10 us virtual spacing: a 100k pps feed.
+			if err := s.SendPacket(sim.Time(i)*10000, &pkt); err != nil {
+				b.Error(err)
+				break
+			}
+			for s.Sent-l.Stats().Enqueued > 1024 {
+				time.Sleep(20 * time.Microsecond)
+			}
+		}
+		deadline := time.Now().Add(30 * time.Second)
+		for l.Stats().Received < s.Sent && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		l.Close()
+	}()
+	bridge.Pump(l, 0)
+	b.StopTimer()
+	st := l.Stats()
+	if st.Dropped != 0 || bridge.Delivered != uint64(b.N) {
+		b.Fatalf("lossy run: delivered %d of %d, stats %+v", bridge.Delivered, b.N, st)
 	}
 }

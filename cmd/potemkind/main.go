@@ -1,14 +1,22 @@
 // Command potemkind runs a simulated Potemkin honeyfarm against a
-// telescope feed — either a trace file recorded by cmd/telescope or a
-// freshly synthesized feed — and reports the gateway, farm, and memory
-// statistics the paper's scalability argument is made of.
+// telescope feed — a trace file recorded by cmd/telescope, a pcap
+// capture, live GRE-over-UDP wire traffic, or a freshly synthesized
+// feed — and reports the gateway, farm, and memory statistics the
+// paper's scalability argument is made of.
 //
 // Usage:
 //
 //	potemkind [flags]
 //
 //	-space CIDR      monitored address space (default 10.5.0.0/16)
-//	-trace FILE      replay a recorded trace instead of synthesizing
+//	-trace FILE      replay a recorded .potm trace (streamed; bounded memory)
+//	-pcap FILE       replay a pcap savefile instead
+//	-listen ADDR     serve live GRE-over-UDP wire ingest on this UDP address
+//	-listen-for D    stop serving after this much wall time (0: until ^C)
+//	-listen-shards N decap shards/queues for -listen (default 1)
+//	-queue N         per-shard ingest queue length (default 4096)
+//	-plain-gre       -listen expects plain GRE framing (no timestamp prefix)
+//	-speedup F       wall->virtual scale for plain-framing arrivals
 //	-duration D      length of synthesized feed (default 2m)
 //	-rate PPS        synthesized feed packet rate (default 200)
 //	-servers N       physical servers (default 4)
@@ -17,13 +25,19 @@
 //	-guest NAME      winxp|sqlserver|linux
 //	-seed N          simulation seed
 //	-interval D      progress report interval in simulated time (default 10s)
+//	-capture DIR     record gateway traffic (.potm, or .pcap with -capture-pcap)
 //	-trace-out F     write the binding-lifecycle span trace (JSONL; see cmd/tracetool)
 //	-trace-chrome F  write the trace in Chrome trace-event format (Perfetto)
 //	-debug-addr A    serve /snapshot, expvar and pprof on this HTTP address
 //	-snapshot-out F  write the final JSON snapshot
+//
+// SIGINT/SIGTERM stop the feed cleanly: the replay or listener winds
+// down, and every open writer (trace, capture, event log, snapshot) is
+// flushed before exit instead of being truncated mid-record.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"flag"
@@ -31,11 +45,14 @@ import (
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
+	"os/signal"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"potemkin"
 	"potemkin/internal/guest"
+	"potemkin/internal/ingest"
 	"potemkin/internal/metrics"
 	"potemkin/internal/sim"
 	"potemkin/internal/telescope"
@@ -43,28 +60,40 @@ import (
 
 func main() {
 	var (
-		space    = flag.String("space", "10.5.0.0/16", "monitored address space (CIDR)")
-		traceF   = flag.String("trace", "", "trace file to replay (default: synthesize)")
-		duration = flag.Duration("duration", 2*time.Minute, "synthesized feed duration")
-		rate     = flag.Float64("rate", 200, "synthesized feed rate (packets/sec)")
-		servers  = flag.Int("servers", 4, "physical servers")
-		shards   = flag.Int("shards", 1, "gateway instances partitioning the monitored space")
-		policy   = flag.String("policy", "internal-reflect", "containment policy")
-		idle     = flag.Duration("idle", 60*time.Second, "VM idle-recycling timeout (0 disables)")
-		guestN   = flag.String("guest", "winxp", "guest personality")
-		profileF = flag.String("profile", "", "load a custom guest personality from a JSON profile file")
-		seed     = flag.Uint64("seed", 1, "simulation seed")
-		interval = flag.Duration("interval", 10*time.Second, "progress interval (simulated)")
-		eventLog = flag.String("eventlog", "", "write the gateway's forensic event log (JSONL) to this file")
-		capture  = flag.String("capture", "", "record all gateway traffic into trace files under this directory")
-		ckptDir  = flag.String("checkpoints", "", "save delta checkpoints of detected VMs into this directory")
-		jsonOut  = flag.Bool("json", false, "emit the final stats as JSON on stdout")
-		traceOut = flag.String("trace-out", "", "write the binding-lifecycle span trace (JSONL) to this file")
-		traceChr = flag.String("trace-chrome", "", "write the trace in Chrome trace-event format (Perfetto-loadable) to this file")
-		debug    = flag.String("debug-addr", "", "serve /snapshot, /debug/vars (expvar) and /debug/pprof on this address while running")
-		snapOut  = flag.String("snapshot-out", "", "write the final JSON snapshot to this file")
+		space     = flag.String("space", "10.5.0.0/16", "monitored address space (CIDR)")
+		traceF    = flag.String("trace", "", "trace file to replay (default: synthesize)")
+		pcapF     = flag.String("pcap", "", "pcap savefile to replay instead of a .potm trace")
+		listen    = flag.String("listen", "", "serve live GRE-over-UDP ingest on this UDP address (e.g. 127.0.0.1:4754)")
+		listenFor = flag.Duration("listen-for", 0, "stop the listener after this much wall time (0: until interrupted)")
+		shardsIn  = flag.Int("listen-shards", 1, "ingest decap shards (1 keeps wire replay deterministic)")
+		queueLen  = flag.Int("queue", 4096, "per-shard ingest queue length (frames)")
+		plainGRE  = flag.Bool("plain-gre", false, "expect plain GRE framing on -listen (no timestamp prefix; arrival clock maps to virtual time)")
+		speedup   = flag.Float64("speedup", 1, "wall-to-virtual time scale for plain-framing arrivals")
+		duration  = flag.Duration("duration", 2*time.Minute, "synthesized feed duration")
+		rate      = flag.Float64("rate", 200, "synthesized feed rate (packets/sec)")
+		servers   = flag.Int("servers", 4, "physical servers")
+		shards    = flag.Int("shards", 1, "gateway instances partitioning the monitored space")
+		policy    = flag.String("policy", "internal-reflect", "containment policy")
+		idle      = flag.Duration("idle", 60*time.Second, "VM idle-recycling timeout (0 disables)")
+		guestN    = flag.String("guest", "winxp", "guest personality")
+		profileF  = flag.String("profile", "", "load a custom guest personality from a JSON profile file")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		interval  = flag.Duration("interval", 10*time.Second, "progress interval (simulated)")
+		eventLog  = flag.String("eventlog", "", "write the gateway's forensic event log (JSONL) to this file")
+		capture   = flag.String("capture", "", "record all gateway traffic into trace files under this directory")
+		capPcap   = flag.Bool("capture-pcap", false, "write -capture files as pcap savefiles instead of .potm")
+		ckptDir   = flag.String("checkpoints", "", "save delta checkpoints of detected VMs into this directory")
+		jsonOut   = flag.Bool("json", false, "emit the final stats as JSON on stdout")
+		traceOut  = flag.String("trace-out", "", "write the binding-lifecycle span trace (JSONL) to this file")
+		traceChr  = flag.String("trace-chrome", "", "write the trace in Chrome trace-event format (Perfetto-loadable) to this file")
+		debug     = flag.String("debug-addr", "", "serve /snapshot, /debug/vars (expvar) and /debug/pprof on this address while running")
+		snapOut   = flag.String("snapshot-out", "", "write the final JSON snapshot to this file")
 	)
 	flag.Parse()
+
+	if moreThanOne(*traceF != "", *pcapF != "", *listen != "") {
+		fatalf("-trace, -pcap, and -listen are mutually exclusive")
+	}
 
 	opts := potemkin.Options{
 		Seed:           *seed,
@@ -123,6 +152,7 @@ func main() {
 		opts.EventLog = f
 	}
 	opts.CaptureDir = *capture
+	opts.CapturePcap = *capPcap
 	opts.CheckpointDir = *ckptDir
 	// Trace files are registered for closing before the honeyfarm so the
 	// deferred hf.Close() (which flushes open spans and terminates the
@@ -150,26 +180,16 @@ func main() {
 	}
 	defer hf.Close()
 
-	var recs []potemkin.TraceRecord
-	if *traceF != "" {
-		f, err := os.Open(*traceF)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		all, err := telescope.ReadAll(f)
-		f.Close()
-		if err != nil {
-			fatalf("reading %s: %v", *traceF, err)
-		}
-		recs = all
-		fmt.Printf("replaying %d packets from %s\n", len(recs), *traceF)
-	} else {
-		recs, err = hf.GenerateTrace(*duration, *rate)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		fmt.Printf("synthesized %d packets over %v at %.0f pps\n", len(recs), *duration, *rate)
-	}
+	// Graceful shutdown: a signal flips the flag; the replay loop and
+	// the wire listener both consult it, wind down, and fall through to
+	// the normal epilogue so every writer is flushed.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	var interrupted atomic.Bool
+	go func() {
+		<-ctx.Done()
+		interrupted.Store(true)
+	}()
 
 	// The live debug endpoint must never touch simulation state from the
 	// HTTP goroutine (the sim is single-threaded): the periodic progress
@@ -220,7 +240,83 @@ func main() {
 		publishSnap()
 	})
 
-	injected := hf.ReplayTrace(recs)
+	var injected int
+	var ingestStats *ingest.Stats
+	var bridge *ingest.Bridge
+	halt := interrupted.Load
+	switch {
+	case *listen != "":
+		l, err := ingest.Listen(ingest.Config{
+			Addr:        *listen,
+			Shards:      *shardsIn,
+			QueueLen:    *queueLen,
+			Timestamped: !*plainGRE,
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		framing := "timestamped GRE"
+		if *plainGRE {
+			framing = "plain GRE"
+		}
+		fmt.Printf("listening for %s over UDP on %s (%d shard(s), queue %d)\n",
+			framing, l.Addr(), *shardsIn, *queueLen)
+		// The listener stops on signal or after -listen-for; Pump then
+		// drains the queues and returns.
+		var timer *time.Timer
+		if *listenFor > 0 {
+			timer = time.AfterFunc(*listenFor, func() { l.Close() })
+		}
+		go func() {
+			<-ctx.Done()
+			l.Close()
+		}()
+		bridge = hf.WireBridge(*speedup)
+		bridge.Pump(l, time.Millisecond)
+		if timer != nil {
+			timer.Stop()
+		}
+		injected = int(bridge.Delivered)
+		st := l.Stats()
+		ingestStats = &st
+	case *traceF != "" || *pcapF != "":
+		name := *traceF
+		var src telescope.Source
+		f, err := os.Open(nameOr(*traceF, *pcapF))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		if *pcapF != "" {
+			name = *pcapF
+			ps, err := ingest.NewPcapSource(f)
+			if err != nil {
+				fatalf("reading %s: %v", name, err)
+			}
+			src = ps
+		} else {
+			tr, err := telescope.NewReader(f)
+			if err != nil {
+				fatalf("reading %s: %v", name, err)
+			}
+			src = tr
+		}
+		fmt.Printf("streaming replay from %s\n", name)
+		injected, err = hf.ReplayStreamHalt(src, halt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "potemkind: replay: %v\n", err)
+		}
+	default:
+		recs, err := hf.GenerateTrace(*duration, *rate)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("synthesized %d packets over %v at %.0f pps\n", len(recs), *duration, *rate)
+		injected, _ = hf.ReplayStreamHalt(&telescope.SliceSource{Recs: recs}, halt)
+	}
+	if interrupted.Load() {
+		fmt.Println("\ninterrupted: flushing writers and reporting partial results")
+	}
 	publishSnap()
 
 	st := hf.Stats()
@@ -244,6 +340,17 @@ func main() {
 		st.OutboundToSource, st.DNSProxied, st.OutboundReflected, st.OutboundDropped)
 	fmt.Printf("  spawn failures        %d\n", st.SpawnFailures)
 	fmt.Printf("  farm memory in use    %d MiB across %d servers\n", st.MemoryInUse>>20, *servers)
+
+	if ingestStats != nil {
+		tab := metrics.NewTable("\nwire ingest",
+			"datagrams", "decap-errors", "queue-drops", "seq-gaps", "delivered", "clamped", "queue-hwm")
+		tab.AddRow(ingestStats.Received, ingestStats.FrameErrors, ingestStats.Dropped,
+			ingestStats.SeqGaps, bridge.Delivered, bridge.Clamped, ingestStats.QueueHWM)
+		tab.Render(os.Stdout)
+		if bridge.QueueDepth.Count() > 0 {
+			fmt.Printf("  queue depth: %s\n", bridge.QueueDepth.Summary())
+		}
+	}
 
 	gt := hf.Internals().Farm.GuestTotals()
 	fmt.Printf("  guest activity (live VMs): conns=%d established=%d app-responses=%d dns=%d scans-out=%d\n",
@@ -269,6 +376,25 @@ func main() {
 		}
 		fmt.Printf("\n[snapshot] %s\n", *snapOut)
 	}
+}
+
+// moreThanOne reports whether more than one of the flags is set.
+func moreThanOne(flags ...bool) bool {
+	n := 0
+	for _, f := range flags {
+		if f {
+			n++
+		}
+	}
+	return n > 1
+}
+
+// nameOr returns a if non-empty, else b.
+func nameOr(a, b string) string {
+	if a != "" {
+		return a
+	}
+	return b
 }
 
 // varFunc adapts a closure to expvar.Var, returning pre-marshaled JSON

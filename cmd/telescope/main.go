@@ -1,20 +1,31 @@
-// Command telescope generates, inspects, and converts synthetic
-// network-telescope traces in the repository's binary trace format.
+// Command telescope generates, inspects, converts, and replays
+// network-telescope traces. It speaks the repository's binary trace
+// format (.potm) and classic pcap savefiles, so captures can round-trip
+// between the simulation and the tools every network operator already
+// runs (tcpdump, Wireshark, tcpreplay).
 //
 // Usage:
 //
-//	telescope gen  [-out FILE] [-space CIDR] [-duration D] [-rate PPS] [-seed N]
-//	telescope info [-in FILE]
-//	telescope dump [-in FILE] [-n N]          (human-readable records)
-//	telescope csv  [-in FILE]                 (CSV to stdout)
+//	telescope gen    [-out FILE] [-space CIDR] [-duration D] [-rate PPS] [-seed N]
+//	telescope info   [-in FILE]                (format auto-detected)
+//	telescope dump   [-in FILE] [-n N]         (human-readable records)
+//	telescope csv    [-in FILE]                (CSV to stdout)
+//	telescope import [-in FILE.pcap] [-out FILE.potm]
+//	telescope export [-in FILE.potm] [-out FILE.pcap]
+//	telescope replay [-in FILE] -to ADDR [-speedup F | -maxrate] [-key N] [-plain-gre]
+//
+// All subcommands stream record-at-a-time: multi-GB traces are
+// processed in bounded memory.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
+	"potemkin/internal/ingest"
 	"potemkin/internal/netsim"
 	"potemkin/internal/telescope"
 )
@@ -32,13 +43,19 @@ func main() {
 		cmdDump(os.Args[2:])
 	case "csv":
 		cmdCSV(os.Args[2:])
+	case "import":
+		cmdImport(os.Args[2:])
+	case "export":
+		cmdExport(os.Args[2:])
+	case "replay":
+		cmdReplay(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: telescope {gen|info|dump|csv} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: telescope {gen|info|dump|csv|import|export|replay} [flags]")
 	os.Exit(2)
 }
 
@@ -86,39 +103,56 @@ func cmdGen(args []string) {
 		st.Duration.Truncate(time.Second), st.RatePPS)
 }
 
-func readTrace(fs *flag.FlagSet, args []string) []telescope.Record {
-	in := fs.String("in", "trace.potm", "input file")
-	n := fs.Int("n", 20, "records to dump (dump only)")
-	fs.Parse(args)
-	_ = n
-	f, err := os.Open(*in)
+// openSource opens a trace in either format, sniffing the magic number,
+// and returns a streaming record source.
+func openSource(path string) (telescope.Source, *os.File) {
+	f, err := os.Open(path)
 	if err != nil {
 		fatalf("%v", err)
 	}
-	defer f.Close()
-	recs, err := telescope.ReadAll(f)
-	if err != nil {
-		fatalf("reading %s: %v", *in, err)
+	if src, err := telescope.NewReader(f); err == nil {
+		return src, f
 	}
-	return recs
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		fatalf("%v", err)
+	}
+	src, err := ingest.NewPcapSource(f)
+	if err != nil {
+		fatalf("%s: neither a .potm trace nor a pcap savefile", path)
+	}
+	return src, f
 }
 
 func cmdInfo(args []string) {
 	fs := flag.NewFlagSet("info", flag.ExitOnError)
-	recs := readTrace(fs, args)
-	st := telescope.Summarize(recs)
+	in := fs.String("in", "trace.potm", "input file (.potm or .pcap)")
+	fs.Parse(args)
+	src, f := openSource(*in)
+	defer f.Close()
+
+	var acc telescope.Summary
+	byProto := map[netsim.Proto]int{}
+	byPort := map[uint16]int{}
+	var rec telescope.Record
+	for {
+		err := src.Read(&rec)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fatalf("reading %s: %v", *in, err)
+		}
+		acc.Add(&rec)
+		byProto[rec.Proto]++
+		byPort[rec.DstPort]++
+	}
+	st := acc.Stats()
 	fmt.Printf("packets:       %d\n", st.Packets)
 	fmt.Printf("sources:       %d\n", st.UniqueSources)
 	fmt.Printf("destinations:  %d\n", st.UniqueDests)
 	fmt.Printf("duration:      %v\n", st.Duration.Truncate(time.Millisecond))
 	fmt.Printf("rate:          %.1f pps\n", st.RatePPS)
 
-	byProto := map[netsim.Proto]int{}
-	byPort := map[uint16]int{}
-	for i := range recs {
-		byProto[recs[i].Proto]++
-		byPort[recs[i].DstPort]++
-	}
 	fmt.Printf("protocols:    ")
 	for p, c := range byProto {
 		fmt.Printf(" %s=%d", p, c)
@@ -144,35 +178,147 @@ func cmdInfo(args []string) {
 
 func cmdDump(args []string) {
 	fs := flag.NewFlagSet("dump", flag.ExitOnError)
-	in := fs.String("in", "trace.potm", "input file")
+	in := fs.String("in", "trace.potm", "input file (.potm or .pcap)")
 	n := fs.Int("n", 20, "records to dump")
 	fs.Parse(args)
-	f, err := os.Open(*in)
-	if err != nil {
-		fatalf("%v", err)
-	}
+	src, f := openSource(*in)
 	defer f.Close()
-	recs, err := telescope.ReadAll(f)
-	if err != nil {
-		fatalf("%v", err)
+	shown, more := 0, 0
+	var rec telescope.Record
+	for {
+		err := src.Read(&rec)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if shown < *n {
+			fmt.Printf("%-14v %s\n", time.Duration(rec.At).Truncate(time.Microsecond), rec.Packet())
+			shown++
+		} else {
+			more++
+		}
 	}
-	for i := 0; i < len(recs) && i < *n; i++ {
-		r := &recs[i]
-		fmt.Printf("%-14v %s\n", time.Duration(r.At).Truncate(time.Microsecond), r.Packet())
-	}
-	if len(recs) > *n {
-		fmt.Printf("... %d more\n", len(recs)-*n)
+	if more > 0 {
+		fmt.Printf("... %d more\n", more)
 	}
 }
 
 func cmdCSV(args []string) {
 	fs := flag.NewFlagSet("csv", flag.ExitOnError)
-	recs := readTrace(fs, args)
+	in := fs.String("in", "trace.potm", "input file (.potm or .pcap)")
+	fs.Parse(args)
+	src, f := openSource(*in)
+	defer f.Close()
 	fmt.Println("t_seconds,src,dst,proto,sport,dport,flags,paylen")
-	for i := range recs {
-		r := &recs[i]
+	var rec telescope.Record
+	for {
+		err := src.Read(&rec)
+		if err == io.EOF {
+			return
+		}
+		if err != nil {
+			fatalf("%v", err)
+		}
 		fmt.Printf("%.6f,%s,%s,%s,%d,%d,%s,%d\n",
-			r.At.Seconds(), r.Src, r.Dst, r.Proto, r.SrcPort, r.DstPort,
-			netsim.FlagString(r.Flags), r.PayLen)
+			rec.At.Seconds(), rec.Src, rec.Dst, rec.Proto, rec.SrcPort, rec.DstPort,
+			netsim.FlagString(rec.Flags), rec.PayLen)
 	}
+}
+
+func cmdImport(args []string) {
+	fs := flag.NewFlagSet("import", flag.ExitOnError)
+	in := fs.String("in", "trace.pcap", "input pcap savefile")
+	out := fs.String("out", "trace.potm", "output .potm trace")
+	fs.Parse(args)
+	inF, err := os.Open(*in)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer inF.Close()
+	src, err := ingest.NewPcapSource(inF)
+	if err != nil {
+		fatalf("reading %s: %v", *in, err)
+	}
+	outF, err := os.Create(*out)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer outF.Close()
+	tw, err := telescope.NewWriter(outF)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var rec telescope.Record
+	for {
+		err := src.Read(&rec)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fatalf("reading %s: %v", *in, err)
+		}
+		if err := tw.Write(&rec); err != nil {
+			fatalf("writing %s: %v", *out, err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("imported %d packets from %s to %s (%d frames skipped)\n",
+		tw.Count(), *in, *out, src.Skipped)
+}
+
+func cmdExport(args []string) {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	in := fs.String("in", "trace.potm", "input .potm trace (e.g. a gateway -capture file)")
+	out := fs.String("out", "trace.pcap", "output pcap savefile")
+	fs.Parse(args)
+	inF, err := os.Open(*in)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer inF.Close()
+	src, err := telescope.NewReader(inF)
+	if err != nil {
+		fatalf("reading %s: %v", *in, err)
+	}
+	outF, err := os.Create(*out)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer outF.Close()
+	n, err := ingest.WritePcap(outF, src)
+	if err != nil {
+		fatalf("writing %s: %v", *out, err)
+	}
+	fmt.Printf("exported %d packets from %s to %s\n", n, *in, *out)
+}
+
+func cmdReplay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	in := fs.String("in", "trace.potm", "input file (.potm or .pcap)")
+	to := fs.String("to", fmt.Sprintf("127.0.0.1:%d", ingest.DefaultPort), "listener UDP address")
+	speedup := fs.Float64("speedup", 1, "replay this many times faster than recorded")
+	maxrate := fs.Bool("maxrate", false, "replay back to back, ignoring recorded timing")
+	key := fs.Uint("key", 1, "GRE tunnel key")
+	plain := fs.Bool("plain-gre", false, "send plain GRE framing (no virtual-timestamp prefix)")
+	fs.Parse(args)
+	src, f := openSource(*in)
+	defer f.Close()
+	s, err := ingest.DialWire(*to, uint32(*key), !*plain)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer s.Close()
+	start := time.Now()
+	n, last, err := ingest.Replay(s, src, ingest.ReplayOptions{Speedup: *speedup, MaxRate: *maxrate})
+	if err != nil {
+		fatalf("replaying %s: %v", *in, err)
+	}
+	wall := time.Since(start)
+	fmt.Printf("replayed %d packets (%s of trace time) to %s in %v (%.0f pps on the wire)\n",
+		n, time.Duration(last).Truncate(time.Millisecond), *to, wall.Truncate(time.Millisecond),
+		float64(n)/wall.Seconds())
 }

@@ -81,6 +81,20 @@ func internetChecksum(data []byte) uint16 {
 // GRE packet bytes.
 func Encap(h *Header, inner []byte) []byte {
 	buf := make([]byte, h.Len()+len(inner))
+	EncapInto(h, buf, inner)
+	return buf
+}
+
+// EncapInto serializes the GRE packet into buf, which must be at least
+// h.Len()+len(inner) bytes, and returns the number of bytes written. The
+// wire-send fast paths (cmd/floodgen, the ingest replayer) use this to
+// encapsulate without per-packet allocation.
+func EncapInto(h *Header, buf, inner []byte) int {
+	total := h.Len() + len(inner)
+	if len(buf) < total {
+		panic("gre: EncapInto buffer too small")
+	}
+	buf = buf[:total]
 	var flags byte
 	if h.HasChecksum {
 		flags |= flagChecksum
@@ -113,7 +127,7 @@ func Encap(h *Header, inner []byte) []byte {
 		sum := internetChecksum(buf)
 		binary.BigEndian.PutUint16(buf[ckOff:], sum)
 	}
-	return buf
+	return total
 }
 
 // Decap parses a GRE packet, returning the header and the inner payload

@@ -1,0 +1,130 @@
+package ingest
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"potemkin/internal/metrics"
+	"potemkin/internal/netsim"
+	"potemkin/internal/sim"
+	"potemkin/internal/trace"
+)
+
+// Bridge moves frames from a Listener into the single-threaded
+// simulation. It is the only component that touches the sim kernel, so
+// the kernel's no-concurrency rule holds: socket goroutines stop at the
+// shard queues, and the bridge alternates "schedule the frame's
+// injection event" / "run the kernel to it" — the same mechanics as
+// telescope.StreamReplayer, which is what makes a wire replay
+// reproduce an in-process replay byte for byte (with one shard and
+// timestamped framing).
+type Bridge struct {
+	K *sim.Kernel
+	// Emit receives each inner packet at its mapped virtual time.
+	Emit func(now sim.Time, pkt *netsim.Packet)
+	// Speedup scales wall arrival time onto virtual time under plain
+	// framing: virtual = wall_offset * Speedup. A feed replayed onto
+	// the wire 10x faster than recorded maps back to recorded virtual
+	// spacing with Speedup=10. Zero means 1. Ignored for timestamped
+	// frames, whose virtual time is exact.
+	Speedup float64
+	// Tracer, when set, receives an instant span event whenever the
+	// listener reports new drops, tying wire loss into the same
+	// timeline as binding lifecycles. Emitted from the sim thread.
+	Tracer *trace.Tracer
+
+	// Delivered counts packets injected into the simulation.
+	Delivered uint64
+	// Clamped counts frames whose timestamp lagged the virtual clock
+	// (cross-shard interleaving or out-of-order arrival) and were
+	// injected "now" instead.
+	Clamped uint64
+	// QueueDepth samples the listener queue depth once per frame, the
+	// E11 queue-occupancy measurement.
+	QueueDepth metrics.Histogram
+}
+
+// Pump consumes the listener until it is closed and drained, then runs
+// the kernel for tail more virtual time (the same epilogue as an
+// in-process replay, letting recycling timers settle). It returns the
+// virtual time of the last injection.
+func (b *Bridge) Pump(l *Listener, tail time.Duration) sim.Time {
+	speed := b.Speedup
+	if speed <= 0 {
+		speed = 1
+	}
+	merged := b.merge(l)
+	base := b.K.Now()
+	var last sim.Time
+	var dropsSeen uint64
+	for f := range merged {
+		ts := f.TS
+		if !l.cfg.Timestamped && speed != 1 {
+			ts = sim.Time(float64(ts) * speed)
+		}
+		at := base + ts
+		if at < b.K.Now() {
+			at = b.K.Now()
+			b.Clamped++
+		}
+		pkt := clonePacket(&f.Pkt)
+		b.QueueDepth.Observe(float64(l.QueueDepth()))
+		l.Release(f)
+		b.K.At(at, func(now sim.Time) {
+			b.Delivered++
+			b.Emit(now, pkt)
+		})
+		b.K.RunUntil(at)
+		last = at
+		if b.Tracer.Enabled() {
+			if d := l.dropped.Load(); d > dropsSeen {
+				b.Tracer.Instant(b.K.Now(), "ingest.drop",
+					trace.Attr{K: "dropped", V: fmt.Sprint(d - dropsSeen)},
+					trace.Attr{K: "total", V: fmt.Sprint(d)})
+				dropsSeen = d
+			}
+		}
+	}
+	if tail > 0 {
+		b.K.RunFor(tail)
+	}
+	return last
+}
+
+// merge fans the listener's shard queues into one channel. With one
+// shard this is a direct handoff; with several, interleaving across
+// shards follows goroutine scheduling (per-destination order is still
+// preserved, because the listener shards by destination).
+func (b *Bridge) merge(l *Listener) <-chan *Frame {
+	if l.Shards() == 1 {
+		return l.Frames(0)
+	}
+	merged := make(chan *Frame, l.Shards())
+	var wg sync.WaitGroup
+	for i := 0; i < l.Shards(); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for f := range l.Frames(i) {
+				merged <- f
+			}
+		}(i)
+	}
+	go func() {
+		wg.Wait()
+		close(merged)
+	}()
+	return merged
+}
+
+// clonePacket copies a frame's parsed packet out of the pooled buffer
+// so the simulation may retain it (pending-queue it, capture it) after
+// the frame is released.
+func clonePacket(p *netsim.Packet) *netsim.Packet {
+	q := *p
+	if p.Payload != nil {
+		q.Payload = append([]byte(nil), p.Payload...)
+	}
+	return &q
+}

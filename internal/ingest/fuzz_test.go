@@ -1,0 +1,64 @@
+package ingest
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"potemkin/internal/netsim"
+	"potemkin/internal/telescope"
+)
+
+// FuzzPcapRead: pcap files come from outside the trust boundary (any
+// capture a user imports). Hostile headers and record lengths must
+// neither panic, nor hang, nor allocate absurd buffers — the oversize
+// guard refuses length fields beyond maxPcapPacket before allocating.
+func FuzzPcapRead(f *testing.F) {
+	// Seed with a valid file...
+	var valid bytes.Buffer
+	pw, _ := NewPcapWriter(&valid)
+	pkt := netsim.TCPSyn(netsim.MustParseAddr("1.2.3.4"), netsim.MustParseAddr("10.5.0.9"), 4444, 445, 7)
+	pw.WritePacket(1e9, pkt.Marshal())
+	pw.WritePacket(2e9, []byte{0x60, 1, 2, 3}) // one unconvertible frame
+	pw.Flush()
+	f.Add(valid.Bytes())
+	// ...a truncated one, a big-endian µs header, and a length bomb.
+	f.Add(valid.Bytes()[:pcapFileHeaderLen+pcapRecordHeaderLen-3])
+	beHdr := make([]byte, pcapFileHeaderLen)
+	binary.BigEndian.PutUint32(beHdr[0:], pcapMagicUS)
+	binary.BigEndian.PutUint16(beHdr[4:], pcapVMajor)
+	binary.BigEndian.PutUint32(beHdr[20:], LinkTypeEthernet)
+	f.Add(beHdr)
+	bomb := append(append([]byte{}, valid.Bytes()[:pcapFileHeaderLen]...), make([]byte, pcapRecordHeaderLen)...)
+	binary.LittleEndian.PutUint32(bomb[pcapFileHeaderLen+8:], 1<<31)
+	f.Add(bomb)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pr, err := NewPcapReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Bound the work: a file of n bytes can hold at most n records.
+		for i := 0; i <= len(data); i++ {
+			_, pktBytes, err := pr.Next()
+			if err != nil {
+				break
+			}
+			if len(pktBytes) > maxPcapPacket {
+				t.Fatalf("reader admitted %d-byte record", len(pktBytes))
+			}
+		}
+
+		// The record source must likewise survive anything.
+		src, err := NewPcapSource(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var rec telescope.Record
+		for i := 0; i <= len(data); i++ {
+			if err := src.Read(&rec); err != nil {
+				break
+			}
+		}
+	})
+}

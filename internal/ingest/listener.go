@@ -1,0 +1,338 @@
+package ingest
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"potemkin/internal/gre"
+	"potemkin/internal/netsim"
+	"potemkin/internal/sim"
+)
+
+// Wire framing. A telescope router tunnels raw IPv4 packets to the
+// gateway inside GRE; here the GRE packet rides a UDP datagram
+// (GRE-in-UDP, the shape of RFC 8086):
+//
+//	UDP payload = GRE header [+key][+seq] + inner IPv4 packet
+//
+// Our own senders (cmd/floodgen, the wire replayer) additionally prefix
+// an 8-byte big-endian virtual timestamp in nanoseconds — the
+// "timestamped" framing — so a replayed trace maps onto *exactly* the
+// simulated instants it was recorded at, independent of wall-clock
+// jitter on the wire. Plain framing maps arrival wall time onto
+// simulated time instead (scaled by the bridge's Speedup).
+const (
+	tsPrefixLen = 8
+
+	// frameBufSize bounds one datagram. Telescope packets are small
+	// (probes, first exploit segments); datagrams longer than this are
+	// truncated by the socket read and then refused by the IPv4 parser
+	// as inconsistent, landing in FrameErrors.
+	frameBufSize = 4096
+
+	// DefaultPort is the listener's conventional UDP port (the
+	// GRE-in-UDP destination port assigned by RFC 8086).
+	DefaultPort = 4754
+)
+
+// Frame is one decapsulated datagram moving from the socket to the
+// bridge. Frames are pooled: the bridge must Release every frame it
+// receives, after which Pkt (whose Payload aliases Buf) is dead.
+type Frame struct {
+	Buf [frameBufSize]byte
+	N   int // datagram length
+
+	// TS is the frame's virtual timestamp: the wire timestamp under
+	// timestamped framing, or the wall-clock offset since the first
+	// arrival under plain framing.
+	TS sim.Time
+
+	// GRE envelope fields.
+	Key    uint32
+	Seq    uint32
+	HasSeq bool
+
+	// Pkt is the parsed inner packet. Payload aliases Buf.
+	Pkt netsim.Packet
+
+	shard int
+}
+
+// Config parameterizes a Listener. The zero value of every field except
+// Addr has a working default.
+type Config struct {
+	// Addr is the UDP listen address, e.g. "127.0.0.1:4754".
+	Addr string
+	// Shards is the number of decap workers and bounded queues the
+	// feed is partitioned across (by inner destination address, so
+	// per-destination packet order survives). Default 1. Deterministic
+	// replay requires 1: with several shards, cross-shard arrival
+	// interleaving is scheduling-dependent.
+	Shards int
+	// QueueLen bounds each shard's queue, in frames. When a queue is
+	// full the reader drops the datagram and counts it — explicit
+	// backpressure instead of unbounded buffering. Default 4096.
+	QueueLen int
+	// Timestamped selects the 8-byte virtual-timestamp prefix framing
+	// (see the framing comment above).
+	Timestamped bool
+	// ReadBuffer is the socket receive buffer size hint in bytes
+	// (SO_RCVBUF). Default 4 MiB; the OS may clamp it.
+	ReadBuffer int
+}
+
+// Stats is an atomic snapshot of listener activity.
+type Stats struct {
+	Received    uint64 // datagrams read off the socket
+	Bytes       uint64 // datagram bytes read
+	FrameErrors uint64 // undecodable frames (short, bad GRE, bad inner IPv4)
+	Dropped     uint64 // frames dropped against a full shard queue
+	Enqueued    uint64 // frames handed to the bridge side
+	SeqGaps     uint64 // missing GRE sequence numbers (sender- or kernel-side loss)
+	QueueDepth  int    // current frames queued across shards
+	QueueHWM    int    // high-water mark of QueueDepth
+}
+
+// Listener receives GRE-over-UDP telescope traffic and feeds
+// decapsulated frames into per-shard bounded queues.
+type Listener struct {
+	cfg  Config
+	pc   *net.UDPConn
+	raw  []chan *Frame // reader -> decap workers
+	out  []chan *Frame // decap workers -> bridge
+	pool sync.Pool
+	wg   sync.WaitGroup
+
+	received    atomic.Uint64
+	bytes       atomic.Uint64
+	frameErrors atomic.Uint64
+	dropped     atomic.Uint64
+	enqueued    atomic.Uint64
+	seqGaps     atomic.Uint64
+	hwm         atomic.Int64
+
+	t0   atomic.Int64 // wall nanos of first arrival (plain framing)
+	once sync.Once
+}
+
+// Listen opens the UDP socket and starts the reader and decap workers.
+func Listen(cfg Config) (*Listener, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = 4096
+	}
+	if cfg.ReadBuffer <= 0 {
+		cfg.ReadBuffer = 4 << 20
+	}
+	pc, err := net.ListenPacket("udp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	uc, ok := pc.(*net.UDPConn)
+	if !ok {
+		pc.Close()
+		return nil, fmt.Errorf("ingest: %T is not a UDP socket", pc)
+	}
+	uc.SetReadBuffer(cfg.ReadBuffer) // best effort; the OS may clamp
+	l := &Listener{cfg: cfg, pc: uc}
+	l.pool.New = func() any { return new(Frame) }
+	l.raw = make([]chan *Frame, cfg.Shards)
+	l.out = make([]chan *Frame, cfg.Shards)
+	for i := range l.raw {
+		l.raw[i] = make(chan *Frame, cfg.QueueLen)
+		l.out[i] = make(chan *Frame, cfg.QueueLen)
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		l.wg.Add(1)
+		go l.decapWorker(i)
+	}
+	go l.readLoop()
+	return l, nil
+}
+
+// Addr returns the bound socket address (useful with ":0").
+func (l *Listener) Addr() net.Addr { return l.pc.LocalAddr() }
+
+// Shards returns the shard count.
+func (l *Listener) Shards() int { return l.cfg.Shards }
+
+// Frames returns shard i's decapsulated-frame queue. The channel is
+// closed after Close once the shard drains.
+func (l *Listener) Frames(i int) <-chan *Frame { return l.out[i] }
+
+// Release returns a frame to the pool. The frame and its packet must
+// not be touched afterwards.
+func (l *Listener) Release(f *Frame) {
+	f.Pkt = netsim.Packet{}
+	l.pool.Put(f)
+}
+
+// Close stops the reader, drains the workers, and closes the frame
+// channels. Frames already queued remain readable until consumed.
+func (l *Listener) Close() error {
+	err := l.pc.Close()
+	l.wg.Wait() // decap workers exit once readLoop closes raw queues
+	return err
+}
+
+// QueueDepth returns the frames currently queued across all shards
+// (raw and decapsulated).
+func (l *Listener) QueueDepth() int {
+	depth := 0
+	for i := range l.out {
+		depth += len(l.out[i]) + len(l.raw[i])
+	}
+	return depth
+}
+
+// Stats returns a snapshot of the counters.
+func (l *Listener) Stats() Stats {
+	depth := l.QueueDepth()
+	return Stats{
+		Received:    l.received.Load(),
+		Bytes:       l.bytes.Load(),
+		FrameErrors: l.frameErrors.Load(),
+		Dropped:     l.dropped.Load(),
+		Enqueued:    l.enqueued.Load(),
+		SeqGaps:     l.seqGaps.Load(),
+		QueueDepth:  depth,
+		QueueHWM:    int(l.hwm.Load()),
+	}
+}
+
+// readLoop pulls datagrams off the socket into pooled frames and
+// dispatches them to decap shards by inner destination address. It is
+// the only goroutine that blocks on the socket; on queue overflow it
+// drops immediately (counted) so the socket keeps draining.
+func (l *Listener) readLoop() {
+	defer func() {
+		for i := range l.raw {
+			close(l.raw[i])
+		}
+	}()
+	for {
+		f := l.pool.Get().(*Frame)
+		n, _, err := l.pc.ReadFromUDPAddrPort(f.Buf[:])
+		if err != nil {
+			l.pool.Put(f)
+			return // socket closed (or fatally broken): shut down
+		}
+		if l.cfg.Timestamped {
+			// Wire timestamps carry virtual time.
+		} else {
+			now := time.Now().UnixNano()
+			l.once.Do(func() { l.t0.Store(now) })
+			f.TS = sim.Time(now - l.t0.Load())
+		}
+		f.N = n
+		l.received.Add(1)
+		l.bytes.Add(uint64(n))
+		f.shard = l.shardOf(f.Buf[:n])
+		select {
+		case l.raw[f.shard] <- f:
+			l.trackDepth()
+		default:
+			l.dropped.Add(1)
+			l.pool.Put(f)
+		}
+	}
+}
+
+// shardOf routes a raw datagram to a shard by peeking at the inner
+// destination address, keeping per-destination order within one shard.
+// Undecodable frames go to shard 0, whose worker counts them.
+func (l *Listener) shardOf(p []byte) int {
+	if l.cfg.Shards == 1 {
+		return 0
+	}
+	if l.cfg.Timestamped {
+		if len(p) < tsPrefixLen {
+			return 0
+		}
+		p = p[tsPrefixLen:]
+	}
+	if len(p) < 4 {
+		return 0
+	}
+	// GRE header length from the flags byte, without a full parse.
+	greLen := 4
+	for _, bit := range []byte{0x80, 0x20, 0x10} {
+		if p[0]&bit != 0 {
+			greLen += 4
+		}
+	}
+	// Inner IPv4 destination lives at bytes 16..20 of the inner packet.
+	if len(p) < greLen+20 {
+		return 0
+	}
+	dst := binary.BigEndian.Uint32(p[greLen+16:])
+	return int(dst) % l.cfg.Shards
+}
+
+// trackDepth maintains the queue high-water mark.
+func (l *Listener) trackDepth() {
+	depth := int64(0)
+	for i := range l.raw {
+		depth += int64(len(l.raw[i]) + len(l.out[i]))
+	}
+	for {
+		old := l.hwm.Load()
+		if depth <= old || l.hwm.CompareAndSwap(old, depth) {
+			return
+		}
+	}
+}
+
+// decapWorker strips the framing and parses the inner packet for one
+// shard. Parsing is in place — the packet payload aliases the frame
+// buffer — so the steady-state decap path allocates nothing (see
+// BenchmarkIngestDecap). Pushes to the out queue block: backpressure
+// propagates to the raw queue, whose overflow the reader counts.
+func (l *Listener) decapWorker(shard int) {
+	defer l.wg.Done()
+	defer close(l.out[shard])
+	lastSeq := make(map[uint32]uint32) // GRE key -> last sequence seen
+	for f := range l.raw[shard] {
+		if !l.decode(f, lastSeq) {
+			l.frameErrors.Add(1)
+			l.pool.Put(f)
+			continue
+		}
+		l.out[shard] <- f
+		l.enqueued.Add(1)
+	}
+}
+
+// decode parses a raw frame in place. It returns false on any framing,
+// GRE, or inner-IPv4 error.
+func (l *Listener) decode(f *Frame, lastSeq map[uint32]uint32) bool {
+	p := f.Buf[:f.N]
+	if l.cfg.Timestamped {
+		if len(p) < tsPrefixLen {
+			return false
+		}
+		f.TS = sim.Time(binary.BigEndian.Uint64(p))
+		if f.TS < 0 {
+			return false
+		}
+		p = p[tsPrefixLen:]
+	}
+	h, inner, err := gre.Decap(p)
+	if err != nil {
+		return false
+	}
+	f.Key, f.Seq, f.HasSeq = h.Key, h.Sequence, h.HasSequence
+	if h.HasSequence {
+		if last, ok := lastSeq[h.Key]; ok && f.Seq > last+1 {
+			l.seqGaps.Add(uint64(f.Seq - last - 1))
+		}
+		lastSeq[h.Key] = f.Seq
+	}
+	return f.Pkt.Unmarshal(inner) == nil
+}

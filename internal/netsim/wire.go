@@ -168,6 +168,7 @@ func (p *Packet) Unmarshal(b []byte) error {
 		return ErrBadChecksum
 	}
 	b = b[:total]
+	*p = Packet{} // reset: reused packets must not leak prior fields
 	p.ID = binary.BigEndian.Uint16(b[4:])
 	p.TTL = b[8]
 	p.Proto = Proto(b[9])

@@ -171,6 +171,9 @@ func Generate(cfg GenConfig) ([]Record, error) {
 		if proto == netsim.ProtoUDP {
 			rec.PayLen = uint16(64 + bg.Intn(320))
 		}
+		if proto == netsim.ProtoICMP {
+			rec.SrcPort = 0 // no ports on the wire; keep records wire-representable
+		}
 		out = append(out, rec)
 	}
 
@@ -205,6 +208,9 @@ func Generate(cfg GenConfig) ([]Record, error) {
 				}
 				if proto == netsim.ProtoTCP {
 					rec.Flags = netsim.FlagSYN
+				}
+				if proto == netsim.ProtoICMP {
+					rec.SrcPort = 0
 				}
 				out = append(out, rec)
 				emitted++

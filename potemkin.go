@@ -35,6 +35,7 @@ import (
 	"potemkin/internal/farm"
 	"potemkin/internal/gateway"
 	"potemkin/internal/guest"
+	"potemkin/internal/ingest"
 	"potemkin/internal/netsim"
 	"potemkin/internal/sim"
 	"potemkin/internal/telescope"
@@ -157,6 +158,12 @@ type Options struct {
 	// into three trace files (in.potm, tovm.potm, out.potm) readable
 	// with cmd/telescope. Call Close to flush them.
 	CaptureDir string
+
+	// CapturePcap switches CaptureDir to classic pcap savefiles
+	// (in.pcap, tovm.pcap, out.pcap, nanosecond precision, raw IPv4),
+	// openable directly in tcpdump/Wireshark. `telescope export`
+	// converts existing .potm captures to the same format.
+	CapturePcap bool
 
 	// OnDetected fires when the gateway's scan detector flags a VM.
 	OnDetected func(addr string, distinctTargets int)
@@ -485,6 +492,45 @@ func (hf *Honeyfarm) ReplayTrace(recs []TraceRecord) int {
 // replay through the facade). At is relative to the replay start.
 type TraceRecord = telescope.Record
 
+// ReplayStream replays a record source (a trace file reader, a pcap
+// source, an in-memory slice) into the honeyfarm in bounded memory: one
+// record is scheduled and run at a time, so multi-GB traces stream
+// without being slurped. Record times are offset from the current
+// clock. After the last record the simulation runs 1 ms longer, the
+// same epilogue as ReplayTrace. Returns the packets injected and the
+// first source error, if any.
+func (hf *Honeyfarm) ReplayStream(src telescope.Source) (int, error) {
+	return hf.ReplayStreamHalt(src, nil)
+}
+
+// ReplayStreamHalt is ReplayStream with an early-exit hook, consulted
+// before each record (potemkind's signal handler uses it so ^C ends the
+// replay cleanly instead of truncating output files mid-record).
+func (hf *Honeyfarm) ReplayStreamHalt(src telescope.Source, halt func() bool) (int, error) {
+	rp := &telescope.StreamReplayer{
+		K: hf.k, Src: src, Base: hf.k.Now(), Halt: halt,
+		Emit: func(now sim.Time, pkt *netsim.Packet) {
+			hf.g.HandleInbound(now, pkt)
+		},
+	}
+	err := rp.Run()
+	hf.k.RunFor(time.Millisecond)
+	return rp.Injected, err
+}
+
+// WireBridge returns an ingest bridge wired to this honeyfarm's kernel,
+// inbound packet path, and tracer: br.Pump(listener, tail) then serves
+// live GRE-over-UDP traffic into the gateway. speedup scales wall
+// arrival time onto virtual time for plain (non-timestamped) framing.
+func (hf *Honeyfarm) WireBridge(speedup float64) *ingest.Bridge {
+	return &ingest.Bridge{
+		K: hf.k, Speedup: speedup, Tracer: hf.tracer,
+		Emit: func(now sim.Time, pkt *netsim.Packet) {
+			hf.g.HandleInbound(now, pkt)
+		},
+	}
+}
+
 // GenerateTrace synthesizes background-radiation traffic for the
 // honeyfarm's monitored space.
 func (hf *Honeyfarm) GenerateTrace(dur time.Duration, pps float64) ([]TraceRecord, error) {
@@ -529,8 +575,7 @@ func (hf *Honeyfarm) LiveVMs() int { return hf.f.LiveVMs() }
 func (hf *Honeyfarm) Close() {
 	hf.g.Close()
 	for _, c := range hf.captures {
-		c.w.Flush()
-		c.f.Close()
+		c.flush()
 	}
 	hf.captures = nil
 	hf.tracer.FlushOpen(hf.k.Now())
@@ -547,10 +592,23 @@ func (hf *Honeyfarm) Close() {
 // safe to call methods on — when tracing is off.
 func (hf *Honeyfarm) Tracer() *trace.Tracer { return hf.tracer }
 
-// captureFile is one open capture trace.
+// captureFile is one open capture trace, in either the native .potm
+// format (record sizes only) or classic pcap (full marshaled packets).
 type captureFile struct {
-	f *os.File
-	w *telescope.Writer
+	f   *os.File
+	w   *telescope.Writer  // .potm mode
+	pw  *ingest.PcapWriter // .pcap mode
+	buf []byte             // pcap marshal scratch
+}
+
+func (cf *captureFile) flush() {
+	if cf.w != nil {
+		cf.w.Flush()
+	}
+	if cf.pw != nil {
+		cf.pw.Flush()
+	}
+	cf.f.Close()
 }
 
 // openCapture creates the per-direction trace writers.
@@ -558,31 +616,53 @@ func (hf *Honeyfarm) openCapture(dir string) (gateway.CaptureSink, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
+	ext := ".potm"
+	if hf.opts.CapturePcap {
+		ext = ".pcap"
+	}
 	byDir := make(map[gateway.Direction]*captureFile, 3)
 	for d, name := range map[gateway.Direction]string{
-		gateway.CapInbound: "in.potm",
-		gateway.CapToVM:    "tovm.potm",
-		gateway.CapEgress:  "out.potm",
+		gateway.CapInbound: "in",
+		gateway.CapToVM:    "tovm",
+		gateway.CapEgress:  "out",
 	} {
-		f, err := os.Create(filepath.Join(dir, name))
+		f, err := os.Create(filepath.Join(dir, name+ext))
 		if err != nil {
 			return nil, err
 		}
-		w, err := telescope.NewWriter(f)
+		cf := &captureFile{f: f}
+		if hf.opts.CapturePcap {
+			cf.pw, err = ingest.NewPcapWriter(f)
+		} else {
+			cf.w, err = telescope.NewWriter(f)
+		}
 		if err != nil {
 			f.Close()
 			return nil, err
 		}
-		cf := &captureFile{f: f, w: w}
 		byDir[d] = cf
 		hf.captures = append(hf.captures, cf)
 	}
 	return func(now sim.Time, d gateway.Direction, pkt *netsim.Packet) {
-		if cf, ok := byDir[d]; ok {
-			rec := telescope.RecordOf(now, pkt)
-			if err := cf.w.Write(&rec); err != nil {
-				fmt.Fprintf(os.Stderr, "potemkin: capture: %v\n", err)
+		cf, ok := byDir[d]
+		if !ok {
+			return
+		}
+		var err error
+		if cf.pw != nil {
+			if n := pkt.WireLen(); cap(cf.buf) < n {
+				cf.buf = make([]byte, n)
+			} else {
+				cf.buf = cf.buf[:n]
 			}
+			pkt.MarshalInto(cf.buf)
+			err = cf.pw.WritePacket(now, cf.buf)
+		} else {
+			rec := telescope.RecordOf(now, pkt)
+			err = cf.w.Write(&rec)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "potemkin: capture: %v\n", err)
 		}
 	}, nil
 }
