@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check build test race vet fuzz bench bench-all trace-demo
+.PHONY: check build test race vet fuzz bench bench-all trace-demo apicheck api-snapshot
 
 # The full pre-merge gate: static checks, the race detector over every
 # package, and a short pass over every fuzz target.
@@ -35,12 +35,26 @@ fuzz:
 # baseline and written to BENCH_core.json as before/after ns/op +
 # allocs/op.
 bench:
-	( $(GO) test -run '^$$' -bench 'BenchmarkE1FlashClone$$|BenchmarkE2DeltaVirt$$|BenchmarkE4Gateway|BenchmarkAblation|BenchmarkE11WireIngest$$' -benchmem -benchtime 1s . ; \
+	( $(GO) test -run '^$$' -bench 'BenchmarkE1FlashClone$$|BenchmarkE2DeltaVirt$$|BenchmarkE4Gateway|BenchmarkAblation|BenchmarkE11WireIngest$$|BenchmarkShardReplay' -benchmem -benchtime 1s . ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkIngestDecap$$|BenchmarkWireSenderEncap$$' -benchmem -benchtime 1s ./internal/ingest ) \
 		| $(GO) run ./cmd/benchjson -baseline results/bench_baseline.json -out BENCH_core.json
 
 bench-all:
 	$(GO) test -bench . -benchmem ./...
+
+# The public facade API is frozen in api.txt (the `go doc -all` output
+# of the root package). apicheck fails when the surface drifts without
+# the snapshot being regenerated — CI runs it, so API changes are
+# always a reviewed diff. After an intentional change, run
+# `make api-snapshot` and commit the result.
+apicheck:
+	@$(GO) doc -all . > /tmp/potemkin-api.txt
+	@diff -u api.txt /tmp/potemkin-api.txt \
+		|| { echo "apicheck: public API drifted from api.txt; run 'make api-snapshot' and commit"; exit 1; }
+	@echo "apicheck: public API matches api.txt"
+
+api-snapshot:
+	$(GO) doc -all . > api.txt
 
 # Produce a sample Chrome trace from the outbreak example: load
 # outbreak.trace.json in Perfetto (ui.perfetto.dev) or chrome://tracing

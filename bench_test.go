@@ -420,3 +420,45 @@ func BenchmarkE11WireIngest(b *testing.B) {
 		b.Fatalf("lossy run: delivered %d of %d, stats %+v", bridge.Delivered, b.N, st)
 	}
 }
+
+// --- E12: parallel shard engine speedup ---
+
+// benchShardReplay replays an E11-style telescope feed through the
+// 4-shard engine, with the epochs either threaded (one goroutine per
+// shard) or single-threaded (the determinism oracle). The two modes do
+// identical simulation work — the parallel/sequential ns/op ratio is
+// the multicore speedup. On a 1-core machine the ratio degrades to
+// barrier overhead; 4+ cores are needed for the ≥2x the paper-scale
+// replay shows.
+func benchShardReplay(b *testing.B, threaded bool) {
+	gcfg := telescope.DefaultGenConfig()
+	gcfg.Space = netsim.MustParsePrefix("10.5.0.0/16")
+	gcfg.Duration = 2 * time.Second
+	gcfg.Rate = 1000
+	gcfg.Seed = 1
+	recs, err := telescope.Generate(gcfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hf := MustNew(Options{
+			Seed:          1,
+			Parallel:      true,
+			GatewayShards: 4,
+			Policy:        InternalReflect,
+			IdleTimeout:   time.Second,
+		})
+		if !threaded {
+			hf.Internals().Engine.SetSequential(true)
+		}
+		if _, err := hf.Replay(SliceSource(recs)); err != nil {
+			b.Fatal(err)
+		}
+		hf.RunFor(time.Second)
+		hf.Close()
+	}
+}
+
+func BenchmarkShardReplaySequential(b *testing.B) { benchShardReplay(b, false) }
+func BenchmarkShardReplayParallel(b *testing.B)   { benchShardReplay(b, true) }

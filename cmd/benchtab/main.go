@@ -14,6 +14,10 @@
 // byte-identical at every setting — each arm owns its deterministic
 // sim kernel and results merge in input order — so -parallel trades
 // wall-clock only.
+//
+// e12 (shard-engine scaling) must be requested explicitly: it reports
+// wall-clock, which is machine-dependent, so it is excluded from the
+// byte-identical default set.
 package main
 
 import (
@@ -25,6 +29,8 @@ import (
 	"time"
 
 	"potemkin/internal/core"
+	"potemkin/internal/farm"
+	"potemkin/internal/gateway"
 	"potemkin/internal/metrics"
 	"potemkin/internal/telescope"
 )
@@ -67,8 +73,10 @@ func main() {
 			r.e9()
 		case "e10":
 			r.e10()
+		case "e12":
+			r.e12()
 		default:
-			fmt.Fprintf(os.Stderr, "benchtab: unknown experiment %q (want e1..e8 or all)\n", a)
+			fmt.Fprintf(os.Stderr, "benchtab: unknown experiment %q (want e1..e10, e12, or all)\n", a)
 			os.Exit(2)
 		}
 	}
@@ -268,4 +276,73 @@ func (r *runner) e8() {
 	res := core.RunE8(r.seed, dur)
 	r.print(res.Table)
 	r.writeCSV("e8_reflection", res.Table)
+}
+
+// e12 measures the parallel shard engine: the same replay run with the
+// epochs single-threaded (the determinism oracle) and threaded, at
+// increasing shard counts. The speedup column is wall-clock, so unlike
+// every other table it depends on the machine — on a single core it
+// only shows the barrier overhead.
+func (r *runner) e12() {
+	dur, rate := 20*time.Second, 1000.0
+	shardCounts := []int{2, 4, 8}
+	if r.quick {
+		dur = 5 * time.Second
+		shardCounts = []int{2, 4}
+	}
+	gcfg := telescope.DefaultGenConfig()
+	gcfg.Duration = dur
+	gcfg.Rate = rate
+	gcfg.Seed = r.seed
+	recs, err := telescope.Generate(gcfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("E12: shard-engine scaling (%d packets over %v, wall-clock — machine-dependent)\n",
+		len(recs), dur)
+	tab := metrics.NewTable("", "shards", "seq_wall_ms", "par_wall_ms", "speedup", "bindings")
+
+	run := func(shards int, threaded bool) (time.Duration, uint64) {
+		gc := gateway.DefaultConfig()
+		gc.IdleTimeout = 5 * time.Second
+		fc := farm.DefaultConfig()
+		if fc.Servers < shards {
+			fc.Servers = shards
+		}
+		eng, err := core.NewShardEngine(core.ShardEngineConfig{
+			Shards: shards, Parallel: true, Seed: r.seed, Gateway: gc, Farm: fc,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		eng.SetSequential(!threaded)
+		start := time.Now()
+		if _, err := eng.Replay(&telescope.SliceSource{Recs: recs}, nil, time.Millisecond); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		eng.RunFor(5 * time.Second)
+		wall := time.Since(start)
+		bindings := eng.GatewayStats().BindingsCreated
+		eng.Close()
+		return wall, bindings
+	}
+	for _, shards := range shardCounts {
+		seqWall, seqBindings := run(shards, false)
+		parWall, parBindings := run(shards, true)
+		if seqBindings != parBindings {
+			fmt.Fprintf(os.Stderr, "benchtab: e12 determinism violated: %d vs %d bindings\n",
+				seqBindings, parBindings)
+			os.Exit(1)
+		}
+		tab.AddRow(shards,
+			float64(seqWall.Microseconds())/1000,
+			float64(parWall.Microseconds())/1000,
+			float64(seqWall)/float64(parWall),
+			seqBindings)
+	}
+	r.print(tab)
+	r.writeCSV("e12_shard_scaling", tab)
 }

@@ -20,6 +20,8 @@
 //	-duration D      length of synthesized feed (default 2m)
 //	-rate PPS        synthesized feed packet rate (default 200)
 //	-servers N       physical servers (default 4)
+//	-shards N        gateway instances partitioning the monitored space
+//	-parallel        run shards on parallel epochs (needs -shards >= 2)
 //	-policy NAME     open|drop-all|reflect-source|internal-reflect
 //	-idle D          VM idle-recycling timeout (default 60s; 0 disables)
 //	-guest NAME      winxp|sqlserver|linux
@@ -73,6 +75,7 @@ func main() {
 		rate      = flag.Float64("rate", 200, "synthesized feed rate (packets/sec)")
 		servers   = flag.Int("servers", 4, "physical servers")
 		shards    = flag.Int("shards", 1, "gateway instances partitioning the monitored space")
+		parallel  = flag.Bool("parallel", false, "run gateway shards on parallel epochs (requires -shards >= 2)")
 		policy    = flag.String("policy", "internal-reflect", "containment policy")
 		idle      = flag.Duration("idle", 60*time.Second, "VM idle-recycling timeout (0 disables)")
 		guestN    = flag.String("guest", "winxp", "guest personality")
@@ -94,12 +97,16 @@ func main() {
 	if moreThanOne(*traceF != "", *pcapF != "", *listen != "") {
 		fatalf("-trace, -pcap, and -listen are mutually exclusive")
 	}
+	if *parallel && *listen != "" {
+		fatalf("-parallel does not support -listen (wire arrivals defeat conservative lookahead)")
+	}
 
 	opts := potemkin.Options{
 		Seed:           *seed,
 		MonitoredSpace: *space,
 		Servers:        *servers,
 		GatewayShards:  *shards,
+		Parallel:       *parallel,
 		IdleTimeout:    *idle,
 	}
 	if *idle == 0 {
@@ -225,20 +232,24 @@ func main() {
 		fmt.Printf("debug endpoint on http://%s (/snapshot, /debug/vars, /debug/pprof)\n", *debug)
 	}
 
-	// Progress reporting rides the simulation clock.
+	// Progress reporting rides the simulation clock. In -parallel mode
+	// there is no single kernel to hang a ticker on (each shard owns
+	// its own), so progress comes only from the final report.
 	in := hf.Internals()
-	in.Kernel.Every(*interval, func(now sim.Time) {
-		snap := hf.Snapshot()
-		line := fmt.Sprintf("  t=%-8v live=%-5d infected=%-4d bindings=%d recycled=%d pending=%d mem=%dMiB",
-			time.Duration(now).Truncate(time.Millisecond), snap.LiveVMs, snap.InfectedVMs,
-			snap.BindingsCreated, snap.BindingsRecycled, snap.PendingQueued,
-			snap.MemoryInUseBytes>>20)
-		if snap.CloneMs.Count > 0 {
-			line += fmt.Sprintf(" clone[p50=%.1fms p99=%.1fms]", snap.CloneMs.P50, snap.CloneMs.P99)
-		}
-		fmt.Println(line)
-		publishSnap()
-	})
+	if in.Kernel != nil {
+		in.Kernel.Every(*interval, func(now sim.Time) {
+			snap := hf.Snapshot()
+			line := fmt.Sprintf("  t=%-8v live=%-5d infected=%-4d bindings=%d recycled=%d pending=%d mem=%dMiB",
+				time.Duration(now).Truncate(time.Millisecond), snap.LiveVMs, snap.InfectedVMs,
+				snap.BindingsCreated, snap.BindingsRecycled, snap.PendingQueued,
+				snap.MemoryInUseBytes>>20)
+			if snap.CloneMs.Count > 0 {
+				line += fmt.Sprintf(" clone[p50=%.1fms p99=%.1fms]", snap.CloneMs.P50, snap.CloneMs.P99)
+			}
+			fmt.Println(line)
+			publishSnap()
+		})
+	}
 
 	var injected int
 	var ingestStats *ingest.Stats
@@ -302,7 +313,7 @@ func main() {
 			src = tr
 		}
 		fmt.Printf("streaming replay from %s\n", name)
-		injected, err = hf.ReplayStreamHalt(src, halt)
+		injected, err = hf.Replay(src, potemkin.WithHalt(halt))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "potemkind: replay: %v\n", err)
 		}
@@ -312,7 +323,7 @@ func main() {
 			fatalf("%v", err)
 		}
 		fmt.Printf("synthesized %d packets over %v at %.0f pps\n", len(recs), *duration, *rate)
-		injected, _ = hf.ReplayStreamHalt(&telescope.SliceSource{Recs: recs}, halt)
+		injected, _ = hf.Replay(potemkin.SliceSource(recs), potemkin.WithHalt(halt))
 	}
 	if interrupted.Load() {
 		fmt.Println("\ninterrupted: flushing writers and reporting partial results")
@@ -352,7 +363,12 @@ func main() {
 		}
 	}
 
-	gt := hf.Internals().Farm.GuestTotals()
+	var gt guest.Stats
+	if eng := hf.Internals().Engine; eng != nil {
+		gt = eng.GuestTotals()
+	} else {
+		gt = hf.Internals().Farm.GuestTotals()
+	}
 	fmt.Printf("  guest activity (live VMs): conns=%d established=%d app-responses=%d dns=%d scans-out=%d\n",
 		gt.ConnsAccepted, gt.ConnsEstablished, gt.AppResponses, gt.DNSQueries, gt.ScansOut)
 

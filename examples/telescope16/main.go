@@ -30,7 +30,9 @@ func main() {
 		if err != nil {
 			panic(err)
 		}
-		hf.ReplayTrace(recs)
+		if _, err := hf.Replay(potemkin.SliceSource(recs)); err != nil {
+			panic(err)
+		}
 		st := hf.Stats()
 		label := idle.String()
 		if idle < 0 {

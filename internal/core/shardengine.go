@@ -1,0 +1,525 @@
+package core
+
+// ShardEngine runs one gateway shard plus its slice of farm servers per
+// simulation domain — its own kernel, gateway, farm, and safe resolver
+// — and advances the domains together under a sim.ParallelRunner with
+// conservative epoch barriers. The only traffic that crosses domains is
+// internal reflection to an address another shard owns, and that
+// re-injection already pays the honeyfarm's minimum internal latency
+// (one millisecond, the same delay the facade charges DNS answers), so
+// the lookahead budget is free: a cross-shard packet sent at t is
+// delivered at t+lookahead, which by construction lands at or after the
+// next epoch barrier. DNS answers return to the querying VM (always
+// shard-local) and recycler messages stay inside the domain that owns
+// both the binding and the server, so neither needs the barrier.
+//
+// With identical configuration and seed, the engine produces
+// byte-identical output (stats, event log, trace) whether the epochs
+// run on goroutines or sequentially on one thread — see
+// TestShardEngineParallelMatchesSequential and the determinism argument
+// in DESIGN.md "Parallel execution".
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"potemkin/internal/dns"
+	"potemkin/internal/farm"
+	"potemkin/internal/gateway"
+	"potemkin/internal/guest"
+	"potemkin/internal/metrics"
+	"potemkin/internal/netsim"
+	"potemkin/internal/sim"
+	"potemkin/internal/telescope"
+	"potemkin/internal/trace"
+	"potemkin/internal/vmm"
+)
+
+// ShardEngineConfig parameterizes a ShardEngine.
+type ShardEngineConfig struct {
+	// Shards is the number of domains (>= 1). The monitored space is
+	// partitioned by address index mod Shards, like gateway.Sharded.
+	Shards int
+	// Lookahead is the epoch length / minimum cross-shard latency.
+	// Zero defaults to 1 ms, the facade's internal re-injection delay.
+	Lookahead time.Duration
+	// Parallel runs each domain's epoch on its own goroutine; false is
+	// the single-threaded oracle that produces identical bytes.
+	Parallel bool
+	// Seed derives every domain's kernel seed deterministically.
+	Seed uint64
+
+	// Gateway is the per-shard gateway template. Space must be set;
+	// EventSink, Tracer, Capture, ExternalOut, and OnDetected must be
+	// left nil — the engine installs per-domain sinks (see EventLog,
+	// TraceOut, Capture below) so output stays deterministic.
+	Gateway gateway.Config
+	// Farm is the farm template; Servers is the total across all
+	// shards (split as evenly as possible, at least one per shard).
+	Farm farm.Config
+
+	// EventLog, when non-nil, receives the forensic event logs of all
+	// shards: buffered per domain during the run, written in shard
+	// order on Close, so the bytes are a pure function of the seed.
+	EventLog io.Writer
+	// TraceOut likewise receives the per-domain span traces in shard
+	// order on Close.
+	TraceOut io.Writer
+
+	// Capture, when non-nil, supplies a per-shard capture sink (the
+	// facade opens one capture directory per shard). Called once per
+	// shard at construction.
+	Capture func(shard int) (gateway.CaptureSink, error)
+
+	// OnDetected, OnInfected, and OnEgress observe shard activity. In
+	// parallel mode they are invoked from shard goroutines — they must
+	// be safe for concurrent use and their invocation order across
+	// shards is not deterministic (the simulation itself stays exactly
+	// reproducible; only the interleaving of these observer calls
+	// varies).
+	OnDetected func(now sim.Time, addr netsim.Addr, distinctTargets int)
+	OnInfected func(now sim.Time, in *guest.Instance)
+	OnEgress   func(now sim.Time, pkt *netsim.Packet)
+}
+
+// ShardDomain is one shard's isolated simulation domain.
+type ShardDomain struct {
+	K        *sim.Kernel
+	G        *gateway.Gateway
+	F        *farm.Farm
+	Resolver *dns.Resolver
+
+	injected int // replay records delivered into this domain
+}
+
+// ShardEngine is the parallel (or sequential-oracle) shard executor.
+type ShardEngine struct {
+	cfg     ShardEngineConfig
+	space   netsim.Prefix
+	runner  *sim.ParallelRunner
+	domains []*ShardDomain
+
+	// Per-domain buffered sinks, flushed in shard order on Close.
+	eventBufs []*bytes.Buffer
+	traceBufs []*bytes.Buffer
+	tracers   []*trace.Tracer
+	closed    bool
+}
+
+// NewShardEngine builds the domains and their runner.
+func NewShardEngine(cfg ShardEngineConfig) (*ShardEngine, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("core: shard engine needs at least 1 shard, got %d", cfg.Shards)
+	}
+	if cfg.Lookahead <= 0 {
+		cfg.Lookahead = time.Millisecond
+	}
+	if cfg.Farm.Servers < cfg.Shards {
+		return nil, fmt.Errorf("core: %d servers cannot cover %d shards (need one per shard)",
+			cfg.Farm.Servers, cfg.Shards)
+	}
+	if cfg.Gateway.EventSink != nil || cfg.Gateway.Tracer != nil || cfg.Gateway.Capture != nil ||
+		cfg.Gateway.ExternalOut != nil || cfg.Gateway.OnDetected != nil {
+		return nil, errors.New("core: shard engine installs its own gateway sinks; leave them nil in the template")
+	}
+	e := &ShardEngine{cfg: cfg, space: cfg.Gateway.Space}
+	n := cfg.Shards
+	base, extra := cfg.Farm.Servers/n, cfg.Farm.Servers%n
+	hostName := cfg.Farm.HostConfig.Name
+	kernels := make([]*sim.Kernel, n)
+	for i := 0; i < n; i++ {
+		// Golden-ratio stride keeps per-domain seeds distinct and
+		// deterministic; shard 0 keeps the caller's seed.
+		k := sim.NewKernel(cfg.Seed + uint64(i)*0x9e3779b97f4a7c15)
+		kernels[i] = k
+
+		fc := cfg.Farm
+		fc.Servers = base
+		if i < extra {
+			fc.Servers++
+		}
+		// Suffix host names per shard so spans and logs stay unambiguous.
+		fc.HostConfig.Name = fmt.Sprintf("%s-s%d", hostName, i)
+		if cfg.OnInfected != nil {
+			fc.OnInfected = cfg.OnInfected
+		}
+		f, err := farm.New(k, fc)
+		if err != nil {
+			return nil, err
+		}
+
+		gc := cfg.Gateway
+		if cfg.EventLog != nil {
+			buf := &bytes.Buffer{}
+			e.eventBufs = append(e.eventBufs, buf)
+			gc.EventSink = gateway.JSONLSink(buf, nil)
+		}
+		if cfg.TraceOut != nil {
+			buf := &bytes.Buffer{}
+			e.traceBufs = append(e.traceBufs, buf)
+			tr := trace.New(trace.JSONL(buf, nil))
+			e.tracers = append(e.tracers, tr)
+			gc.Tracer = tr
+			f.SetTracer(tr)
+		}
+		if cfg.Capture != nil {
+			sink, err := cfg.Capture(i)
+			if err != nil {
+				return nil, err
+			}
+			gc.Capture = sink
+		}
+		gc.OnDetected = cfg.OnDetected
+
+		d := &ShardDomain{K: k, F: f}
+		d.Resolver = dns.NewResolver(gc.Space)
+		resolverAddr := gc.Resolver
+		gc.ExternalOut = func(now sim.Time, p *netsim.Packet) {
+			if p.Proto == netsim.ProtoUDP && p.Dst == resolverAddr {
+				if resp := d.Resolver.ServePacket(p); resp != nil {
+					// The answer returns to the querying VM, which this
+					// domain owns — shard-local, no barrier needed.
+					d.K.After(time.Millisecond, func(then sim.Time) {
+						d.G.HandleInbound(then, resp)
+					})
+				}
+				return
+			}
+			if cfg.OnEgress != nil {
+				cfg.OnEgress(now, p)
+			}
+		}
+
+		g := gateway.New(k, gc, f)
+		f.SetGateway(g)
+		shard := i
+		g.SetShardHooks(func(a netsim.Addr) bool {
+			return e.Owner(a) == shard
+		}, func(now sim.Time, pkt *netsim.Packet) {
+			// Cross-shard internal traffic: deliver to the owner at the
+			// next barrier, paying the minimum internal latency.
+			dst := e.Owner(pkt.Dst)
+			e.runner.Send(shard, dst, now.Add(e.cfg.Lookahead), func(then sim.Time) {
+				e.domains[dst].G.HandleInbound(then, pkt)
+			})
+		})
+		d.G = g
+		e.domains = append(e.domains, d)
+	}
+	e.runner = sim.NewParallelRunner(kernels, cfg.Lookahead)
+	e.runner.SetSequential(!cfg.Parallel)
+	return e, nil
+}
+
+// Owner returns the shard index owning addr (addresses outside the
+// monitored space route to shard 0, like gateway.Sharded, so they are
+// counted somewhere deterministic).
+func (e *ShardEngine) Owner(addr netsim.Addr) int {
+	if !e.space.Contains(addr) {
+		return 0
+	}
+	return int(e.space.Index(addr) % uint64(len(e.domains)))
+}
+
+// Domains exposes the per-shard simulation domains (tests, Internals).
+func (e *ShardEngine) Domains() []*ShardDomain { return e.domains }
+
+// Shards returns the domain count.
+func (e *ShardEngine) Shards() int { return len(e.domains) }
+
+// Space returns the monitored prefix.
+func (e *ShardEngine) Space() netsim.Prefix { return e.space }
+
+// Lookahead returns the epoch length.
+func (e *ShardEngine) Lookahead() time.Duration { return e.cfg.Lookahead }
+
+// SetSequential switches epoch execution to the single-threaded oracle
+// (equivalence tests). Call only between runs.
+func (e *ShardEngine) SetSequential(seq bool) { e.runner.SetSequential(seq) }
+
+// Now returns the engine clock.
+func (e *ShardEngine) Now() sim.Time { return e.runner.Now() }
+
+// RunUntil advances every domain to deadline.
+func (e *ShardEngine) RunUntil(deadline sim.Time) { e.runner.RunUntil(deadline) }
+
+// RunFor advances every domain by d.
+func (e *ShardEngine) RunFor(d time.Duration) { e.runner.RunFor(d) }
+
+// Inject delivers pkt to its owning shard synchronously at the current
+// time. Call only between runs (the facade's single-probe entry points).
+func (e *ShardEngine) Inject(pkt *netsim.Packet) {
+	d := e.domains[e.Owner(pkt.Dst)]
+	d.G.HandleInbound(d.K.Now(), pkt)
+}
+
+// PrepareSnapshotImages runs the paper's image-preparation flow on every
+// domain (each advances its kernel by roughly boot+warmup), then
+// realigns the runner clock. Must run before traffic flows.
+func (e *ShardEngine) PrepareSnapshotImages(name string, warmup time.Duration) error {
+	for _, d := range e.domains {
+		if err := d.F.PrepareSnapshotImages(name, warmup); err != nil {
+			return err
+		}
+	}
+	e.runner.Align()
+	return nil
+}
+
+// Replay streams src into the engine: at each epoch barrier the records
+// falling inside the upcoming epoch are scheduled on their owning
+// domain's kernel (one record of lookahead, so multi-GB traces stream
+// in bounded memory), then the epoch runs. halt, when non-nil, is
+// consulted before each record; epilogue extends the run past the last
+// record (the facade default is 1 ms). Returns packets injected and the
+// first source error.
+func (e *ShardEngine) Replay(src telescope.Source, halt func() bool, epilogue time.Duration) (int, error) {
+	before := 0
+	for _, d := range e.domains {
+		before += d.injected
+	}
+	base := e.runner.Now()
+	last := base
+	var (
+		pending telescope.Record
+		have    bool
+		done    bool
+		readErr error
+	)
+	feed := func(start, end sim.Time) {
+		for !done {
+			if !have {
+				if halt != nil && halt() {
+					done = true
+					return
+				}
+				err := src.Read(&pending)
+				if err == io.EOF {
+					done = true
+					return
+				}
+				if err != nil {
+					done, readErr = true, err
+					return
+				}
+				pending.At += base
+				have = true
+			}
+			at := pending.At
+			if at < start {
+				at = start // clamp out-of-order records, like StreamReplayer
+			}
+			if at >= end {
+				pending.At = at // keep the clamp so time stays monotonic
+				return          // belongs to a later epoch
+			}
+			rec := pending
+			d := e.domains[e.Owner(rec.Dst)]
+			d.K.At(at, func(now sim.Time) {
+				d.injected++
+				d.G.HandleInbound(now, rec.Packet())
+			})
+			if at > last {
+				last = at
+			}
+			have = false
+		}
+	}
+	e.runner.SetBeforeEpoch(feed)
+	for !done {
+		e.runner.RunFor(e.cfg.Lookahead)
+	}
+	e.runner.SetBeforeEpoch(nil)
+	if target := last.Add(epilogue); target > e.runner.Now() {
+		e.runner.RunUntil(target)
+	}
+	after := 0
+	for _, d := range e.domains {
+		after += d.injected
+	}
+	return after - before, readErr
+}
+
+// GatewayStats sums the per-domain gateway counters, mirroring
+// gateway.Sharded.Stats.
+func (e *ShardEngine) GatewayStats() gateway.Stats {
+	var sum gateway.Stats
+	for _, d := range e.domains {
+		st := d.G.Stats()
+		sum.InboundPackets += st.InboundPackets
+		sum.InboundNonIP += st.InboundNonIP
+		sum.InboundOutside += st.InboundOutside
+		sum.BindingsCreated += st.BindingsCreated
+		sum.BindingsRecycled += st.BindingsRecycled
+		sum.SpawnFailures += st.SpawnFailures
+		sum.SpawnRetries += st.SpawnRetries
+		sum.BindingsShed += st.BindingsShed
+		sum.BackendLost += st.BackendLost
+		sum.PendingDropped += st.PendingDropped
+		sum.DeliveredToVM += st.DeliveredToVM
+		sum.OutAllowedOpen += st.OutAllowedOpen
+		sum.OutToSource += st.OutToSource
+		sum.OutDNSProxied += st.OutDNSProxied
+		sum.OutInternal += st.OutInternal
+		sum.OutReflected += st.OutReflected
+		sum.OutDropped += st.OutDropped
+		sum.OutReflectDenied += st.OutReflectDenied
+		sum.DetectedInfected += st.DetectedInfected
+		sum.ScanFiltered += st.ScanFiltered
+		sum.OutRateLimited += st.OutRateLimited
+		sum.OutProxied += st.OutProxied
+		sum.ProxyReturns += st.ProxyReturns
+		sum.PeakBindings += st.PeakBindings
+		sum.ReflectionsActive += st.ReflectionsActive
+		sum.PendingQueued += st.PendingQueued
+	}
+	return sum
+}
+
+// FarmStats sums the per-domain farm counters.
+func (e *ShardEngine) FarmStats() farm.Stats {
+	var sum farm.Stats
+	for _, d := range e.domains {
+		st := d.F.Stats()
+		sum.Spawns += st.Spawns
+		sum.SpawnFailures += st.SpawnFailures
+		sum.SpawnRetries += st.SpawnRetries
+		sum.Reclaims += st.Reclaims
+		sum.Infections += st.Infections
+		sum.CrashRecycles += st.CrashRecycles
+		sum.LinkDrops += st.LinkDrops
+		sum.PeakLiveVMs += st.PeakLiveVMs
+	}
+	return sum
+}
+
+// GuestTotals sums the per-guest counters across all live instances.
+func (e *ShardEngine) GuestTotals() guest.Stats {
+	var sum guest.Stats
+	for _, d := range e.domains {
+		st := d.F.GuestTotals()
+		sum.PacketsIn += st.PacketsIn
+		sum.RepliesOut += st.RepliesOut
+		sum.ScansOut += st.ScansOut
+		sum.PagesDirty += st.PagesDirty
+		sum.ExploitHits += st.ExploitHits
+		sum.ConnsAccepted += st.ConnsAccepted
+		sum.ConnsEstablished += st.ConnsEstablished
+		sum.ConnsClosed += st.ConnsClosed
+		sum.ExploitsSent += st.ExploitsSent
+		sum.AppResponses += st.AppResponses
+		sum.DNSQueries += st.DNSQueries
+		sum.DNSResponses += st.DNSResponses
+		sum.Stage2Fetches += st.Stage2Fetches
+	}
+	return sum
+}
+
+// LiveVMs sums running VMs across domains.
+func (e *ShardEngine) LiveVMs() int {
+	n := 0
+	for _, d := range e.domains {
+		n += d.F.LiveVMs()
+	}
+	return n
+}
+
+// InfectedVMs sums compromised live guests across domains.
+func (e *ShardEngine) InfectedVMs() int {
+	n := 0
+	for _, d := range e.domains {
+		n += d.F.InfectedVMs()
+	}
+	return n
+}
+
+// MemoryInUse sums modeled memory across all servers of all domains.
+func (e *ShardEngine) MemoryInUse() uint64 {
+	var b uint64
+	for _, d := range e.domains {
+		b += d.F.MemoryInUse()
+	}
+	return b
+}
+
+// NumBindings sums live bindings across domains.
+func (e *ShardEngine) NumBindings() int {
+	n := 0
+	for _, d := range e.domains {
+		n += d.G.NumBindings()
+	}
+	return n
+}
+
+// DNSQueries sums the lookups served by every domain's safe resolver.
+func (e *ShardEngine) DNSQueries() uint64 {
+	var n uint64
+	for _, d := range e.domains {
+		n += d.Resolver.Queries
+	}
+	return n
+}
+
+// Hosts returns every server across domains, in shard order.
+func (e *ShardEngine) Hosts() []*vmm.VMHost {
+	var hs []*vmm.VMHost
+	for _, d := range e.domains {
+		hs = append(hs, d.F.Hosts()...)
+	}
+	return hs
+}
+
+// CloneLatency merges the per-host clone-latency histograms.
+func (e *ShardEngine) CloneLatency() metrics.Histogram {
+	var clone metrics.Histogram
+	for _, h := range e.Hosts() {
+		clone.Merge(&h.CloneLatency)
+	}
+	return clone
+}
+
+// VMAt returns the live VM bound to addr, or nil.
+func (e *ShardEngine) VMAt(addr netsim.Addr) *vmm.VM {
+	return e.domains[e.Owner(addr)].F.VMAt(addr)
+}
+
+// Profile returns the guest personality the farms run.
+func (e *ShardEngine) Profile() *guest.Profile { return e.cfg.Farm.Profile }
+
+// RecycleAll destroys every binding on every domain, in shard order.
+func (e *ShardEngine) RecycleAll() {
+	for _, d := range e.domains {
+		d.G.RecycleAll(d.K.Now())
+	}
+}
+
+// Close stops the domains' background work, finishes open spans, and
+// writes the buffered per-domain event logs and traces to the
+// configured writers in shard order. Idempotent.
+func (e *ShardEngine) Close() error {
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	var errs []error
+	for _, d := range e.domains {
+		d.G.Close()
+	}
+	for i, tr := range e.tracers {
+		tr.FlushOpen(e.domains[i].K.Now())
+	}
+	for _, buf := range e.eventBufs {
+		if _, err := e.cfg.EventLog.Write(buf.Bytes()); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	for _, buf := range e.traceBufs {
+		if _, err := e.cfg.TraceOut.Write(buf.Bytes()); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}

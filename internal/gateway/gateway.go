@@ -327,6 +327,18 @@ func New(k *sim.Kernel, cfg Config, backend Backend) *Gateway {
 	return g
 }
 
+// SetShardHooks installs the sharding hooks: owns restricts which
+// monitored addresses this instance may bind (reflection targets are
+// drawn from owned addresses only), and reinject routes internal
+// traffic for addresses it does not own back to the owning shard.
+// Sharded uses it for the in-process router; the parallel shard engine
+// uses it to hand cross-shard traffic to the epoch barrier. Call before
+// traffic flows; nil hooks restore standalone behaviour.
+func (g *Gateway) SetShardHooks(owns func(netsim.Addr) bool, reinject func(now sim.Time, pkt *netsim.Packet)) {
+	g.owns = owns
+	g.reinject = reinject
+}
+
 // Stats returns a copy of the counters.
 func (g *Gateway) Stats() Stats {
 	s := g.stats

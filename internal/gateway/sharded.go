@@ -41,10 +41,9 @@ func NewSharded(k *sim.Kernel, cfg Config, backend Backend, n int) (*Sharded, er
 		// Ownership: address index mod shard count. Cross-shard
 		// internal traffic (VM-to-VM) reinjects through the router;
 		// reflections pick shard-local addresses.
-		g.owns = func(a netsim.Addr) bool {
+		g.SetShardHooks(func(a netsim.Addr) bool {
 			return s.Space.Index(a)%uint64(n) == uint64(shard)
-		}
-		g.reinject = s.HandleInbound
+		}, s.HandleInbound)
 		s.shards = append(s.shards, g)
 	}
 	return s, nil

@@ -1,0 +1,189 @@
+package sim
+
+// Conservative parallel discrete-event execution over a set of Kernels.
+//
+// ParallelRunner advances N kernels in lockstep epochs of length
+// `lookahead`, the classic conservative-synchronization scheme: during
+// an epoch every kernel runs its own events on its own goroutine and
+// may not touch any other kernel's state; all cross-kernel interaction
+// is expressed as messages handed to Send, which are delivered only at
+// the epoch barrier, in a fixed (source index, send order) merge order.
+// Because a message sent at time t is delivered no earlier than t +
+// lookahead — and every epoch is at most lookahead long — a message can
+// never land inside the epoch that produced it, so each kernel's event
+// stream is a pure function of the barrier-merged inputs and the run is
+// byte-identical whether the epochs execute on goroutines or
+// sequentially on one thread (SetSequential). That equivalence is what
+// makes the parallel engine testable: the single-threaded mode is the
+// oracle.
+//
+// The control methods (RunUntil, RunFor, Send from outside an epoch,
+// SetBeforeEpoch) are for a single driver goroutine. During an epoch,
+// Send(src, ...) may only be called from shard src's goroutine — the
+// per-pair outboxes are sharded by source exactly so that rule needs no
+// locks.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// crossMsg is one scheduled cross-shard delivery.
+type crossMsg struct {
+	at Time
+	fn Event
+}
+
+// ParallelRunner synchronizes kernels with conservative epoch barriers.
+type ParallelRunner struct {
+	kernels   []*Kernel
+	lookahead time.Duration
+	now       Time
+
+	// outbox[src][dst] holds messages sent this epoch, in send order.
+	// Only shard src's goroutine appends to outbox[src]; the barrier
+	// (WaitGroup) orders those appends before the exchange reads them.
+	outbox [][][]crossMsg
+
+	sequential  bool
+	beforeEpoch func(start, end Time)
+}
+
+// NewParallelRunner builds a runner over kernels with the given
+// lookahead (the minimum cross-shard latency; must be positive). The
+// runner's clock starts at the latest kernel clock and the lagging
+// kernels are run forward to it, so pre-run setup (snapshot warmup)
+// that advanced the kernels unevenly is tolerated.
+func NewParallelRunner(kernels []*Kernel, lookahead time.Duration) *ParallelRunner {
+	if len(kernels) == 0 {
+		panic("sim: ParallelRunner with no kernels")
+	}
+	if lookahead <= 0 {
+		panic("sim: ParallelRunner with non-positive lookahead")
+	}
+	r := &ParallelRunner{kernels: kernels, lookahead: lookahead}
+	r.outbox = make([][][]crossMsg, len(kernels))
+	for i := range r.outbox {
+		r.outbox[i] = make([][]crossMsg, len(kernels))
+	}
+	r.Align()
+	return r
+}
+
+// Align advances the runner clock to the latest kernel clock and runs
+// every lagging kernel forward to it (single-threaded). Call it after
+// advancing kernels outside the runner's control, e.g. per-shard image
+// preparation at construction time.
+func (r *ParallelRunner) Align() {
+	for _, k := range r.kernels {
+		if k.Now() > r.now {
+			r.now = k.Now()
+		}
+	}
+	for _, k := range r.kernels {
+		k.RunUntil(r.now)
+	}
+}
+
+// Now returns the runner clock: every kernel has run to exactly this
+// time whenever no epoch is in flight.
+func (r *ParallelRunner) Now() Time { return r.now }
+
+// Lookahead returns the epoch length.
+func (r *ParallelRunner) Lookahead() time.Duration { return r.lookahead }
+
+// Shards returns the number of kernels.
+func (r *ParallelRunner) Shards() int { return len(r.kernels) }
+
+// Kernel returns shard i's kernel. Outside an epoch the caller may
+// schedule on it directly; during an epoch only shard i's goroutine may.
+func (r *ParallelRunner) Kernel(i int) *Kernel { return r.kernels[i] }
+
+// SetSequential switches epoch execution to a single thread in shard
+// order — the determinism oracle the equivalence tests compare against.
+func (r *ParallelRunner) SetSequential(seq bool) { r.sequential = seq }
+
+// Sequential reports whether epochs run single-threaded.
+func (r *ParallelRunner) Sequential() bool { return r.sequential }
+
+// SetBeforeEpoch installs a hook called at the start of every epoch
+// with the epoch bounds [start, end), after pending cross-shard
+// messages have been delivered and before any shard runs. The hook runs
+// single-threaded and may schedule directly on any kernel (replay
+// feeders use it to inject the records falling inside the epoch). Nil
+// removes the hook.
+func (r *ParallelRunner) SetBeforeEpoch(fn func(start, end Time)) { r.beforeEpoch = fn }
+
+// Send schedules fn to run on shard dst's kernel at time at. During an
+// epoch it may only be called from shard src's goroutine; at must be at
+// least the sending shard's current time plus the lookahead, or the
+// barrier delivery will panic. Delivery happens at the next epoch
+// boundary, merged deterministically by (src, send order).
+func (r *ParallelRunner) Send(src, dst int, at Time, fn Event) {
+	if fn == nil {
+		panic("sim: Send nil event")
+	}
+	r.outbox[src][dst] = append(r.outbox[src][dst], crossMsg{at: at, fn: fn})
+}
+
+// exchange drains every outbox into the destination kernels in (src,
+// send order) — the deterministic merge the equivalence proof rests on.
+func (r *ParallelRunner) exchange() {
+	for src := range r.outbox {
+		for dst := range r.outbox[src] {
+			msgs := r.outbox[src][dst]
+			if len(msgs) == 0 {
+				continue
+			}
+			k := r.kernels[dst]
+			for _, m := range msgs {
+				if m.at < k.Now() {
+					panic(fmt.Sprintf(
+						"sim: cross-shard message %d->%d at %v violates lookahead (destination clock %v)",
+						src, dst, m.at, k.Now()))
+				}
+				k.At(m.at, m.fn)
+			}
+			r.outbox[src][dst] = msgs[:0]
+		}
+	}
+}
+
+// RunUntil advances every kernel to deadline in epochs of at most the
+// lookahead, exchanging cross-shard messages at each barrier. On
+// return, every kernel's clock reads exactly deadline (when deadline is
+// ahead of the runner clock) and all messages sent by completed epochs
+// have been delivered.
+func (r *ParallelRunner) RunUntil(deadline Time) {
+	for r.now < deadline {
+		r.exchange()
+		end := r.now.Add(r.lookahead)
+		if end > deadline {
+			end = deadline
+		}
+		if r.beforeEpoch != nil {
+			r.beforeEpoch(r.now, end)
+		}
+		if r.sequential {
+			for _, k := range r.kernels {
+				k.RunUntil(end)
+			}
+		} else {
+			var wg sync.WaitGroup
+			for _, k := range r.kernels {
+				wg.Add(1)
+				go func(k *Kernel) {
+					defer wg.Done()
+					k.RunUntil(end)
+				}(k)
+			}
+			wg.Wait()
+		}
+		r.now = end
+	}
+	r.exchange()
+}
+
+// RunFor is RunUntil(Now()+d).
+func (r *ParallelRunner) RunFor(d time.Duration) { r.RunUntil(r.now.Add(d)) }

@@ -12,7 +12,9 @@
 // traces), advance simulated time, and read the aggregate statistics.
 // Everything runs on a deterministic discrete-event simulation — no real
 // network or hypervisor is touched, and the same seed always produces
-// the same run. Power users can reach the underlying gateway, farm, and
+// the same run. With Options.Parallel the shards execute on one
+// goroutine each under conservative epoch barriers — same bytes, more
+// cores. Power users can reach the underlying gateway, farm, and
 // kernel through Internals.
 //
 // Minimal use:
@@ -25,12 +27,14 @@
 package potemkin
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"time"
 
+	"potemkin/internal/core"
 	"potemkin/internal/dns"
 	"potemkin/internal/farm"
 	"potemkin/internal/gateway"
@@ -82,6 +86,21 @@ const (
 	GuestMultiStage
 )
 
+// Hooks bundles the optional observation callbacks, so future hooks
+// extend this struct instead of widening Options. All fields are
+// optional. In Parallel mode the hooks are invoked from shard
+// goroutines: they must be safe for concurrent use, and their
+// interleaving across shards is not deterministic (the simulation
+// itself remains exactly reproducible).
+type Hooks struct {
+	// OnDetected fires when the gateway's scan detector flags a VM.
+	OnDetected func(addr string, distinctTargets int)
+	// OnInfected fires when a guest is compromised.
+	OnInfected func(addr string, generation int)
+	// OnEgress observes every packet the policy allows to leave.
+	OnEgress func(pkt string)
+}
+
 // Options configures a Honeyfarm. The zero value of every field has a
 // sensible default.
 type Options struct {
@@ -100,6 +119,18 @@ type Options struct {
 	// independent gateway instances (the paper's answer when one
 	// gateway box saturates). Default 1.
 	GatewayShards int
+
+	// Parallel runs each gateway shard — plus its slice of the farm
+	// servers — on its own goroutine with its own event queue,
+	// synchronized by conservative epoch barriers (see DESIGN.md
+	// "Parallel execution"). The run is byte-identical to the same-seed
+	// single-threaded run of the same engine, so determinism survives.
+	// Requires GatewayShards >= 2 and at least one server per shard.
+	// Cross-shard traffic pays the engine's 1 ms internal latency, so
+	// results differ from the non-parallel in-process shard router (by
+	// design: that latency is the lookahead budget). TraceChrome and
+	// WireBridge are not supported in this mode.
+	Parallel bool
 
 	// Policy is the containment mode. Default InternalReflect.
 	Policy Policy
@@ -133,20 +164,25 @@ type Options struct {
 	PinDetected bool
 
 	// EventLog, when non-nil, receives the gateway's forensic event log
-	// as JSON lines (bound/active/recycled/detected/reflected/…).
+	// as JSON lines (bound/active/recycled/detected/reflected/…). In
+	// Parallel mode the log is buffered per shard and written in shard
+	// order on Close, so the bytes stay a pure function of the seed.
 	EventLog io.Writer
 
 	// TraceOut, when non-nil, receives the binding-lifecycle span trace
 	// as JSON lines (see internal/trace): one trace per binding, spans
 	// for bind → spawn → placement → clone → active → recycle, with the
 	// forensic events folded on. Deterministic: the same seed writes the
-	// same bytes. Call Close to flush spans still open at shutdown.
+	// same bytes. Call Close to flush spans still open at shutdown. In
+	// Parallel mode, buffered per shard and written in shard order on
+	// Close.
 	TraceOut io.Writer
 
 	// TraceChrome, when non-nil, receives the same trace in the Chrome
 	// trace-event format — load the file in Perfetto or chrome://tracing
 	// to see binding lifecycles on a timeline, one track per trace.
-	// Call Close to terminate the JSON array.
+	// Call Close to terminate the JSON array. Not supported with
+	// Parallel (convert a TraceOut file offline instead).
 	TraceChrome io.Writer
 
 	// CheckpointDir, when set, saves a delta checkpoint of every VM the
@@ -156,7 +192,9 @@ type Options struct {
 
 	// CaptureDir, when set, records every packet crossing the gateway
 	// into three trace files (in.potm, tovm.potm, out.potm) readable
-	// with cmd/telescope. Call Close to flush them.
+	// with cmd/telescope. Call Close to flush them. In Parallel mode
+	// each shard captures into its own subdirectory (shard-0, shard-1,
+	// …) so shard goroutines never share a file.
 	CaptureDir string
 
 	// CapturePcap switches CaptureDir to classic pcap savefiles
@@ -165,12 +203,122 @@ type Options struct {
 	// converts existing .potm captures to the same format.
 	CapturePcap bool
 
+	// Hooks bundles the observation callbacks. When a Hooks field and
+	// the corresponding deprecated Options field are both set, Hooks
+	// wins.
+	Hooks *Hooks
+
 	// OnDetected fires when the gateway's scan detector flags a VM.
+	//
+	// Deprecated: set Hooks.OnDetected.
 	OnDetected func(addr string, distinctTargets int)
 	// OnInfected fires when a guest is compromised.
+	//
+	// Deprecated: set Hooks.OnInfected.
 	OnInfected func(addr string, generation int)
 	// OnEgress observes every packet the policy allows to leave.
+	//
+	// Deprecated: set Hooks.OnEgress.
 	OnEgress func(pkt string)
+}
+
+// withDefaults returns a copy of o with every zero-valued knob replaced
+// by its documented default.
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.MonitoredSpace == "" {
+		o.MonitoredSpace = "10.5.0.0/16"
+	}
+	if o.Servers == 0 {
+		o.Servers = 4
+	}
+	if o.ServerMemory == 0 {
+		o.ServerMemory = 16 << 30
+	}
+	return o
+}
+
+// Validate reports every configuration problem at once — one per line —
+// instead of failing on the first, so a misconfigured deployment is
+// fixed in one round trip. The zero value and any combination of
+// defaulted fields validate clean. New calls it; call it directly to
+// check a configuration without building anything.
+func (o Options) Validate() error {
+	o = o.withDefaults()
+	var errs []error
+	add := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf("potemkin: "+format, args...))
+	}
+	if o.Servers < 0 {
+		add("negative server count")
+	}
+	if _, err := netsim.ParsePrefix(o.MonitoredSpace); err != nil {
+		add("invalid MonitoredSpace %q: %v", o.MonitoredSpace, err)
+	}
+	if o.GatewayShards < 0 {
+		add("negative gateway shard count")
+	}
+	if o.GuestProfile != nil {
+		if err := o.GuestProfile.Validate(); err != nil {
+			add("invalid guest profile: %v", err)
+		}
+	}
+	if o.SnapshotWarmup < 0 {
+		add("negative SnapshotWarmup")
+	}
+	if o.SnapshotWarmup > 0 && o.FullBoot {
+		add("SnapshotWarmup requires flash cloning (FullBoot off)")
+	}
+	if o.Parallel {
+		if o.GatewayShards < 2 {
+			add("Parallel requires GatewayShards >= 2 (got %d)", o.GatewayShards)
+		}
+		if o.Servers > 0 && o.GatewayShards > 1 && o.Servers < o.GatewayShards {
+			add("Parallel needs at least one server per shard (%d servers, %d shards)",
+				o.Servers, o.GatewayShards)
+		}
+		if o.TraceChrome != nil {
+			add("Parallel does not support TraceChrome (write TraceOut and convert offline)")
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// effectiveHooks resolves the Hooks struct against the deprecated
+// per-field callbacks: Hooks fields win, legacy fields fill the gaps.
+func (o Options) effectiveHooks() Hooks {
+	var h Hooks
+	if o.Hooks != nil {
+		h = *o.Hooks
+	}
+	if h.OnDetected == nil {
+		h.OnDetected = o.OnDetected
+	}
+	if h.OnInfected == nil {
+		h.OnInfected = o.OnInfected
+	}
+	if h.OnEgress == nil {
+		h.OnEgress = o.OnEgress
+	}
+	return h
+}
+
+// guestProfile picks the personality for the configured guest kind.
+func (o Options) guestProfile() *guest.Profile {
+	switch {
+	case o.GuestProfile != nil:
+		return o.GuestProfile
+	case o.Guest == GuestSQLServer:
+		return guest.SQLServer()
+	case o.Guest == GuestLinuxServer:
+		return guest.LinuxServer()
+	case o.Guest == GuestMultiStage:
+		return guest.MultiStageDNS("update.evil.example")
+	default:
+		return guest.WindowsXP()
+	}
 }
 
 // Stats is the aggregate honeyfarm state.
@@ -215,77 +363,88 @@ type gatewayFront interface {
 
 // Honeyfarm is a running simulated honeyfarm.
 type Honeyfarm struct {
-	opts     Options
+	opts    Options
+	space   netsim.Prefix
+	profile *guest.Profile
+
+	// Sequential engine (nil when Parallel).
 	k        *sim.Kernel
 	g        gatewayFront
 	single   *gateway.Gateway // nil when sharded
 	f        *farm.Farm
-	space    netsim.Prefix
 	resolver *dns.Resolver
-	captures []*captureFile
 	tracer   *trace.Tracer
 	chromeW  *trace.ChromeWriter
+
+	// Parallel engine (nil otherwise).
+	eng *core.ShardEngine
+
+	captures []*captureFile
 }
 
 // New constructs a honeyfarm from opts.
 func New(opts Options) (*Honeyfarm, error) {
-	if opts.Seed == 0 {
-		opts.Seed = 1
-	}
-	if opts.MonitoredSpace == "" {
-		opts.MonitoredSpace = "10.5.0.0/16"
-	}
-	space, err := netsim.ParsePrefix(opts.MonitoredSpace)
-	if err != nil {
+	opts = opts.withDefaults()
+	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	if opts.Servers == 0 {
-		opts.Servers = 4
-	}
-	if opts.Servers < 0 {
-		return nil, fmt.Errorf("potemkin: negative server count")
-	}
-	if opts.ServerMemory == 0 {
-		opts.ServerMemory = 16 << 30
-	}
-
-	k := sim.NewKernel(opts.Seed)
-	hf := &Honeyfarm{opts: opts, k: k, space: space}
+	space, _ := netsim.ParsePrefix(opts.MonitoredSpace)
+	hf := &Honeyfarm{opts: opts, space: space, profile: opts.guestProfile()}
 
 	fc := farm.DefaultConfig()
 	fc.Servers = opts.Servers
 	fc.HostConfig.MemoryBytes = opts.ServerMemory
 	fc.FullBoot = opts.FullBoot
-	switch {
-	case opts.GuestProfile != nil:
-		if err := opts.GuestProfile.Validate(); err != nil {
-			return nil, err
-		}
-		fc.Profile = opts.GuestProfile
-	case opts.Guest == GuestSQLServer:
-		fc.Profile = guest.SQLServer()
-	case opts.Guest == GuestLinuxServer:
-		fc.Profile = guest.LinuxServer()
-	case opts.Guest == GuestMultiStage:
-		fc.Profile = guest.MultiStageDNS("update.evil.example")
-	default:
-		fc.Profile = guest.WindowsXP()
-	}
-	if opts.OnInfected != nil {
-		fc.OnInfected = func(_ sim.Time, in *guest.Instance) {
-			opts.OnInfected(in.IP.String(), in.Generation)
-		}
-	}
-	f, err := farm.New(k, fc)
-	if err != nil {
-		return nil, err
-	}
+	fc.Profile = hf.profile
 
 	gc := gateway.DefaultConfig()
 	gc.Space = space
 	gc.Policy = gateway.Policy(opts.Policy)
 	gc.ScanFilter = opts.ScanFilter
 	gc.PinDetected = opts.PinDetected
+	switch {
+	case opts.IdleTimeout < 0:
+		gc.IdleTimeout = 0
+	case opts.IdleTimeout == 0:
+		gc.IdleTimeout = 60 * time.Second
+	default:
+		gc.IdleTimeout = opts.IdleTimeout
+	}
+
+	hooks := opts.effectiveHooks()
+	if opts.Parallel {
+		return hf.buildParallel(fc, gc, hooks)
+	}
+	return hf.buildSequential(fc, gc, hooks)
+}
+
+// fail is the single error exit: whatever partial state New built —
+// in particular capture files already opened by openCapture — is
+// flushed and closed before the error is returned, so a failed New
+// never leaks open file handles or unflushed buffers.
+func (hf *Honeyfarm) fail(err error) (*Honeyfarm, error) {
+	hf.closeCaptures()
+	return nil, err
+}
+
+// buildSequential wires the classic single-kernel engine (one kernel,
+// one farm, a single or in-process-sharded gateway).
+func (hf *Honeyfarm) buildSequential(fc farm.Config, gc gateway.Config, hooks Hooks) (*Honeyfarm, error) {
+	opts := hf.opts
+	k := sim.NewKernel(opts.Seed)
+	hf.k = k
+
+	if hooks.OnInfected != nil {
+		cb := hooks.OnInfected
+		fc.OnInfected = func(_ sim.Time, in *guest.Instance) {
+			cb(in.IP.String(), in.Generation)
+		}
+	}
+	f, err := farm.New(k, fc)
+	if err != nil {
+		return hf.fail(err)
+	}
+
 	if opts.EventLog != nil {
 		gc.EventSink = gateway.JSONLSink(opts.EventLog, nil)
 	}
@@ -307,17 +466,9 @@ func New(opts Options) (*Honeyfarm, error) {
 	if opts.CaptureDir != "" {
 		capture, err := hf.openCapture(opts.CaptureDir)
 		if err != nil {
-			return nil, err
+			return hf.fail(err)
 		}
 		gc.Capture = capture
-	}
-	switch {
-	case opts.IdleTimeout < 0:
-		gc.IdleTimeout = 0
-	case opts.IdleTimeout == 0:
-		gc.IdleTimeout = 60 * time.Second
-	default:
-		gc.IdleTimeout = opts.IdleTimeout
 	}
 	gc.OnDetected = func(now sim.Time, a netsim.Addr, n int) {
 		if opts.CheckpointDir != "" {
@@ -325,14 +476,14 @@ func New(opts Options) (*Honeyfarm, error) {
 				fmt.Fprintf(os.Stderr, "potemkin: checkpoint %s: %v\n", a, err)
 			}
 		}
-		if opts.OnDetected != nil {
-			opts.OnDetected(a.String(), n)
+		if hooks.OnDetected != nil {
+			hooks.OnDetected(a.String(), n)
 		}
 	}
 	// The built-in safe resolver answers every VM-originated DNS lookup
 	// with an address inside the monitored space, so second-stage
 	// fetches land on fresh honeypots instead of real infrastructure.
-	resolver := dns.NewResolver(space)
+	resolver := dns.NewResolver(hf.space)
 	hf.resolver = resolver
 	gc.ExternalOut = func(now sim.Time, p *netsim.Packet) {
 		if p.Proto == netsim.ProtoUDP && p.Dst == gc.Resolver {
@@ -343,14 +494,14 @@ func New(opts Options) (*Honeyfarm, error) {
 			}
 			return
 		}
-		if opts.OnEgress != nil {
-			opts.OnEgress(p.String())
+		if hooks.OnEgress != nil {
+			hooks.OnEgress(p.String())
 		}
 	}
 	if opts.GatewayShards > 1 {
 		s, err := gateway.NewSharded(k, gc, f, opts.GatewayShards)
 		if err != nil {
-			return nil, err
+			return hf.fail(err)
 		}
 		f.SetGateway(s)
 		hf.f, hf.g = f, s
@@ -361,24 +512,91 @@ func New(opts Options) (*Honeyfarm, error) {
 	}
 
 	if opts.SnapshotWarmup > 0 {
-		if opts.FullBoot {
-			return nil, fmt.Errorf("potemkin: SnapshotWarmup requires flash cloning (FullBoot off)")
-		}
 		if err := f.PrepareSnapshotImages(fc.Image.Name+"-settled", opts.SnapshotWarmup); err != nil {
-			return nil, err
+			return hf.fail(err)
+		}
+	}
+	return hf, nil
+}
+
+// buildParallel wires the conservative parallel shard engine: one
+// domain (kernel + gateway + farm slice + resolver) per shard, epochs
+// synchronized by core.ShardEngine.
+func (hf *Honeyfarm) buildParallel(fc farm.Config, gc gateway.Config, hooks Hooks) (*Honeyfarm, error) {
+	opts := hf.opts
+	ec := core.ShardEngineConfig{
+		Shards:   opts.GatewayShards,
+		Parallel: true,
+		Seed:     opts.Seed,
+		Gateway:  gc,
+		Farm:     fc,
+		EventLog: opts.EventLog,
+		TraceOut: opts.TraceOut,
+	}
+	if hooks.OnInfected != nil {
+		cb := hooks.OnInfected
+		ec.OnInfected = func(_ sim.Time, in *guest.Instance) {
+			cb(in.IP.String(), in.Generation)
+		}
+	}
+	if hooks.OnEgress != nil {
+		cb := hooks.OnEgress
+		ec.OnEgress = func(_ sim.Time, p *netsim.Packet) { cb(p.String()) }
+	}
+	if opts.CheckpointDir != "" || hooks.OnDetected != nil {
+		ec.OnDetected = func(now sim.Time, a netsim.Addr, n int) {
+			if opts.CheckpointDir != "" {
+				if err := hf.checkpointVM(now, a); err != nil {
+					fmt.Fprintf(os.Stderr, "potemkin: checkpoint %s: %v\n", a, err)
+				}
+			}
+			if hooks.OnDetected != nil {
+				hooks.OnDetected(a.String(), n)
+			}
+		}
+	}
+	if opts.CaptureDir != "" {
+		ec.Capture = func(shard int) (gateway.CaptureSink, error) {
+			return hf.openCapture(filepath.Join(opts.CaptureDir, fmt.Sprintf("shard-%d", shard)))
+		}
+	}
+	eng, err := core.NewShardEngine(ec)
+	if err != nil {
+		return hf.fail(err)
+	}
+	hf.eng = eng
+	if opts.SnapshotWarmup > 0 {
+		if err := eng.PrepareSnapshotImages(fc.Image.Name+"-settled", opts.SnapshotWarmup); err != nil {
+			return hf.fail(err)
 		}
 	}
 	return hf, nil
 }
 
 // Resolver exposes the built-in safe DNS resolver (to add zone entries
-// or inspect query counts).
-func (hf *Honeyfarm) Resolver() *dns.Resolver { return hf.resolver }
+// or inspect query counts). In Parallel mode each shard runs its own
+// resolver (name synthesis is deterministic by name, so all shards
+// agree on every answer); this returns shard 0's — use
+// Internals().Engine for the rest.
+func (hf *Honeyfarm) Resolver() *dns.Resolver {
+	if hf.eng != nil {
+		return hf.eng.Domains()[0].Resolver
+	}
+	return hf.resolver
+}
+
+// vmAt returns the live VM bound to addr, whichever engine runs it.
+func (hf *Honeyfarm) vmAt(addr netsim.Addr) *vmm.VM {
+	if hf.eng != nil {
+		return hf.eng.VMAt(addr)
+	}
+	return hf.f.VMAt(addr)
+}
 
 // checkpointVM saves the delta state of the VM bound to addr into
 // CheckpointDir.
 func (hf *Honeyfarm) checkpointVM(now sim.Time, addr netsim.Addr) error {
-	vm := hf.f.VMAt(addr)
+	vm := hf.vmAt(addr)
 	if vm == nil {
 		return fmt.Errorf("no VM bound")
 	}
@@ -406,10 +624,30 @@ func MustNew(opts Options) *Honeyfarm {
 }
 
 // Now returns elapsed simulated time.
-func (hf *Honeyfarm) Now() time.Duration { return time.Duration(hf.k.Now()) }
+func (hf *Honeyfarm) Now() time.Duration {
+	if hf.eng != nil {
+		return time.Duration(hf.eng.Now())
+	}
+	return time.Duration(hf.k.Now())
+}
 
 // RunFor advances the simulation by d.
-func (hf *Honeyfarm) RunFor(d time.Duration) { hf.k.RunFor(d) }
+func (hf *Honeyfarm) RunFor(d time.Duration) {
+	if hf.eng != nil {
+		hf.eng.RunFor(d)
+		return
+	}
+	hf.k.RunFor(d)
+}
+
+// inject delivers pkt synchronously at the current time.
+func (hf *Honeyfarm) inject(pkt *netsim.Packet) {
+	if hf.eng != nil {
+		hf.eng.Inject(pkt)
+		return
+	}
+	hf.g.HandleInbound(hf.k.Now(), pkt)
+}
 
 // InjectProbe delivers a TCP SYN from src to dst:port, as a scanner on
 // the real Internet would. Returns an error for unparseable addresses
@@ -419,7 +657,7 @@ func (hf *Honeyfarm) InjectProbe(src, dst string, port uint16) error {
 	if err != nil {
 		return err
 	}
-	hf.g.HandleInbound(hf.k.Now(), netsim.TCPSyn(s, d, 40000, port, 1))
+	hf.inject(netsim.TCPSyn(s, d, 40000, port, 1))
 	return nil
 }
 
@@ -430,7 +668,7 @@ func (hf *Honeyfarm) InjectExploit(src, dst string) error {
 	if err != nil {
 		return err
 	}
-	prof := hf.f.Cfg.Profile
+	prof := hf.profile
 	payload := prof.ExploitPayload(0)
 	if payload == nil {
 		return fmt.Errorf("potemkin: guest %q has no vulnerability", prof.Name)
@@ -443,7 +681,7 @@ func (hf *Honeyfarm) InjectExploit(src, dst string) error {
 		pkt.Flags |= netsim.FlagPSH
 		pkt.Payload = payload
 	}
-	hf.g.HandleInbound(hf.k.Now(), pkt)
+	hf.inject(pkt)
 	return nil
 }
 
@@ -462,67 +700,16 @@ func (hf *Honeyfarm) parsePair(src, dst string) (netsim.Addr, netsim.Addr, error
 	return s, d, nil
 }
 
-// ReplayTrace schedules a telescope trace (see package
-// internal/telescope for the format, and cmd/telescope to generate
-// files) into the honeyfarm, then runs until it completes. It returns
-// the number of packets injected.
-func (hf *Honeyfarm) ReplayTrace(recs []TraceRecord) int {
-	if len(recs) == 0 {
-		return 0
-	}
-	inner := make([]telescope.Record, len(recs))
-	var end sim.Time
-	base := hf.k.Now()
-	for i, r := range recs {
-		inner[i] = telescope.Record(r)
-		inner[i].At += base
-		if inner[i].At > end {
-			end = inner[i].At
-		}
-	}
-	rp := &telescope.Replayer{K: hf.k, Recs: inner, Emit: func(now sim.Time, pkt *netsim.Packet) {
-		hf.g.HandleInbound(now, pkt)
-	}}
-	rp.Start()
-	hf.k.RunUntil(end.Add(time.Millisecond))
-	return rp.Injected
-}
-
-// TraceRecord is one telescope packet arrival (re-exported for trace
-// replay through the facade). At is relative to the replay start.
-type TraceRecord = telescope.Record
-
-// ReplayStream replays a record source (a trace file reader, a pcap
-// source, an in-memory slice) into the honeyfarm in bounded memory: one
-// record is scheduled and run at a time, so multi-GB traces stream
-// without being slurped. Record times are offset from the current
-// clock. After the last record the simulation runs 1 ms longer, the
-// same epilogue as ReplayTrace. Returns the packets injected and the
-// first source error, if any.
-func (hf *Honeyfarm) ReplayStream(src telescope.Source) (int, error) {
-	return hf.ReplayStreamHalt(src, nil)
-}
-
-// ReplayStreamHalt is ReplayStream with an early-exit hook, consulted
-// before each record (potemkind's signal handler uses it so ^C ends the
-// replay cleanly instead of truncating output files mid-record).
-func (hf *Honeyfarm) ReplayStreamHalt(src telescope.Source, halt func() bool) (int, error) {
-	rp := &telescope.StreamReplayer{
-		K: hf.k, Src: src, Base: hf.k.Now(), Halt: halt,
-		Emit: func(now sim.Time, pkt *netsim.Packet) {
-			hf.g.HandleInbound(now, pkt)
-		},
-	}
-	err := rp.Run()
-	hf.k.RunFor(time.Millisecond)
-	return rp.Injected, err
-}
-
 // WireBridge returns an ingest bridge wired to this honeyfarm's kernel,
 // inbound packet path, and tracer: br.Pump(listener, tail) then serves
 // live GRE-over-UDP traffic into the gateway. speedup scales wall
 // arrival time onto virtual time for plain (non-timestamped) framing.
+// Panics in Parallel mode: wire arrivals are not known a lookahead
+// ahead, which conservative synchronization requires.
 func (hf *Honeyfarm) WireBridge(speedup float64) *ingest.Bridge {
+	if hf.eng != nil {
+		panic("potemkin: WireBridge is not supported with Options.Parallel")
+	}
 	return &ingest.Bridge{
 		K: hf.k, Speedup: speedup, Tracer: hf.tracer,
 		Emit: func(now sim.Time, pkt *netsim.Packet) {
@@ -544,6 +731,28 @@ func (hf *Honeyfarm) GenerateTrace(dur time.Duration, pps float64) ([]TraceRecor
 
 // Stats returns the aggregate state.
 func (hf *Honeyfarm) Stats() Stats {
+	if hf.eng != nil {
+		gs := hf.eng.GatewayStats()
+		fs := hf.eng.FarmStats()
+		return Stats{
+			Now:               time.Duration(hf.eng.Now()),
+			LiveVMs:           hf.eng.LiveVMs(),
+			PeakVMs:           fs.PeakLiveVMs,
+			InfectedVMs:       hf.eng.InfectedVMs(),
+			BindingsCreated:   gs.BindingsCreated,
+			BindingsRecycled:  gs.BindingsRecycled,
+			InboundPackets:    gs.InboundPackets,
+			DeliveredToVM:     gs.DeliveredToVM,
+			OutboundDropped:   gs.OutDropped,
+			OutboundToSource:  gs.OutToSource,
+			OutboundReflected: gs.OutReflected,
+			DNSProxied:        gs.OutDNSProxied,
+			SpawnFailures:     gs.SpawnFailures + fs.SpawnFailures,
+			DetectedInfected:  gs.DetectedInfected,
+			ScanFiltered:      gs.ScanFiltered,
+			MemoryInUse:       hf.eng.MemoryInUse(),
+		}
+	}
 	gs := hf.g.Stats()
 	fs := hf.f.Stats()
 	return Stats{
@@ -567,17 +776,34 @@ func (hf *Honeyfarm) Stats() Stats {
 }
 
 // LiveVMs returns the current VM count (convenience for sampling loops).
-func (hf *Honeyfarm) LiveVMs() int { return hf.f.LiveVMs() }
+func (hf *Honeyfarm) LiveVMs() int {
+	if hf.eng != nil {
+		return hf.eng.LiveVMs()
+	}
+	return hf.f.LiveVMs()
+}
+
+// closeCaptures flushes and closes every open capture file.
+func (hf *Honeyfarm) closeCaptures() {
+	for _, c := range hf.captures {
+		c.flush()
+	}
+	hf.captures = nil
+}
 
 // Close stops background activity (recycling timers), flushes capture
 // files, finishes spans still open in the trace, and terminates the
 // Chrome trace array.
 func (hf *Honeyfarm) Close() {
-	hf.g.Close()
-	for _, c := range hf.captures {
-		c.flush()
+	if hf.eng != nil {
+		if err := hf.eng.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "potemkin: close: %v\n", err)
+		}
+		hf.closeCaptures()
+		return
 	}
-	hf.captures = nil
+	hf.g.Close()
+	hf.closeCaptures()
 	hf.tracer.FlushOpen(hf.k.Now())
 	if hf.chromeW != nil {
 		if err := hf.chromeW.Close(); err != nil {
@@ -589,7 +815,8 @@ func (hf *Honeyfarm) Close() {
 
 // Tracer exposes the span tracer when tracing is on (Options.TraceOut
 // or TraceChrome set), for stage histograms and live statistics. Nil —
-// safe to call methods on — when tracing is off.
+// safe to call methods on — when tracing is off, and in Parallel mode
+// (each shard owns a private tracer there).
 func (hf *Honeyfarm) Tracer() *trace.Tracer { return hf.tracer }
 
 // captureFile is one open capture trace, in either the native .potm
@@ -671,17 +898,23 @@ func (hf *Honeyfarm) openCapture(dir string) (gateway.CaptureSink, error) {
 // types live in internal packages: importable by code in this module
 // (cmd/, examples/, experiments), visible as opaque handles elsewhere.
 type Internals struct {
+	// Kernel is the single simulation kernel; nil in Parallel mode
+	// (each shard domain owns its own — see Engine).
 	Kernel *sim.Kernel
 	// Gateway is the single gateway instance, nil when sharded.
 	Gateway *gateway.Gateway
-	// Sharded is the shard set, nil for a single gateway.
+	// Sharded is the in-process shard set, nil for a single gateway
+	// and in Parallel mode.
 	Sharded *gateway.Sharded
-	Farm    *farm.Farm
+	// Farm is the server pool; nil in Parallel mode.
+	Farm *farm.Farm
+	// Engine is the parallel shard engine; nil otherwise.
+	Engine *core.ShardEngine
 }
 
 // Internals returns the underlying simulation objects.
 func (hf *Honeyfarm) Internals() Internals {
-	in := Internals{Kernel: hf.k, Gateway: hf.single, Farm: hf.f}
+	in := Internals{Kernel: hf.k, Gateway: hf.single, Farm: hf.f, Engine: hf.eng}
 	if s, ok := hf.g.(*gateway.Sharded); ok {
 		in.Sharded = s
 	}

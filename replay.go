@@ -1,0 +1,100 @@
+package potemkin
+
+import (
+	"time"
+
+	"potemkin/internal/netsim"
+	"potemkin/internal/sim"
+	"potemkin/internal/telescope"
+)
+
+// TraceRecord is one telescope packet arrival (re-exported for trace
+// replay through the facade). At is relative to the replay start.
+type TraceRecord = telescope.Record
+
+// SliceSource wraps an in-memory trace as a replay source for Replay.
+func SliceSource(recs []TraceRecord) telescope.Source {
+	return &telescope.SliceSource{Recs: recs}
+}
+
+// replayConfig collects the option knobs for Replay.
+type replayConfig struct {
+	halt     func() bool
+	epilogue time.Duration
+}
+
+// ReplayOption customizes a Replay call.
+type ReplayOption func(*replayConfig)
+
+// WithHalt installs an early-exit hook, consulted before each record
+// (potemkind's signal handler uses it so ^C ends the replay cleanly
+// instead of truncating output files mid-record).
+func WithHalt(halt func() bool) ReplayOption {
+	return func(rc *replayConfig) { rc.halt = halt }
+}
+
+// WithEpilogue sets how long the simulation keeps running after the
+// last record, so in-flight spawns and reflections settle. Default
+// 1 ms.
+func WithEpilogue(d time.Duration) ReplayOption {
+	return func(rc *replayConfig) { rc.epilogue = d }
+}
+
+// Replay streams a record source (a trace file reader, a pcap source,
+// an in-memory slice via SliceSource) into the honeyfarm in bounded
+// memory: one record is scheduled and run at a time, so multi-GB
+// traces stream without being slurped. Record times are offset from
+// the current clock; records that sort before the clock (out-of-order
+// traces) are injected immediately rather than in the past. After the
+// last record the simulation runs for the epilogue (1 ms unless
+// WithEpilogue says otherwise). Returns the packets injected and the
+// first source error, if any.
+//
+// Replay subsumes the deprecated ReplayTrace, ReplayStream, and
+// ReplayStreamHalt entry points, and is the only replay path that
+// works with Options.Parallel.
+func (hf *Honeyfarm) Replay(src telescope.Source, opts ...ReplayOption) (int, error) {
+	rc := replayConfig{epilogue: time.Millisecond}
+	for _, opt := range opts {
+		opt(&rc)
+	}
+	if hf.eng != nil {
+		return hf.eng.Replay(src, rc.halt, rc.epilogue)
+	}
+	rp := &telescope.StreamReplayer{
+		K: hf.k, Src: src, Base: hf.k.Now(), Halt: rc.halt,
+		Emit: func(now sim.Time, pkt *netsim.Packet) {
+			hf.g.HandleInbound(now, pkt)
+		},
+	}
+	err := rp.Run()
+	hf.k.RunFor(rc.epilogue)
+	return rp.Injected, err
+}
+
+// ReplayTrace schedules an in-memory telescope trace into the
+// honeyfarm, then runs until it completes (plus a 1 ms epilogue). It
+// returns the number of packets injected.
+//
+// Deprecated: use Replay(SliceSource(recs)).
+func (hf *Honeyfarm) ReplayTrace(recs []TraceRecord) int {
+	if len(recs) == 0 {
+		return 0
+	}
+	n, _ := hf.Replay(SliceSource(recs))
+	return n
+}
+
+// ReplayStream replays a record source into the honeyfarm.
+//
+// Deprecated: use Replay(src).
+func (hf *Honeyfarm) ReplayStream(src telescope.Source) (int, error) {
+	return hf.Replay(src)
+}
+
+// ReplayStreamHalt is ReplayStream with an early-exit hook.
+//
+// Deprecated: use Replay(src, WithHalt(halt)).
+func (hf *Honeyfarm) ReplayStreamHalt(src telescope.Source, halt func() bool) (int, error) {
+	return hf.Replay(src, WithHalt(halt))
+}

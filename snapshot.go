@@ -74,6 +74,32 @@ func summarize(h *metrics.Histogram) LatencySummary {
 
 // Snapshot captures the current state.
 func (hf *Honeyfarm) Snapshot() Snapshot {
+	if hf.eng != nil {
+		gs := hf.eng.GatewayStats()
+		fs := hf.eng.FarmStats()
+		clone := hf.eng.CloneLatency()
+		// Per-stage tracer histograms are shard-private in Parallel
+		// mode, so OpenSpans/StagesMs stay empty here.
+		return Snapshot{
+			TSeconds:         hf.eng.Now().Seconds(),
+			LiveVMs:          hf.eng.LiveVMs(),
+			BindingsLive:     hf.eng.NumBindings(),
+			PendingQueued:    gs.PendingQueued,
+			PeakVMs:          fs.PeakLiveVMs,
+			InfectedVMs:      hf.eng.InfectedVMs(),
+			BindingsCreated:  gs.BindingsCreated,
+			BindingsRecycled: gs.BindingsRecycled,
+			InboundPackets:   gs.InboundPackets,
+			DeliveredToVM:    gs.DeliveredToVM,
+			SpawnFailures:    gs.SpawnFailures + fs.SpawnFailures,
+			SpawnRetries:     gs.SpawnRetries + fs.SpawnRetries,
+			BindingsShed:     gs.BindingsShed,
+			DetectedInfected: gs.DetectedInfected,
+			MemoryInUseBytes: hf.eng.MemoryInUse(),
+			CloneMs:          summarize(&clone),
+		}
+	}
+
 	gs := hf.g.Stats()
 	fs := hf.f.Stats()
 
