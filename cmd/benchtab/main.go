@@ -15,9 +15,10 @@
 // sim kernel and results merge in input order — so -parallel trades
 // wall-clock only.
 //
-// e12 (shard-engine scaling) must be requested explicitly: it reports
-// wall-clock, which is machine-dependent, so it is excluded from the
-// byte-identical default set.
+// e12 (shard-engine scaling) and e13 (cluster scaling) must be
+// requested explicitly: they report wall-clock, which is
+// machine-dependent, so they are excluded from the byte-identical
+// default set.
 package main
 
 import (
@@ -26,10 +27,13 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"time"
 
+	"potemkin/internal/cluster"
 	"potemkin/internal/core"
 	"potemkin/internal/farm"
+	"potemkin/internal/fault"
 	"potemkin/internal/gateway"
 	"potemkin/internal/metrics"
 	"potemkin/internal/telescope"
@@ -75,8 +79,10 @@ func main() {
 			r.e10()
 		case "e12":
 			r.e12()
+		case "e13":
+			r.e13()
 		default:
-			fmt.Fprintf(os.Stderr, "benchtab: unknown experiment %q (want e1..e10, e12, or all)\n", a)
+			fmt.Fprintf(os.Stderr, "benchtab: unknown experiment %q (want e1..e10, e12, e13, or all)\n", a)
 			os.Exit(2)
 		}
 	}
@@ -345,4 +351,155 @@ func (r *runner) e12() {
 	}
 	r.print(tab)
 	r.writeCSV("e12_shard_scaling", tab)
+}
+
+// e13 measures cluster mode: the same replay distributed over worker
+// processes (in-process goroutines here, but over real localhost TCP
+// and the full epoch protocol), against the single-process sequential
+// oracle. The bindings column is checked for equality — distribution
+// must not change results — and a final arm SIGKILLs a worker mid-run
+// to time checkpoint recovery. Wall-clock, so machine-dependent.
+func (r *runner) e13() {
+	dur, rate := 20*time.Second, 1000.0
+	workerCounts := []int{1, 2, 4}
+	const shards = 4
+	if r.quick {
+		dur = 5 * time.Second
+		workerCounts = []int{1, 2}
+	}
+	gcfg := telescope.DefaultGenConfig()
+	gcfg.Duration = dur
+	gcfg.Rate = rate
+	gcfg.Seed = r.seed
+	recs, err := telescope.Generate(gcfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("E13: cluster scaling (%d packets over %v, %d shards, wall-clock — machine-dependent)\n",
+		len(recs), dur, shards)
+
+	engCfg := func(faults *fault.Config) core.ShardEngineConfig {
+		gc := gateway.DefaultConfig()
+		gc.IdleTimeout = 5 * time.Second
+		fc := farm.DefaultConfig()
+		if fc.Servers < shards {
+			fc.Servers = shards
+		}
+		return core.ShardEngineConfig{
+			Shards: shards, Parallel: true, Seed: r.seed, Gateway: gc, Farm: fc, Fault: faults,
+		}
+	}
+
+	// Sequential single-process oracle.
+	runSeq := func(faults *fault.Config) (time.Duration, uint64) {
+		cfg := engCfg(faults)
+		cfg.Parallel = false
+		eng, err := core.NewShardEngine(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		eng.StartFaults()
+		start := time.Now()
+		if _, err := eng.Replay(&telescope.SliceSource{Recs: recs}, nil, time.Millisecond); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		eng.RunFor(5 * time.Second)
+		wall := time.Since(start)
+		bindings := eng.GatewayStats().BindingsCreated
+		eng.Close()
+		return wall, bindings
+	}
+
+	runCluster := func(workers, standbys int, faults *fault.Config) (time.Duration, uint64, int) {
+		c, err := cluster.New(cluster.Config{
+			Engine:            engCfg(faults),
+			ConfigTag:         "benchtab-e13",
+			ListenAddr:        "127.0.0.1:0",
+			Workers:           workers,
+			HeartbeatInterval: 100 * time.Millisecond,
+			RecoveryWait:      30 * time.Second,
+		})
+		if err == nil {
+			err = c.Start()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < workers+standbys; i++ {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				cluster.RunWorker(cluster.WorkerConfig{
+					Addr: c.Addr().String(), Engine: engCfg(faults),
+					ConfigTag: "benchtab-e13", Name: fmt.Sprintf("w%d", i),
+					HeartbeatInterval: 100 * time.Millisecond,
+				})
+			}()
+		}
+		if err := c.WaitReady(time.Minute); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		start := time.Now()
+		if _, err := c.Replay(&telescope.SliceSource{Recs: recs}, nil, time.Millisecond); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: e13 replay: %v\n", err)
+			os.Exit(1)
+		}
+		c.RunFor(5 * time.Second)
+		res, err := c.Results()
+		wall := time.Since(start)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: e13 results: %v\n", err)
+			os.Exit(1)
+		}
+		recov := c.Recoveries()
+		c.Close()
+		wg.Wait()
+		return wall, res.Gateway.BindingsCreated, recov
+	}
+
+	seqWall, seqBindings := runSeq(nil)
+	tab := metrics.NewTable("", "workers", "shards", "seq_wall_ms", "cluster_wall_ms", "speedup", "bindings", "recoveries")
+	for _, workers := range workerCounts {
+		wall, bindings, recov := runCluster(workers, 0, nil)
+		if bindings != seqBindings {
+			fmt.Fprintf(os.Stderr, "benchtab: e13 determinism violated: %d vs %d bindings\n",
+				seqBindings, bindings)
+			os.Exit(1)
+		}
+		tab.AddRow(workers, shards,
+			float64(seqWall.Microseconds())/1000,
+			float64(wall.Microseconds())/1000,
+			float64(seqWall)/float64(wall),
+			bindings, recov)
+	}
+	// Recovery arm: a fault-injected worker kill mid-run, with a hot
+	// standby adopting the dead worker's shards from the coordinator's
+	// epoch-boundary checkpoints. The oracle runs the same fault config
+	// (a kill is a recorded no-op outside a cluster), so bindings must
+	// still match exactly.
+	killAt := dur / 2
+	faults := &fault.Config{Script: []fault.Action{
+		{At: killAt, Kind: fault.KindKillWorker, Server: 0},
+	}}
+	_, seqKillBindings := runSeq(faults)
+	wall, bindings, recov := runCluster(2, 1, faults)
+	if bindings != seqKillBindings || recov < 1 {
+		fmt.Fprintf(os.Stderr, "benchtab: e13 recovery violated determinism: %d vs %d bindings, %d recoveries\n",
+			seqKillBindings, bindings, recov)
+		os.Exit(1)
+	}
+	tab.AddRow("2+kill", shards,
+		float64(seqWall.Microseconds())/1000,
+		float64(wall.Microseconds())/1000,
+		float64(seqWall)/float64(wall),
+		bindings, recov)
+	r.print(tab)
+	r.writeCSV("e13_cluster_scaling", tab)
 }

@@ -6,6 +6,7 @@
 //	ckpt info FILE             summary: identity, delta size, page list
 //	ckpt dump FILE PAGE        hex dump of one captured page
 //	ckpt diff FILE1 FILE2      pages/blocks present or differing between two checkpoints
+//	ckpt cluster FILE          summary of a cluster shard replay checkpoint
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"sort"
 	"strconv"
 
+	"potemkin/internal/cluster"
 	"potemkin/internal/vmm"
 )
 
@@ -34,14 +36,50 @@ func main() {
 			usage()
 		}
 		cmdDiff(os.Args[2], os.Args[3])
+	case "cluster":
+		cmdCluster(os.Args[2])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ckpt {info FILE | dump FILE PAGE | diff FILE1 FILE2}")
+	fmt.Fprintln(os.Stderr, "usage: ckpt {info FILE | dump FILE PAGE | diff FILE1 FILE2 | cluster FILE}")
 	os.Exit(2)
+}
+
+// cmdCluster summarizes a cluster shard replay checkpoint (the
+// epoch-boundary input logs the coordinator uses to restore a crashed
+// worker's shards; see internal/cluster).
+func cmdCluster(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ckpt: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	ck, err := cluster.ReadCheckpoint(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ckpt: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("shard:       %d of %d\n", ck.Shard, ck.Shards)
+	fmt.Printf("seed:        %#x\n", ck.Seed)
+	fmt.Printf("config hash: %#x\n", ck.ConfigHash)
+	fmt.Printf("base:        %v\n", ck.Base)
+	fmt.Printf("through:     %v\n", ck.Through)
+	inputBytes := 0
+	for _, ep := range ck.Epochs {
+		inputBytes += len(ep.Inputs)
+	}
+	fmt.Printf("epochs:      %d non-empty (%d input bytes)\n", len(ck.Epochs), inputBytes)
+	for i, ep := range ck.Epochs {
+		if i == 10 {
+			fmt.Printf("  … (+%d more)\n", len(ck.Epochs)-10)
+			break
+		}
+		fmt.Printf("  [%v, %v) %d bytes\n", ep.Start, ep.End, len(ep.Inputs))
+	}
 }
 
 func load(path string) *vmm.Checkpoint {

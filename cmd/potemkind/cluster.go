@@ -1,0 +1,341 @@
+package main
+
+// Cluster mode: -coordinator runs the epoch barrier and feed driver;
+// -worker hosts a subset of the shard domains. Both sides are launched
+// with the same scenario flags (SPMD) and verify agreement during the
+// handshake, so a worker started with a different seed or policy is
+// rejected instead of silently diverging. The merged results are
+// byte-identical to a single-process run of the same scenario.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"potemkin"
+	"potemkin/internal/cluster"
+	"potemkin/internal/core"
+	"potemkin/internal/farm"
+	"potemkin/internal/gateway"
+	"potemkin/internal/guest"
+	"potemkin/internal/ingest"
+	"potemkin/internal/netsim"
+	"potemkin/internal/telescope"
+)
+
+// clusterScenario is everything both cluster roles must agree on.
+type clusterScenario struct {
+	Space    string
+	Servers  int
+	Shards   int
+	Parallel bool // workers run their domains on goroutines
+	Policy   string
+	Idle     time.Duration
+	Profile  *guest.Profile
+	Seed     uint64
+}
+
+// engineConfig builds the shard engine configuration exactly as the
+// potemkin facade would for the same Options, so cluster results stay
+// byte-comparable with single-process runs.
+func (sc clusterScenario) engineConfig() (core.ShardEngineConfig, error) {
+	space, err := netsim.ParsePrefix(sc.Space)
+	if err != nil {
+		return core.ShardEngineConfig{}, fmt.Errorf("invalid -space %q: %v", sc.Space, err)
+	}
+	fc := farm.DefaultConfig()
+	fc.Servers = sc.Servers
+	fc.Profile = sc.Profile
+	gc := gateway.DefaultConfig()
+	gc.Space = space
+	switch sc.Policy {
+	case "open":
+		gc.Policy = gateway.PolicyOpen
+	case "drop-all":
+		gc.Policy = gateway.PolicyDropAll
+	case "reflect-source":
+		gc.Policy = gateway.PolicyReflectSource
+	case "internal-reflect":
+		gc.Policy = gateway.PolicyInternalReflect
+	default:
+		return core.ShardEngineConfig{}, fmt.Errorf("unknown policy %q", sc.Policy)
+	}
+	gc.IdleTimeout = sc.Idle // 0 disables, matching Options.IdleTimeout < 0
+	return core.ShardEngineConfig{
+		Shards:   sc.Shards,
+		Parallel: sc.Parallel,
+		Seed:     sc.Seed,
+		Gateway:  gc,
+		Farm:     fc,
+	}, nil
+}
+
+// tag canonically renders the scenario; coordinator and workers must
+// produce the same string or the handshake fails.
+func (sc clusterScenario) tag() string {
+	return fmt.Sprintf("space=%s servers=%d shards=%d policy=%s idle=%s guest=%s seed=%d",
+		sc.Space, sc.Servers, sc.Shards, sc.Policy, sc.Idle, sc.Profile.Name, sc.Seed)
+}
+
+// clusterLogf writes cluster progress to stderr, keeping stdout clean
+// for -json output.
+func clusterLogf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "potemkind: "+format+"\n", args...)
+}
+
+type coordinatorRun struct {
+	scenario clusterScenario
+	addr     string
+	workers  int
+
+	heartbeat        time.Duration
+	heartbeatTimeout time.Duration
+	recoveryWait     time.Duration
+
+	// Feed selection (mirrors the single-process modes minus -listen).
+	traceFile string
+	pcapFile  string
+	duration  time.Duration
+	rate      float64
+
+	eventLog *os.File
+	traceOut *os.File
+	jsonOut  bool
+	snapOut  string
+}
+
+// runClusterCoordinator drives one cluster run end to end and returns
+// the process exit code. A SIGINT/SIGTERM halts the feed at the next
+// epoch boundary and still merges and flushes everything collected so
+// far — same graceful-flush contract as single-process mode.
+func runClusterCoordinator(r coordinatorRun) int {
+	ec, err := r.scenario.engineConfig()
+	if err != nil {
+		clusterLogf("%v", err)
+		return 1
+	}
+	if r.eventLog != nil {
+		ec.EventLog = r.eventLog
+	}
+	if r.traceOut != nil {
+		ec.TraceOut = r.traceOut
+	}
+	c, err := cluster.New(cluster.Config{
+		Engine:            ec,
+		ConfigTag:         r.scenario.tag(),
+		ListenAddr:        r.addr,
+		Workers:           r.workers,
+		HeartbeatInterval: r.heartbeat,
+		HeartbeatTimeout:  r.heartbeatTimeout,
+		RecoveryWait:      r.recoveryWait,
+		RecoveryLog:       os.Stderr,
+		Logf:              clusterLogf,
+	})
+	if err != nil {
+		clusterLogf("%v", err)
+		return 1
+	}
+	defer c.Close()
+	if err := c.Start(); err != nil {
+		clusterLogf("%v", err)
+		return 1
+	}
+	fmt.Printf("coordinator on %s: %d shards across %d workers, scenario %q\n",
+		c.Addr(), r.scenario.Shards, r.workers, r.scenario.tag())
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	var interrupted atomic.Bool
+	go func() {
+		<-ctx.Done()
+		interrupted.Store(true)
+	}()
+
+	if err := c.WaitReady(5 * time.Minute); err != nil {
+		clusterLogf("%v", err)
+		return 1
+	}
+	fmt.Printf("workers ready; starting feed\n")
+
+	var src telescope.Source
+	switch {
+	case r.traceFile != "":
+		f, err := os.Open(r.traceFile)
+		if err != nil {
+			clusterLogf("%v", err)
+			return 1
+		}
+		defer f.Close()
+		tr, err := telescope.NewReader(f)
+		if err != nil {
+			clusterLogf("reading %s: %v", r.traceFile, err)
+			return 1
+		}
+		src = tr
+		fmt.Printf("streaming replay from %s\n", r.traceFile)
+	case r.pcapFile != "":
+		f, err := os.Open(r.pcapFile)
+		if err != nil {
+			clusterLogf("%v", err)
+			return 1
+		}
+		defer f.Close()
+		ps, err := ingest.NewPcapSource(f)
+		if err != nil {
+			clusterLogf("reading %s: %v", r.pcapFile, err)
+			return 1
+		}
+		src = ps
+		fmt.Printf("streaming replay from %s\n", r.pcapFile)
+	default:
+		gcfg := telescope.DefaultGenConfig()
+		gcfg.Space = ec.Gateway.Space
+		gcfg.Duration = r.duration
+		gcfg.Rate = r.rate
+		gcfg.Seed = r.scenario.Seed
+		recs, err := telescope.Generate(gcfg)
+		if err != nil {
+			clusterLogf("%v", err)
+			return 1
+		}
+		fmt.Printf("synthesized %d packets over %v at %.0f pps\n", len(recs), r.duration, r.rate)
+		src = &telescope.SliceSource{Recs: recs}
+	}
+
+	injected, rerr := c.Replay(src, interrupted.Load, time.Millisecond)
+	if interrupted.Load() {
+		fmt.Println("\ninterrupted: flushing writers and reporting partial results")
+	}
+	res, err := c.Results()
+	if res == nil {
+		clusterLogf("%v", err)
+		return 1
+	}
+	// Flush collected output even when the run degraded: partial
+	// results are the whole point of the clean-degrade path.
+	if r.eventLog != nil {
+		r.eventLog.Write(res.Events)
+	}
+	if r.traceOut != nil {
+		r.traceOut.Write(res.Trace)
+	}
+	exit := 0
+	if rerr != nil {
+		clusterLogf("replay: %v", rerr)
+		exit = 1
+	} else if err != nil {
+		clusterLogf("results: %v", err)
+		exit = 1
+	}
+	for _, ev := range c.RecoveryEvents() {
+		fmt.Fprintf(os.Stderr, "potemkind: recovery: %s\n", ev)
+	}
+
+	st := clusterStats(res)
+	if r.jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(st); err != nil {
+			clusterLogf("%v", err)
+			return 1
+		}
+		return exit
+	}
+	fmt.Printf("\nfinal after %v simulated (%d recoveries):\n", st.Now.Truncate(time.Millisecond), c.Recoveries())
+	fmt.Printf("  injected packets      %d\n", injected)
+	fmt.Printf("  delivered to VMs      %d\n", st.DeliveredToVM)
+	fmt.Printf("  bindings created      %d\n", st.BindingsCreated)
+	fmt.Printf("  bindings recycled     %d\n", st.BindingsRecycled)
+	fmt.Printf("  peak live VMs         %d\n", st.PeakVMs)
+	fmt.Printf("  live VMs now          %d\n", st.LiveVMs)
+	fmt.Printf("  infected VMs          %d (detector flagged %d)\n", st.InfectedVMs, st.DetectedInfected)
+	fmt.Printf("  outbound: to-source=%d dns=%d reflected=%d dropped=%d\n",
+		st.OutboundToSource, st.DNSProxied, st.OutboundReflected, st.OutboundDropped)
+	fmt.Printf("  spawn failures        %d\n", st.SpawnFailures)
+	fmt.Printf("  farm memory in use    %d MiB across %d servers\n", st.MemoryInUse>>20, r.scenario.Servers)
+	if r.snapOut != "" {
+		b, err := json.MarshalIndent(st, "", "  ")
+		if err == nil {
+			err = os.WriteFile(r.snapOut, b, 0o644)
+		}
+		if err != nil {
+			clusterLogf("%v", err)
+			return 1
+		}
+		fmt.Printf("\n[snapshot] %s\n", r.snapOut)
+	}
+	return exit
+}
+
+// clusterStats shapes merged cluster results as the facade's Stats so
+// -json output is directly comparable with a single-process run.
+func clusterStats(res *cluster.Results) potemkin.Stats {
+	return potemkin.Stats{
+		Now:               time.Duration(res.Now),
+		LiveVMs:           res.LiveVMs,
+		PeakVMs:           res.Farm.PeakLiveVMs,
+		InfectedVMs:       res.InfectedVMs,
+		BindingsCreated:   res.Gateway.BindingsCreated,
+		BindingsRecycled:  res.Gateway.BindingsRecycled,
+		InboundPackets:    res.Gateway.InboundPackets,
+		DeliveredToVM:     res.Gateway.DeliveredToVM,
+		OutboundDropped:   res.Gateway.OutDropped,
+		OutboundToSource:  res.Gateway.OutToSource,
+		OutboundReflected: res.Gateway.OutReflected,
+		DNSProxied:        res.Gateway.OutDNSProxied,
+		SpawnFailures:     res.Gateway.SpawnFailures + res.Farm.SpawnFailures,
+		DetectedInfected:  res.Gateway.DetectedInfected,
+		ScanFiltered:      res.Gateway.ScanFiltered,
+		MemoryInUse:       res.Memory,
+	}
+}
+
+// runClusterWorker serves shards until the coordinator shuts the run
+// down, and returns the process exit code. The first SIGINT/SIGTERM is
+// deferred to the coordinator (which owns the run's lifecycle and the
+// flush of everything this worker has buffered); a second one forces
+// exit.
+func runClusterWorker(scenario clusterScenario, addr, name string, heartbeat time.Duration) int {
+	ec, err := scenario.engineConfig()
+	if err != nil {
+		clusterLogf("%v", err)
+		return 1
+	}
+	if name == "" {
+		host, _ := os.Hostname()
+		name = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		clusterLogf("worker %s: interrupt deferred — the coordinator drives shutdown and flushes buffered output; ^C again to force", name)
+		<-sigs
+		os.Exit(1)
+	}()
+	err = cluster.RunWorker(cluster.WorkerConfig{
+		Addr:              addr,
+		Engine:            ec,
+		ConfigTag:         scenario.tag(),
+		Name:              name,
+		HeartbeatInterval: heartbeat,
+		// Die as abruptly as a SIGKILL: the whole point of the injected
+		// fault is exercising the coordinator's crash recovery.
+		OnKill: func(worker int) {
+			clusterLogf("worker %s: killed by injected fault (worker slot %d)", name, worker)
+			os.Exit(137)
+		},
+		Logf: clusterLogf,
+	})
+	if err != nil {
+		clusterLogf("worker %s: %v", name, err)
+		return 1
+	}
+	clusterLogf("worker %s: clean shutdown", name)
+	return 0
+}

@@ -33,9 +33,30 @@
 //	-debug-addr A    serve /snapshot, expvar and pprof on this HTTP address
 //	-snapshot-out F  write the final JSON snapshot
 //
+// Cluster mode distributes the shards across worker processes while
+// keeping results byte-identical to a single-process run (see
+// internal/cluster and DESIGN.md "Cluster execution"):
+//
+//	-coordinator A   run the epoch coordinator, serving workers on TCP address A
+//	-worker A        host shard domains for the coordinator at address A
+//	-workers N       worker processes the coordinator splits shards over (default 2)
+//	-name S          worker name in logs and recovery events
+//	-heartbeat D     cluster heartbeat interval (default 1s)
+//	-heartbeat-timeout D  declare a peer dead after this much silence (default 5s)
+//	-recovery-wait D wait this long for a replacement worker before degrading
+//
+// Coordinator and workers must be launched with the same scenario
+// flags (space/servers/shards/policy/idle/guest/seed); the handshake
+// rejects mismatches. Extra workers beyond -workers register as hot
+// standbys and adopt a crashed worker's shards from the coordinator's
+// epoch-boundary checkpoints.
+//
 // SIGINT/SIGTERM stop the feed cleanly: the replay or listener winds
 // down, and every open writer (trace, capture, event log, snapshot) is
-// flushed before exit instead of being truncated mid-record.
+// flushed before exit instead of being truncated mid-record. The
+// cluster coordinator halts the feed at the next epoch boundary and
+// still merges and flushes everything the workers collected; a worker
+// defers its first signal to the coordinator (which owns that flush).
 package main
 
 import (
@@ -91,14 +112,63 @@ func main() {
 		traceChr  = flag.String("trace-chrome", "", "write the trace in Chrome trace-event format (Perfetto-loadable) to this file")
 		debug     = flag.String("debug-addr", "", "serve /snapshot, /debug/vars (expvar) and /debug/pprof on this address while running")
 		snapOut   = flag.String("snapshot-out", "", "write the final JSON snapshot to this file")
+
+		coordAddr  = flag.String("coordinator", "", "run as cluster coordinator, serving workers on this TCP address")
+		workerAddr = flag.String("worker", "", "run as cluster worker, dialing the coordinator at this TCP address")
+		workersN   = flag.Int("workers", 2, "worker processes the coordinator distributes shards over")
+		workerName = flag.String("name", "", "worker name in logs and recovery events (default host:pid)")
+		heartbeat  = flag.Duration("heartbeat", time.Second, "cluster heartbeat interval")
+		hbTimeout  = flag.Duration("heartbeat-timeout", 5*time.Second, "declare a cluster peer dead after this much silence")
+		recWait    = flag.Duration("recovery-wait", 30*time.Second, "how long the coordinator waits for a replacement worker before degrading")
 	)
 	flag.Parse()
 
+	// Flag validation reports every problem, one per line, before
+	// exiting — a misconfigured invocation should not take N runs to
+	// discover N mistakes.
+	var problems []string
+	badFlags := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+	clusterMode := *coordAddr != "" || *workerAddr != ""
 	if moreThanOne(*traceF != "", *pcapF != "", *listen != "") {
-		fatalf("-trace, -pcap, and -listen are mutually exclusive")
+		badFlags("-trace, -pcap, and -listen are mutually exclusive")
 	}
 	if *parallel && *listen != "" {
-		fatalf("-parallel does not support -listen (wire arrivals defeat conservative lookahead)")
+		badFlags("-parallel does not support -listen (wire arrivals defeat conservative lookahead)")
+	}
+	if *coordAddr != "" && *workerAddr != "" {
+		badFlags("-coordinator and -worker are mutually exclusive")
+	}
+	if clusterMode && *listen != "" {
+		badFlags("cluster mode does not support -listen (wire arrivals defeat conservative lookahead)")
+	}
+	if *coordAddr != "" && *shards < 2 {
+		badFlags("-coordinator requires -shards >= 2 (got %d)", *shards)
+	}
+	if *coordAddr != "" && *workersN < 1 {
+		badFlags("-workers must be >= 1 (got %d)", *workersN)
+	}
+	if *workerAddr != "" {
+		for name, set := range map[string]bool{
+			"-trace": *traceF != "", "-pcap": *pcapF != "", "-json": *jsonOut,
+			"-eventlog": *eventLog != "", "-trace-out": *traceOut != "",
+			"-snapshot-out": *snapOut != "",
+		} {
+			if set {
+				badFlags("%s is a coordinator flag; the worker ships its output over the cluster protocol", name)
+			}
+		}
+	}
+	if clusterMode {
+		for name, set := range map[string]bool{
+			"-capture": *capture != "", "-checkpoints": *ckptDir != "",
+			"-trace-chrome": *traceChr != "", "-debug-addr": *debug != "",
+		} {
+			if set {
+				badFlags("%s is not supported in cluster mode", name)
+			}
+		}
 	}
 
 	opts := potemkin.Options{
@@ -122,7 +192,7 @@ func main() {
 	case "internal-reflect":
 		opts.Policy = potemkin.InternalReflect
 	default:
-		fatalf("unknown policy %q", *policy)
+		badFlags("unknown policy %q (want open, drop-all, reflect-source, or internal-reflect)", *policy)
 	}
 	switch *guestN {
 	case "winxp":
@@ -132,7 +202,18 @@ func main() {
 	case "linux":
 		opts.Guest = potemkin.GuestLinuxServer
 	default:
-		fatalf("unknown guest %q", *guestN)
+		badFlags("unknown guest %q (want winxp, sqlserver, or linux)", *guestN)
+	}
+	if !clusterMode {
+		if err := opts.Validate(); err != nil {
+			badFlags("%v", err)
+		}
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintf(os.Stderr, "potemkind: %s\n", p)
+		}
+		os.Exit(1)
 	}
 	if *profileF != "" {
 		f, err := os.Open(*profileF)
@@ -146,6 +227,58 @@ func main() {
 		}
 		opts.GuestProfile = p
 		fmt.Printf("loaded guest personality %q from %s\n", p.Name, *profileF)
+	}
+
+	// Cluster roles bypass the in-process facade: the coordinator owns
+	// the feed, barrier, and merged output; workers host shard domains.
+	if clusterMode {
+		prof := opts.GuestProfile
+		if prof == nil {
+			switch *guestN {
+			case "winxp":
+				prof = guest.WindowsXP()
+			case "sqlserver":
+				prof = guest.SQLServer()
+			case "linux":
+				prof = guest.LinuxServer()
+			}
+		}
+		sc := clusterScenario{
+			Space: *space, Servers: *servers, Shards: *shards,
+			Parallel: *parallel, Policy: *policy, Idle: *idle,
+			Profile: prof, Seed: *seed,
+		}
+		if *workerAddr != "" {
+			os.Exit(runClusterWorker(sc, *workerAddr, *workerName, *heartbeat))
+		}
+		run := coordinatorRun{
+			scenario: sc, addr: *coordAddr, workers: *workersN,
+			heartbeat: *heartbeat, heartbeatTimeout: *hbTimeout, recoveryWait: *recWait,
+			traceFile: *traceF, pcapFile: *pcapF, duration: *duration, rate: *rate,
+			jsonOut: *jsonOut, snapOut: *snapOut,
+		}
+		if *eventLog != "" {
+			f, err := os.Create(*eventLog)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			run.eventLog = f
+		}
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			run.traceOut = f
+		}
+		code := runClusterCoordinator(run)
+		if run.eventLog != nil {
+			run.eventLog.Close()
+		}
+		if run.traceOut != nil {
+			run.traceOut.Close()
+		}
+		os.Exit(code)
 	}
 	opts.OnDetected = func(addr string, n int) {
 		fmt.Printf("  !! scan detector: VM %s attempted %d distinct targets\n", addr, n)

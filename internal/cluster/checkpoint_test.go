@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+	"time"
+
+	"potemkin/internal/netsim"
+	"potemkin/internal/sim"
+	"potemkin/internal/telescope"
+)
+
+// sampleCheckpoint builds a small but fully-populated checkpoint: two
+// non-empty epochs carrying one cross packet and one replay record.
+func sampleCheckpoint() *Checkpoint {
+	pkt := netsim.TCPSyn(netsim.MustParseAddr("198.51.100.9"), netsim.MustParseAddr("10.5.0.9"), 4000, 445, 7)
+	pkt.Payload = []byte{0xde, 0xad, 0xbe, 0xef}
+	rec := telescope.Record{
+		At: sim.Time(2500 * time.Microsecond), Src: pkt.Src, Dst: pkt.Dst,
+		Proto: netsim.ProtoTCP, SrcPort: 4000, DstPort: 445, Flags: netsim.FlagSYN, PayLen: 0,
+	}
+	ep1 := appendCross(nil, sim.Time(time.Millisecond), pkt)
+	ep2 := appendRecord(nil, rec.At, rec)
+	return &Checkpoint{
+		Shard: 1, Shards: 4, Seed: 42, ConfigHash: 0xabcdef,
+		Base: 0, Through: sim.Time(3 * time.Millisecond),
+		Epochs: []EpochInputs{
+			{Start: sim.Time(time.Millisecond), End: sim.Time(2 * time.Millisecond), Inputs: ep1},
+			{Start: sim.Time(2 * time.Millisecond), End: sim.Time(3 * time.Millisecond), Inputs: ep2},
+		},
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	ck := sampleCheckpoint()
+	enc := ck.Encode()
+	got, err := DecodeCheckpoint(enc)
+	if err != nil {
+		t.Fatalf("DecodeCheckpoint: %v", err)
+	}
+	if !reflect.DeepEqual(ck, got) {
+		t.Errorf("round trip mismatch:\nwant %+v\ngot  %+v", ck, got)
+	}
+	// Reader path too.
+	got2, err := ReadCheckpoint(bytes.NewReader(enc))
+	if err != nil {
+		t.Fatalf("ReadCheckpoint: %v", err)
+	}
+	if !reflect.DeepEqual(ck, got2) {
+		t.Error("ReadCheckpoint disagrees with DecodeCheckpoint")
+	}
+}
+
+// TestCheckpointTruncation decodes every proper prefix of a valid
+// checkpoint: all must error, none may panic.
+func TestCheckpointTruncation(t *testing.T) {
+	enc := sampleCheckpoint().Encode()
+	for i := 0; i < len(enc); i++ {
+		if _, err := DecodeCheckpoint(enc[:i]); err == nil {
+			t.Fatalf("truncation at %d/%d bytes decoded without error", i, len(enc))
+		}
+	}
+}
+
+func TestCheckpointCorruption(t *testing.T) {
+	base := sampleCheckpoint().Encode()
+	corrupt := func(name string, mutate func(b []byte) []byte) {
+		b := mutate(append([]byte(nil), base...))
+		if _, err := DecodeCheckpoint(b); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+	corrupt("bad magic", func(b []byte) []byte { b[0] ^= 0xff; return b })
+	corrupt("bad version", func(b []byte) []byte { b[7] = 99; return b })
+	corrupt("shard out of range", func(b []byte) []byte {
+		binary.BigEndian.PutUint32(b[8:], 9)
+		binary.BigEndian.PutUint32(b[12:], 4)
+		return b
+	})
+	corrupt("absurd shard count", func(b []byte) []byte {
+		binary.BigEndian.PutUint32(b[12:], 1<<24)
+		return b
+	})
+	corrupt("through before base", func(b []byte) []byte {
+		binary.BigEndian.PutUint64(b[32:], 100)
+		binary.BigEndian.PutUint64(b[40:], 50)
+		return b
+	})
+	corrupt("absurd epoch count", func(b []byte) []byte {
+		binary.BigEndian.PutUint32(b[48:], 1<<30)
+		return b
+	})
+	corrupt("trailing garbage", func(b []byte) []byte { return append(b, 0xcc) })
+	corrupt("epoch beyond through", func(b []byte) []byte {
+		// First epoch end (offset 48+4+8) pushed past Through.
+		binary.BigEndian.PutUint64(b[60:], uint64(time.Hour))
+		return b
+	})
+	corrupt("garbage inputs", func(b []byte) []byte {
+		// First byte of the first epoch's input list (offset: 52-byte
+		// header + 16-byte epoch bounds + 4-byte length). 0xff is both
+		// an unknown input kind and a negative timestamp high byte, so
+		// eager decoding must reject it under either field order.
+		b[72] = 0xff
+		return b
+	})
+}
+
+func TestShardLogElidesEmptyEpochs(t *testing.T) {
+	var l shardLog
+	l.commit(0, sim.Time(time.Millisecond), nil)
+	l.commit(sim.Time(time.Millisecond), sim.Time(2*time.Millisecond), appendCross(nil, sim.Time(time.Millisecond), netsim.TCPSyn(1, 2, 3, 4, 5)))
+	l.commit(sim.Time(2*time.Millisecond), sim.Time(3*time.Millisecond), nil)
+	ck := l.checkpoint(0, 4, 1, 2, 0)
+	if len(ck.Epochs) != 1 {
+		t.Fatalf("expected 1 logged epoch, got %d", len(ck.Epochs))
+	}
+	if ck.Through != sim.Time(3*time.Millisecond) {
+		t.Errorf("through = %v, want 3ms", ck.Through)
+	}
+	if _, err := DecodeCheckpoint(ck.Encode()); err != nil {
+		t.Errorf("log-derived checkpoint does not round trip: %v", err)
+	}
+}
+
+// FuzzCheckpointRead hammers the untrusted-input path: any byte string
+// either errors cleanly or yields a checkpoint whose re-encoding decodes
+// back to the same value.
+func FuzzCheckpointRead(f *testing.F) {
+	valid := sampleCheckpoint().Encode()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:9])
+	f.Add([]byte{})
+	empty := (&Checkpoint{Shard: 0, Shards: 1}).Encode()
+	f.Add(empty)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ck, err := ReadCheckpoint(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		enc := ck.Encode()
+		ck2, err := DecodeCheckpoint(enc)
+		if err != nil {
+			t.Fatalf("re-encoding of accepted checkpoint rejected: %v", err)
+		}
+		if !reflect.DeepEqual(ck, ck2) {
+			t.Fatalf("re-encode round trip changed the checkpoint:\n%+v\n%+v", ck, ck2)
+		}
+	})
+}

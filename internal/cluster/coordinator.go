@@ -1,0 +1,926 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"potemkin/internal/core"
+	"potemkin/internal/farm"
+	"potemkin/internal/gateway"
+	"potemkin/internal/guest"
+	"potemkin/internal/netsim"
+	"potemkin/internal/sim"
+	"potemkin/internal/telescope"
+)
+
+// Config parameterizes a Coordinator.
+type Config struct {
+	// Engine is the shared scenario. Coordinator and workers are
+	// launched with the same configuration (SPMD-style: the config
+	// holds closures and cannot cross the wire); the handshake verifies
+	// agreement via ConfigTag + shards + seed + lookahead. The
+	// coordinator builds no domains itself — it only needs the shard
+	// count, monitored space, seed, and lookahead.
+	Engine core.ShardEngineConfig
+	// ConfigTag is the caller's canonical rendering of the scenario
+	// (flag string, options dump); both sides must present the same tag.
+	ConfigTag string
+
+	// ListenAddr is the TCP address to accept workers on (":0" picks a
+	// port; see Addr).
+	ListenAddr string
+	// Workers is the number of worker processes the shards are split
+	// across (capped at the shard count). Workers that connect beyond
+	// this count form the standby pool for crash recovery.
+	Workers int
+
+	// SnapshotName and SnapshotWarmup run the paper's image-preparation
+	// flow on every domain before traffic (empty name skips it).
+	SnapshotName   string
+	SnapshotWarmup time.Duration
+
+	// Heartbeat/deadline knobs (zero takes the default).
+	HeartbeatInterval time.Duration // outgoing ping period (1s)
+	HeartbeatTimeout  time.Duration // silence that declares a worker dead (5s)
+	EpochTimeout      time.Duration // wall-clock bound on one epoch (2m)
+	RestoreTimeout    time.Duration // wall-clock bound on a checkpoint restore (2m)
+	RecoveryWait      time.Duration // how long to wait for a replacement worker (10s)
+	AcceptTimeout     time.Duration // WaitReady bound on initial worker arrival (30s)
+
+	// RecoveryLog, when non-nil, receives one line per crash-detection
+	// and recovery step (also kept in memory; see RecoveryEvents).
+	RecoveryLog io.Writer
+	// Logf, when non-nil, receives coordinator progress logging.
+	Logf func(format string, args ...any)
+
+	// OnEpoch, when non-nil, observes every epoch dispatch (sequence
+	// number and simulated bounds). Tests use it to time fault
+	// injection against epoch progress; it runs on the driver
+	// goroutine, so keep it fast.
+	OnEpoch func(seq uint64, start, end sim.Time)
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = time.Second
+	}
+	if cfg.HeartbeatTimeout <= 0 {
+		cfg.HeartbeatTimeout = 5 * time.Second
+	}
+	if cfg.EpochTimeout <= 0 {
+		cfg.EpochTimeout = 2 * time.Minute
+	}
+	if cfg.RestoreTimeout <= 0 {
+		cfg.RestoreTimeout = 2 * time.Minute
+	}
+	if cfg.RecoveryWait <= 0 {
+		cfg.RecoveryWait = 10 * time.Second
+	}
+	if cfg.AcceptTimeout <= 0 {
+		cfg.AcceptTimeout = 30 * time.Second
+	}
+	return cfg
+}
+
+// Results is the shard-order merge of every worker's output — the same
+// totals, event-log bytes, and trace bytes a single-process run of the
+// same scenario produces.
+type Results struct {
+	Gateway     gateway.Stats
+	Farm        farm.Stats
+	Guest       guest.Stats
+	LiveVMs     int
+	InfectedVMs int
+	Bindings    int
+	Memory      uint64
+	DNSQueries  uint64
+	FaultLog    []string
+	Events      []byte
+	Trace       []byte
+	Now         sim.Time
+	Recoveries  int
+}
+
+// wconn is the coordinator's view of one worker connection.
+type wconn struct {
+	*conn
+	name string
+	id   int // assigned worker slot, or -1 while standby
+	dead bool
+	stop chan struct{} // closed on death; stops the heartbeat sender
+	// stash holds frames that arrived from this worker while the driver
+	// was awaiting a different worker (e.g. broadcast results replies
+	// completing out of order). Driver goroutine only.
+	stash []frame
+}
+
+// wevent is one item on the coordinator's single event stream: a frame
+// from a worker, or its read error (death).
+type wevent struct {
+	w   *wconn
+	fr  frame
+	err error
+}
+
+// Coordinator runs the epoch barrier over remote workers. It implements
+// sim.Barrier; all methods are for a single driver goroutine.
+type Coordinator struct {
+	cfg       Config
+	shards    int
+	workers   int
+	lookahead time.Duration
+	space     netsim.Prefix
+	hash      uint64
+
+	ln     net.Listener
+	events chan wevent
+
+	mu         sync.Mutex // guards standby (appended from accept goroutines)
+	standby    []*wconn
+	standbySig chan struct{}
+
+	assigned []*wconn
+	logs     []*shardLog
+	now      sim.Time
+	base     sim.Time
+	seq      uint64
+	ready    bool
+
+	beforeEpoch func(start, end sim.Time)
+	curInputs   [][]byte // live only inside the beforeEpoch hook
+
+	pendingCross  []outboxEntry    // decoded-valid, delivered at the next barrier
+	pendingInject []*netsim.Packet // queued by Inject, delivered at the next barrier
+
+	// In-flight epoch state.
+	curStart, curEnd sim.Time
+	curShardInputs   [][]byte
+	donePending      map[int]bool
+	doneOutbox       []outboxEntry
+
+	err        error
+	recoveries int
+	recLines   []string
+	closed     bool
+}
+
+// New builds a coordinator (call Start to listen).
+func New(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	ecfg := cfg.Engine
+	if ecfg.Lookahead <= 0 {
+		ecfg.Lookahead = time.Millisecond
+	}
+	var errs []error
+	if err := ecfg.Validate(); err != nil {
+		errs = append(errs, err)
+	}
+	if cfg.Workers < 1 {
+		errs = append(errs, fmt.Errorf("cluster: need at least 1 worker, got %d", cfg.Workers))
+	}
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		cfg:        cfg,
+		shards:     ecfg.Shards,
+		lookahead:  ecfg.Lookahead,
+		space:      ecfg.Gateway.Space,
+		hash:       configHash(cfg.ConfigTag, ecfg.Shards, ecfg.Seed, ecfg.Lookahead),
+		events:     make(chan wevent, 1024),
+		standbySig: make(chan struct{}, 1),
+	}
+	c.workers = cfg.Workers
+	if c.workers > c.shards {
+		c.workers = c.shards
+	}
+	c.assigned = make([]*wconn, c.workers)
+	c.logs = make([]*shardLog, c.shards)
+	for i := range c.logs {
+		c.logs[i] = &shardLog{}
+	}
+	return c, nil
+}
+
+// Start begins accepting workers.
+func (c *Coordinator) Start() error {
+	ln, err := net.Listen("tcp", c.cfg.ListenAddr)
+	if err != nil {
+		return err
+	}
+	c.ln = ln
+	go c.acceptLoop()
+	return nil
+}
+
+// Addr returns the listen address (useful with ListenAddr ":0").
+func (c *Coordinator) Addr() net.Addr { return c.ln.Addr() }
+
+// Shards returns the total shard count.
+func (c *Coordinator) Shards() int { return c.shards }
+
+// Workers returns the assigned worker-slot count.
+func (c *Coordinator) Workers() int { return c.workers }
+
+// Space returns the monitored prefix.
+func (c *Coordinator) Space() netsim.Prefix { return c.space }
+
+// shardsOf lists the global shard indices worker id owns (round-robin,
+// like the in-process engine splits farm servers).
+func (c *Coordinator) shardsOf(id int) []int {
+	var out []int
+	for s := id; s < c.shards; s += c.workers {
+		out = append(out, s)
+	}
+	return out
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// recoveryf records one crash-detection / recovery step.
+func (c *Coordinator) recoveryf(format string, args ...any) {
+	line := fmt.Sprintf(format, args...)
+	c.recLines = append(c.recLines, line)
+	if c.cfg.RecoveryLog != nil {
+		fmt.Fprintln(c.cfg.RecoveryLog, line)
+	}
+	c.logf("%s", line)
+}
+
+// RecoveryEvents returns every recorded detection/recovery line.
+func (c *Coordinator) RecoveryEvents() []string {
+	return append([]string(nil), c.recLines...)
+}
+
+// Recoveries returns how many worker crashes were recovered.
+func (c *Coordinator) Recoveries() int { return c.recoveries }
+
+// Err returns the terminal error, if the run degraded.
+func (c *Coordinator) Err() error { return c.err }
+
+func (c *Coordinator) fail(err error) {
+	if c.err == nil {
+		c.err = err
+		c.recoveryf("event=degraded err=%q", err.Error())
+	}
+}
+
+// acceptLoop admits workers: handshake, then the connection becomes a
+// standby (WaitReady and crash recovery both draw from the pool).
+func (c *Coordinator) acceptLoop() {
+	for {
+		nc, err := c.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go c.handshake(nc)
+	}
+}
+
+func (c *Coordinator) handshake(nc net.Conn) {
+	w := &wconn{conn: newConn(nc), id: -1, stop: make(chan struct{})}
+	nc.SetReadDeadline(time.Now().Add(c.cfg.HeartbeatTimeout))
+	fr, err := readFrame(nc)
+	if err != nil || fr.typ != msgHello {
+		nc.Close()
+		return
+	}
+	var hello helloMsg
+	if err := unmarshal(fr.payload, &hello); err != nil {
+		nc.Close()
+		return
+	}
+	if hello.Version != ProtoVersion || hello.ConfigHash != c.hash {
+		c.logf("cluster: rejecting worker %q: version=%d hash=%#x (want %d/%#x)",
+			hello.Name, hello.Version, hello.ConfigHash, ProtoVersion, c.hash)
+		w.send(msgError, errorMsg{Text: fmt.Sprintf(
+			"cluster: version/config mismatch: coordinator v%d hash %#x, worker v%d hash %#x",
+			ProtoVersion, c.hash, hello.Version, hello.ConfigHash)})
+		nc.Close()
+		return
+	}
+	w.name = hello.Name
+	c.logf("cluster: worker %q connected from %v", w.name, nc.RemoteAddr())
+
+	c.mu.Lock()
+	c.standby = append(c.standby, w)
+	c.mu.Unlock()
+	select {
+	case c.standbySig <- struct{}{}:
+	default:
+	}
+
+	go c.heartbeatLoop(w)
+	c.readLoop(w)
+}
+
+// readLoop pumps decoded frames onto the coordinator's event stream;
+// heartbeats only refresh the read deadline.
+func (c *Coordinator) readLoop(w *wconn) {
+	for {
+		w.c.SetReadDeadline(time.Now().Add(c.cfg.HeartbeatTimeout))
+		fr, err := readFrame(w.c)
+		if err != nil {
+			c.events <- wevent{w: w, err: err}
+			return
+		}
+		if fr.typ == msgHeartbeat {
+			continue
+		}
+		c.events <- wevent{w: w, fr: fr}
+	}
+}
+
+func (c *Coordinator) heartbeatLoop(w *wconn) {
+	t := time.NewTicker(c.cfg.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+			if err := w.send(msgHeartbeat, struct{}{}); err != nil {
+				// Close the socket so the read loop surfaces the death.
+				w.close()
+				return
+			}
+		}
+	}
+}
+
+// markDead retires a connection: the heartbeat sender stops, the socket
+// closes, and an assigned slot empties (recovery fills it).
+func (c *Coordinator) markDead(w *wconn, reason string) {
+	if w.dead {
+		return
+	}
+	w.dead = true
+	close(w.stop)
+	w.close()
+	if w.id >= 0 && c.assigned[w.id] == w {
+		c.assigned[w.id] = nil
+		if !c.closed { // deliberate shutdown is not a crash
+			c.recoveryf("epoch=%d t=%s event=crash-detected worker=%d name=%q shards=%v reason=%q",
+				c.seq, c.now, w.id, w.name, c.shardsOf(w.id), reason)
+		}
+	}
+}
+
+// nextEvent pops one event, or false on deadline.
+func (c *Coordinator) nextEvent(deadline time.Time) (wevent, bool) {
+	select {
+	case ev := <-c.events:
+		return ev, true
+	default:
+	}
+	wait := time.Until(deadline)
+	if wait <= 0 {
+		return wevent{}, false
+	}
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case ev := <-c.events:
+		return ev, true
+	case <-t.C:
+		return wevent{}, false
+	}
+}
+
+// processEvent handles bookkeeping events (deaths, epoch completions,
+// worker-fatal errors); frames the caller should match are returned.
+func (c *Coordinator) processEvent(ev wevent) (frame, bool) {
+	if ev.w.dead {
+		return frame{}, false
+	}
+	if ev.err != nil {
+		c.markDead(ev.w, ev.err.Error())
+		return frame{}, false
+	}
+	switch ev.fr.typ {
+	case msgError:
+		var em errorMsg
+		unmarshal(ev.fr.payload, &em)
+		c.markDead(ev.w, "worker error: "+em.Text)
+		return frame{}, false
+	case msgEpochDone:
+		c.handleEpochDone(ev.w, ev.fr.payload)
+		return frame{}, false
+	}
+	return ev.fr, true
+}
+
+// handleEpochDone records a worker's epoch completion and validates its
+// outbox (a malformed outbox is a protocol violation, treated as death).
+func (c *Coordinator) handleEpochDone(w *wconn, payload []byte) {
+	if w.id < 0 || c.assigned[w.id] != w || !c.donePending[w.id] {
+		return // stale completion from a retired epoch or connection
+	}
+	var m epochDoneMsg
+	if err := unmarshal(payload, &m); err != nil {
+		c.markDead(w, "bad epoch-done: "+err.Error())
+		return
+	}
+	if m.Seq != c.seq {
+		return
+	}
+	for _, e := range m.Outbox {
+		if e.Dst < 0 || e.Dst >= c.shards || e.At < c.curEnd {
+			c.markDead(w, fmt.Sprintf("outbox entry dst=%d at=%v violates barrier (epoch end %v)", e.Dst, e.At, c.curEnd))
+			return
+		}
+		br := &byteReader{b: e.Pkt}
+		if _, err := decodePacket(br); err != nil || !br.done() {
+			c.markDead(w, "undecodable outbox packet")
+			return
+		}
+	}
+	c.doneOutbox = append(c.doneOutbox, m.Outbox...)
+	delete(c.donePending, w.id)
+}
+
+// awaitFrom waits for a specific frame type from a specific worker,
+// processing unrelated events (deaths, epoch completions) as they
+// arrive. Returns an error on the worker's death or the deadline.
+func (c *Coordinator) awaitFrom(w *wconn, typ msgType, deadline time.Time) (frame, error) {
+	for {
+		for i, fr := range w.stash {
+			if fr.typ == typ {
+				w.stash = append(w.stash[:i], w.stash[i+1:]...)
+				return fr, nil
+			}
+		}
+		if w.dead {
+			return frame{}, fmt.Errorf("cluster: worker %q died awaiting %v", w.name, typ)
+		}
+		ev, ok := c.nextEvent(deadline)
+		if !ok {
+			return frame{}, fmt.Errorf("cluster: timed out awaiting %v from worker %q", typ, w.name)
+		}
+		fr, match := c.processEvent(ev)
+		if !match {
+			continue
+		}
+		if ev.w == w && fr.typ == typ {
+			return fr, nil
+		}
+		// A reply meant for a different pending await (broadcasts
+		// complete out of order) — keep it for its own connection
+		// rather than dropping it on the floor.
+		ev.w.stash = append(ev.w.stash, fr)
+	}
+}
+
+// waitStandby pulls the next live standby connection, draining events
+// while it waits. Returns nil at the deadline.
+func (c *Coordinator) waitStandby(deadline time.Time) *wconn {
+	for {
+		c.mu.Lock()
+		for len(c.standby) > 0 {
+			w := c.standby[0]
+			c.standby = c.standby[1:]
+			if !w.dead {
+				c.mu.Unlock()
+				return w
+			}
+		}
+		c.mu.Unlock()
+		wait := time.Until(deadline)
+		if wait <= 0 {
+			return nil
+		}
+		t := time.NewTimer(wait)
+		select {
+		case <-c.standbySig:
+		case ev := <-c.events:
+			c.processEvent(ev)
+		case <-t.C:
+			t.Stop()
+			return nil
+		}
+		t.Stop()
+	}
+}
+
+// WaitReady blocks until every worker slot is assigned, warmed up, and
+// aligned on a common base clock; the run may then be driven through
+// the Barrier methods. The timeout falls back to Config.AcceptTimeout.
+func (c *Coordinator) WaitReady(timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = c.cfg.AcceptTimeout
+	}
+	deadline := time.Now().Add(timeout)
+
+	assign := func(id int) (*wconn, sim.Time, error) {
+		for {
+			w := c.waitStandby(deadline)
+			if w == nil {
+				return nil, 0, fmt.Errorf("cluster: worker slot %d: no worker connected in time", id)
+			}
+			msg := assignMsg{
+				Worker: id, Shards: c.shardsOf(id),
+				WarmupNs: int64(c.cfg.SnapshotWarmup), SnapName: c.cfg.SnapshotName,
+				Events: c.cfg.Engine.EventLog != nil, Trace: c.cfg.Engine.TraceOut != nil,
+			}
+			if err := w.send(msgAssign, msg); err != nil {
+				c.markDead(w, "assign write: "+err.Error())
+				continue
+			}
+			w.id = id
+			c.assigned[id] = w
+			fr, err := c.awaitFrom(w, msgPrepared, deadline)
+			if err != nil {
+				c.markDead(w, err.Error())
+				c.assigned[id] = nil
+				continue
+			}
+			var p preparedMsg
+			if err := unmarshal(fr.payload, &p); err != nil || len(p.Clocks) != len(msg.Shards) {
+				c.markDead(w, "bad prepared reply")
+				c.assigned[id] = nil
+				continue
+			}
+			var clock sim.Time
+			for _, t := range p.Clocks {
+				if t > clock {
+					clock = t
+				}
+			}
+			c.logf("cluster: worker %d (%q) prepared shards %v, clock %v", id, w.name, msg.Shards, clock)
+			return w, clock, nil
+		}
+	}
+
+	for id := 0; id < c.workers; id++ {
+		_, clock, err := assign(id)
+		if err != nil {
+			c.fail(err)
+			return err
+		}
+		if clock > c.base {
+			c.base = clock
+		}
+	}
+	// Align every worker on the common base and wait for readiness.
+	for id := 0; id < c.workers; id++ {
+		w := c.assigned[id]
+		if err := w.send(msgAlign, alignMsg{Base: c.base}); err != nil {
+			c.markDead(w, "align write: "+err.Error())
+		}
+	}
+	for id := 0; id < c.workers; id++ {
+		w := c.assigned[id]
+		if w == nil {
+			err := fmt.Errorf("cluster: worker %d died during alignment", id)
+			c.fail(err)
+			return err
+		}
+		if _, err := c.awaitFrom(w, msgReady, deadline); err != nil {
+			c.fail(err)
+			return err
+		}
+	}
+	c.now = c.base
+	for _, l := range c.logs {
+		l.through = c.base
+	}
+	c.ready = true
+	c.logf("cluster: %d workers ready, %d shards, base clock %v", c.workers, c.shards, c.base)
+	return nil
+}
+
+// Barrier interface.
+
+// Now returns the barrier clock.
+func (c *Coordinator) Now() sim.Time { return c.now }
+
+// Lookahead returns the epoch length.
+func (c *Coordinator) Lookahead() time.Duration { return c.lookahead }
+
+// SetBeforeEpoch installs the single-threaded pre-epoch hook (replay
+// feeders schedule through it via ScheduleRecord).
+func (c *Coordinator) SetBeforeEpoch(fn func(start, end sim.Time)) { c.beforeEpoch = fn }
+
+// RunUntil advances every worker to deadline in epochs of at most the
+// lookahead. On worker death it recovers onto a standby; if recovery is
+// impossible it stops advancing and records the terminal error (Err).
+func (c *Coordinator) RunUntil(deadline sim.Time) {
+	if !c.ready {
+		c.fail(errors.New("cluster: RunUntil before WaitReady"))
+		return
+	}
+	for c.err == nil && c.now < deadline {
+		end := c.now.Add(c.lookahead)
+		if end > deadline {
+			end = deadline
+		}
+		if !c.runEpoch(c.now, end) {
+			return
+		}
+		c.now = end
+	}
+}
+
+// RunFor is RunUntil(Now()+d).
+func (c *Coordinator) RunFor(d time.Duration) { c.RunUntil(c.now.Add(d)) }
+
+// ScheduleRecord routes a telescope record to its owning shard for the
+// epoch being opened. Only valid inside the pre-epoch hook (Replay
+// wires it up).
+func (c *Coordinator) ScheduleRecord(at sim.Time, rec telescope.Record) {
+	if c.curInputs == nil {
+		panic("cluster: ScheduleRecord outside the pre-epoch hook")
+	}
+	s := core.OwnerOf(c.space, c.shards, rec.Dst)
+	c.curInputs[s] = appendRecord(c.curInputs[s], at, rec)
+}
+
+// Inject queues pkt for delivery to its owning shard at the opening
+// barrier of the next epoch, ahead of cross-shard deliveries and
+// freshly fed records. ShardEngine.InjectBarrier is the single-process
+// equivalent with identical event ordering — use that as the oracle
+// when comparing runs. Call between runs (driver goroutine).
+func (c *Coordinator) Inject(pkt *netsim.Packet) {
+	c.pendingInject = append(c.pendingInject, pkt)
+}
+
+// Replay streams src through the cluster with the exact semantics of
+// ShardEngine.Replay. Returns packets injected and the first error
+// (source error, or the coordinator's terminal error).
+func (c *Coordinator) Replay(src telescope.Source, halt func() bool, epilogue time.Duration) (int, error) {
+	n, err := core.ReplayOver(c, src, halt, epilogue, c.ScheduleRecord)
+	if err == nil {
+		err = c.err
+	}
+	return n, err
+}
+
+// runEpoch drives one epoch [start, end): deliver pending cross-shard
+// packets and freshly fed records at the opening barrier, run every
+// worker, collect outboxes, commit the epoch to the shard logs. False
+// means the run degraded.
+func (c *Coordinator) runEpoch(start, end sim.Time) bool {
+	if c.cfg.OnEpoch != nil {
+		c.cfg.OnEpoch(c.seq, start, end)
+	}
+	// Fill worker slots emptied by deaths noticed between epochs.
+	for id := 0; id < c.workers; id++ {
+		if c.assigned[id] == nil {
+			if !c.recover(id, false) {
+				return false
+			}
+		}
+	}
+
+	inputs := make([][]byte, c.shards)
+	for _, pkt := range c.pendingInject {
+		s := core.OwnerOf(c.space, c.shards, pkt.Dst)
+		inputs[s] = appendCross(inputs[s], start, pkt)
+	}
+	c.pendingInject = nil
+	for _, e := range c.pendingCross {
+		inputs[e.Dst] = appendCrossRaw(inputs[e.Dst], e.At, e.Pkt)
+	}
+	c.pendingCross = nil
+	if c.beforeEpoch != nil {
+		c.curInputs = inputs
+		c.beforeEpoch(start, end)
+		c.curInputs = nil
+	}
+
+	c.curStart, c.curEnd, c.curShardInputs = start, end, inputs
+	c.donePending = make(map[int]bool, c.workers)
+	c.doneOutbox = c.doneOutbox[:0]
+	for id := 0; id < c.workers; id++ {
+		c.donePending[id] = true
+		c.sendEpoch(id)
+	}
+
+	deadline := time.Now().Add(c.cfg.EpochTimeout)
+	for len(c.donePending) > 0 {
+		// Recover any pending worker whose connection died; the
+		// replacement replays its checkpoint and reruns this epoch.
+		for id := range c.donePending {
+			if c.assigned[id] == nil {
+				if !c.recover(id, true) {
+					return false
+				}
+			}
+		}
+		ev, ok := c.nextEvent(deadline)
+		if !ok {
+			for id := range c.donePending {
+				if w := c.assigned[id]; w != nil {
+					c.markDead(w, "epoch timeout")
+				}
+			}
+			deadline = time.Now().Add(c.cfg.EpochTimeout)
+			continue
+		}
+		c.processEvent(ev)
+	}
+
+	for s := range inputs {
+		c.logs[s].commit(start, end, inputs[s])
+	}
+	// Stable sort restores the global (source shard, send order)
+	// delivery order the in-process runner's exchange produces: each
+	// worker reports its outbox grouped by source shard in send order,
+	// and source shards are disjoint across workers.
+	sort.SliceStable(c.doneOutbox, func(i, j int) bool { return c.doneOutbox[i].Src < c.doneOutbox[j].Src })
+	c.pendingCross = append([]outboxEntry(nil), c.doneOutbox...)
+	c.curShardInputs = nil
+	c.seq++
+	return true
+}
+
+// sendEpoch ships the current epoch to worker id (its shards' inputs
+// only). A write failure marks the connection dead; the await loop
+// recovers it.
+func (c *Coordinator) sendEpoch(id int) {
+	w := c.assigned[id]
+	if w == nil {
+		return
+	}
+	msg := epochMsg{Seq: c.seq, Start: c.curStart, End: c.curEnd}
+	for _, s := range c.shardsOf(id) {
+		if len(c.curShardInputs[s]) > 0 {
+			msg.Inputs = append(msg.Inputs, shardInputs{Shard: s, Inputs: c.curShardInputs[s]})
+		}
+	}
+	if err := w.send(msgEpoch, msg); err != nil {
+		c.markDead(w, "epoch write: "+err.Error())
+	}
+}
+
+// recover restores worker id's shards onto a standby (or a restarted
+// worker dialing back in) from the last epoch-boundary checkpoint.
+// resend re-ships the in-flight epoch after the restore. False means no
+// replacement appeared in time and the run has degraded.
+func (c *Coordinator) recover(id int, resend bool) bool {
+	c.recoveries++
+	shards := c.shardsOf(id)
+	cks := make([][]byte, len(shards))
+	epochs := 0
+	for i, s := range shards {
+		ck := c.logs[s].checkpoint(s, c.shards, c.cfg.Engine.Seed, c.hash, c.base)
+		epochs += len(ck.Epochs)
+		cks[i] = ck.Encode()
+	}
+	c.recoveryf("epoch=%d t=%s event=restore-begin worker=%d shards=%v logged_epochs=%d resend=%v",
+		c.seq, c.now, id, shards, epochs, resend)
+
+	deadline := time.Now().Add(c.cfg.RecoveryWait)
+	for {
+		w := c.waitStandby(deadline)
+		if w == nil {
+			c.fail(fmt.Errorf("cluster: worker %d (shards %v) crashed at epoch %d and no replacement connected within %v",
+				id, shards, c.seq, c.cfg.RecoveryWait))
+			return false
+		}
+		msg := restoreMsg{
+			Worker: id, Shards: shards,
+			WarmupNs: int64(c.cfg.SnapshotWarmup), SnapName: c.cfg.SnapshotName,
+			Events: c.cfg.Engine.EventLog != nil, Trace: c.cfg.Engine.TraceOut != nil,
+			Base: c.base, Seq: c.seq, Checkpoints: cks,
+		}
+		if err := w.send(msgRestore, msg); err != nil {
+			c.markDead(w, "restore write: "+err.Error())
+			continue
+		}
+		w.id = id
+		c.assigned[id] = w
+		if _, err := c.awaitFrom(w, msgReady, time.Now().Add(c.cfg.RestoreTimeout)); err != nil {
+			c.markDead(w, err.Error())
+			c.assigned[id] = nil
+			continue
+		}
+		c.recoveryf("epoch=%d t=%s event=restore-done worker=%d name=%q", c.seq, c.now, id, w.name)
+		if resend {
+			c.sendEpoch(id)
+		}
+		return true
+	}
+}
+
+// Checkpoints snapshots every shard's input log as of the last
+// completed epoch boundary (the daemon flushes these on shutdown).
+func (c *Coordinator) Checkpoints() []*Checkpoint {
+	out := make([]*Checkpoint, c.shards)
+	for s := range c.logs {
+		out[s] = c.logs[s].checkpoint(s, c.shards, c.cfg.Engine.Seed, c.hash, c.base)
+	}
+	return out
+}
+
+// Results fetches and merges every worker's output in shard order. With
+// a degraded run it returns whatever the surviving workers report,
+// alongside Err's terminal error.
+func (c *Coordinator) Results() (*Results, error) {
+	res := &Results{Now: c.now, Recoveries: c.recoveries}
+	perShard := make([]*shardResult, c.shards)
+	for id := 0; id < c.workers; id++ {
+		w := c.assigned[id]
+		if w == nil {
+			continue
+		}
+		if err := w.send(msgResults, struct{}{}); err != nil {
+			c.markDead(w, "results write: "+err.Error())
+		}
+	}
+	deadline := time.Now().Add(c.cfg.EpochTimeout)
+	for id := 0; id < c.workers; id++ {
+		w := c.assigned[id]
+		if w == nil {
+			continue
+		}
+		fr, err := c.awaitFrom(w, msgResults, deadline)
+		if err != nil {
+			c.fail(err)
+			continue
+		}
+		var m resultsMsg
+		if err := unmarshal(fr.payload, &m); err != nil {
+			c.markDead(w, "bad results: "+err.Error())
+			continue
+		}
+		for i := range m.Shards {
+			sr := &m.Shards[i]
+			if sr.Shard >= 0 && sr.Shard < c.shards {
+				perShard[sr.Shard] = sr
+			}
+		}
+	}
+	missing := 0
+	for s, sr := range perShard {
+		if sr == nil {
+			missing++
+			continue
+		}
+		core.AddGatewayStats(&res.Gateway, &sr.Gateway)
+		core.AddFarmStats(&res.Farm, &sr.Farm)
+		core.AddGuestStats(&res.Guest, &sr.Guest)
+		res.LiveVMs += sr.LiveVMs
+		res.InfectedVMs += sr.InfectedVMs
+		res.Bindings += sr.Bindings
+		res.Memory += sr.Memory
+		res.DNSQueries += sr.DNSQueries
+		res.FaultLog = append(res.FaultLog, sr.FaultLog...)
+		res.Events = append(res.Events, sr.Events...)
+		res.Trace = append(res.Trace, sr.Trace...)
+		_ = s
+	}
+	if missing > 0 && c.err == nil {
+		c.fail(fmt.Errorf("cluster: results missing for %d of %d shards", missing, c.shards))
+	}
+	return res, c.err
+}
+
+// Close shuts the cluster down: workers receive a shutdown message,
+// every connection closes, and the listener stops. Idempotent.
+func (c *Coordinator) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	for _, w := range c.assigned {
+		if w != nil && !w.dead {
+			w.send(msgShutdown, struct{}{})
+			c.markDead(w, "shutdown")
+		}
+	}
+	c.mu.Lock()
+	standby := append([]*wconn(nil), c.standby...)
+	c.standby = nil
+	c.mu.Unlock()
+	for _, w := range standby {
+		if !w.dead {
+			w.send(msgShutdown, struct{}{})
+			w.dead = true
+			close(w.stop)
+			w.close()
+		}
+	}
+	if c.ln != nil {
+		c.ln.Close()
+	}
+	return nil
+}
+
+// appendCrossRaw appends a cross input whose packet is already encoded
+// (validated at epoch-done receipt; appendPacket framing is
+// self-delimiting so straight concatenation is safe).
+func appendCrossRaw(b []byte, at sim.Time, pkt []byte) []byte {
+	b = append(b, inputCross)
+	b = appendU64(b, uint64(at))
+	return append(b, pkt...)
+}

@@ -1,0 +1,535 @@
+// Package cluster distributes core.ShardEngine domains across worker
+// processes under a coordinator that runs the conservative epoch
+// barrier over TCP. The coordinator implements sim.Barrier, so replay
+// drivers and experiment code run unchanged whether the shards live on
+// goroutines (sim.ParallelRunner) or in other processes; with the same
+// configuration and seed the merged stats, event log, and trace bytes
+// are identical to a single-process sequential run.
+//
+// Robustness is the point of the package: every worker connection
+// carries heartbeats with deadlines, dial/handshake retries with
+// bounded backoff, and the coordinator detects a crashed worker (EOF,
+// missed heartbeat, stalled epoch, or a fault-injected kill via
+// internal/fault), restores its shards from the last epoch-boundary
+// checkpoint onto a standby or restarted worker, and resumes the run —
+// or, when no replacement appears, fails cleanly with partial results
+// instead of hanging the barrier. See DESIGN.md "Cluster execution".
+package cluster
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net"
+	"time"
+
+	"potemkin/internal/farm"
+	"potemkin/internal/gateway"
+	"potemkin/internal/guest"
+	"potemkin/internal/netsim"
+	"potemkin/internal/sim"
+	"potemkin/internal/telescope"
+)
+
+// ProtoVersion is bumped on any wire-format change; coordinator and
+// worker refuse to pair across versions.
+const ProtoVersion = 1
+
+// maxFrame bounds a single frame payload. Results frames carry whole
+// buffered event logs, so the bound is generous; everything else is
+// tiny.
+const maxFrame = 256 << 20
+
+// Message types. The payload of every control message is JSON; epoch
+// input lists and packets use the binary codec below (nested in JSON as
+// base64 []byte fields).
+type msgType byte
+
+const (
+	msgHello     msgType = 1  // worker -> coordinator: version, config hash, name
+	msgAssign    msgType = 2  // coordinator -> worker: id, shards, warmup
+	msgRestore   msgType = 3  // coordinator -> worker: id, shards, checkpoints
+	msgPrepared  msgType = 4  // worker -> coordinator: per-shard kernel clocks
+	msgAlign     msgType = 5  // coordinator -> worker: run every kernel to base
+	msgReady     msgType = 6  // worker -> coordinator: domains aligned / restored
+	msgEpoch     msgType = 7  // coordinator -> worker: epoch bounds + inputs
+	msgEpochDone msgType = 8  // worker -> coordinator: epoch outbox
+	msgHeartbeat msgType = 9  // both directions, empty payload
+	msgResults   msgType = 10 // coordinator -> worker (request, empty) and reply
+	msgShutdown  msgType = 11 // coordinator -> worker: run over, exit cleanly
+	msgError     msgType = 12 // either direction: fatal error text, then close
+)
+
+func (t msgType) String() string {
+	switch t {
+	case msgHello:
+		return "hello"
+	case msgAssign:
+		return "assign"
+	case msgRestore:
+		return "restore"
+	case msgPrepared:
+		return "prepared"
+	case msgAlign:
+		return "align"
+	case msgReady:
+		return "ready"
+	case msgEpoch:
+		return "epoch"
+	case msgEpochDone:
+		return "epoch-done"
+	case msgHeartbeat:
+		return "heartbeat"
+	case msgResults:
+		return "results"
+	case msgShutdown:
+		return "shutdown"
+	case msgError:
+		return "error"
+	}
+	return fmt.Sprintf("msg(%d)", byte(t))
+}
+
+// frame is one decoded wire frame.
+type frame struct {
+	typ     msgType
+	payload []byte
+}
+
+// writeFrame emits one frame: u32 big-endian payload length, u8 type,
+// payload.
+func writeFrame(w io.Writer, typ msgType, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("cluster: frame %v payload %d exceeds limit", typ, len(payload))
+	}
+	hdr := make([]byte, 5)
+	binary.BigEndian.PutUint32(hdr, uint32(len(payload)))
+	hdr[4] = byte(typ)
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame, rejecting oversized payloads before
+// allocating.
+func readFrame(r io.Reader) (frame, error) {
+	hdr := make([]byte, 5)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return frame{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr)
+	if n > maxFrame {
+		return frame{}, fmt.Errorf("cluster: frame payload %d exceeds limit", n)
+	}
+	f := frame{typ: msgType(hdr[4]), payload: make([]byte, n)}
+	if _, err := io.ReadFull(r, f.payload); err != nil {
+		return frame{}, err
+	}
+	return f, nil
+}
+
+// unmarshal decodes a JSON control payload.
+func unmarshal(b []byte, v any) error { return json.Unmarshal(b, v) }
+
+// appendU64 appends a big-endian uint64 (codec shorthand).
+func appendU64(b []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(b, v) }
+
+// writeMsg JSON-encodes v and writes it as one frame.
+func writeMsg(w io.Writer, typ msgType, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return writeFrame(w, typ, payload)
+}
+
+// Control message payloads.
+
+type helloMsg struct {
+	Version    int
+	ConfigHash uint64
+	Name       string
+}
+
+type assignMsg struct {
+	Worker   int
+	Shards   []int
+	WarmupNs int64  // snapshot-image warmup to run before aligning
+	SnapName string // snapshot image name
+	Events   bool   // collect per-domain event logs for the coordinator
+	Trace    bool   // collect per-domain span traces
+}
+
+type restoreMsg struct {
+	Worker      int
+	Shards      []int
+	WarmupNs    int64
+	SnapName    string
+	Events      bool
+	Trace       bool
+	Base        sim.Time
+	Seq         uint64   // next epoch the worker will receive
+	Checkpoints [][]byte // one serialized Checkpoint per entry of Shards
+}
+
+type preparedMsg struct {
+	Clocks []sim.Time // per owned shard, after local warmup
+}
+
+type alignMsg struct {
+	Base sim.Time
+}
+
+type readyMsg struct{}
+
+type epochMsg struct {
+	Seq    uint64
+	Start  sim.Time
+	End    sim.Time
+	Inputs []shardInputs // only shards with inputs appear
+}
+
+type shardInputs struct {
+	Shard  int
+	Inputs []byte // binary input-list codec
+}
+
+type epochDoneMsg struct {
+	Seq    uint64
+	Outbox []outboxEntry
+}
+
+// outboxEntry is one cross-shard packet emitted during an epoch. Src
+// entries from one worker arrive grouped by source shard in send order;
+// the coordinator's stable merge across workers reproduces the
+// in-process (src, send order) delivery order exactly.
+type outboxEntry struct {
+	Src int
+	Dst int
+	At  sim.Time
+	Pkt []byte // binary packet codec
+}
+
+type shardResult struct {
+	Shard       int
+	Gateway     gateway.Stats
+	Farm        farm.Stats
+	Guest       guest.Stats
+	LiveVMs     int
+	InfectedVMs int
+	Bindings    int
+	Memory      uint64
+	DNSQueries  uint64
+	FaultLog    []string
+	Events      []byte
+	Trace       []byte
+}
+
+type resultsMsg struct {
+	Shards []shardResult
+}
+
+type errorMsg struct {
+	Text string
+}
+
+// configHash digests the scenario identity both sides must agree on.
+// The tag is the caller's canonical rendering of the scenario (the
+// facade options or the daemon flag set); shards, seed, and lookahead
+// are hashed explicitly because the barrier math depends on them.
+func configHash(tag string, shards int, seed uint64, lookahead time.Duration) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, tag)
+	var buf [24]byte
+	binary.BigEndian.PutUint64(buf[0:], uint64(shards))
+	binary.BigEndian.PutUint64(buf[8:], seed)
+	binary.BigEndian.PutUint64(buf[16:], uint64(lookahead))
+	h.Write(buf[:])
+	return h.Sum64()
+}
+
+// Binary input codec. An input is one packet the coordinator injects
+// into a shard at an epoch barrier: either a cross-shard delivery
+// (full packet) or a telescope replay record. The same encoding is the
+// checkpoint payload, so the fuzz target covers both paths.
+
+const (
+	inputCross  = 1
+	inputRecord = 2
+)
+
+// maxPayload bounds a cross-packet payload (the wire layer never
+// carries more than 64 KiB either).
+const maxPayload = 1 << 20
+
+// input is one decoded barrier injection.
+type input struct {
+	Kind byte
+	At   sim.Time
+	Pkt  *netsim.Packet   // Kind == inputCross
+	Rec  telescope.Record // Kind == inputRecord
+}
+
+// appendCross appends a cross-delivery input.
+func appendCross(b []byte, at sim.Time, pkt *netsim.Packet) []byte {
+	b = append(b, inputCross)
+	b = binary.BigEndian.AppendUint64(b, uint64(at))
+	return appendPacket(b, pkt)
+}
+
+// appendRecord appends a replay-record input.
+func appendRecord(b []byte, at sim.Time, rec telescope.Record) []byte {
+	b = append(b, inputRecord)
+	b = binary.BigEndian.AppendUint64(b, uint64(at))
+	b = binary.BigEndian.AppendUint32(b, uint32(rec.Src))
+	b = binary.BigEndian.AppendUint32(b, uint32(rec.Dst))
+	b = append(b, byte(rec.Proto), rec.Flags)
+	b = binary.BigEndian.AppendUint16(b, rec.SrcPort)
+	b = binary.BigEndian.AppendUint16(b, rec.DstPort)
+	b = binary.BigEndian.AppendUint16(b, rec.PayLen)
+	return b
+}
+
+// appendPacket appends a lossless packet encoding (every netsim.Packet
+// field; the on-the-wire GRE marshal is deliberately not reused — it
+// recomputes checksums and truncates models the simulator keeps exact).
+func appendPacket(b []byte, p *netsim.Packet) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(p.Src))
+	b = binary.BigEndian.AppendUint32(b, uint32(p.Dst))
+	b = append(b, byte(p.Proto), p.TTL)
+	b = binary.BigEndian.AppendUint16(b, p.ID)
+	b = binary.BigEndian.AppendUint16(b, p.SrcPort)
+	b = binary.BigEndian.AppendUint16(b, p.DstPort)
+	b = binary.BigEndian.AppendUint32(b, p.Seq)
+	b = binary.BigEndian.AppendUint32(b, p.Ack)
+	b = append(b, p.Flags)
+	b = binary.BigEndian.AppendUint16(b, p.Window)
+	b = append(b, p.ICMPType, p.ICMPCode)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(p.Payload)))
+	return append(b, p.Payload...)
+}
+
+// byteReader tracks a decode offset with bounds checking.
+type byteReader struct {
+	b   []byte
+	off int
+}
+
+func (r *byteReader) take(n int) ([]byte, error) {
+	if n < 0 || len(r.b)-r.off < n {
+		return nil, fmt.Errorf("cluster: truncated input at offset %d (want %d of %d)", r.off, n, len(r.b))
+	}
+	s := r.b[r.off : r.off+n]
+	r.off += n
+	return s, nil
+}
+
+func (r *byteReader) u8() (byte, error) {
+	s, err := r.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return s[0], nil
+}
+
+func (r *byteReader) u16() (uint16, error) {
+	s, err := r.take(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint16(s), nil
+}
+
+func (r *byteReader) u32() (uint32, error) {
+	s, err := r.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(s), nil
+}
+
+func (r *byteReader) u64() (uint64, error) {
+	s, err := r.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint64(s), nil
+}
+
+func (r *byteReader) done() bool { return r.off >= len(r.b) }
+
+// decodePacket reads one packet encoded by appendPacket.
+func decodePacket(r *byteReader) (*netsim.Packet, error) {
+	p := &netsim.Packet{}
+	src, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	dst, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	p.Src, p.Dst = netsim.Addr(src), netsim.Addr(dst)
+	proto, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	p.Proto = netsim.Proto(proto)
+	if p.TTL, err = r.u8(); err != nil {
+		return nil, err
+	}
+	if p.ID, err = r.u16(); err != nil {
+		return nil, err
+	}
+	if p.SrcPort, err = r.u16(); err != nil {
+		return nil, err
+	}
+	if p.DstPort, err = r.u16(); err != nil {
+		return nil, err
+	}
+	if p.Seq, err = r.u32(); err != nil {
+		return nil, err
+	}
+	if p.Ack, err = r.u32(); err != nil {
+		return nil, err
+	}
+	if p.Flags, err = r.u8(); err != nil {
+		return nil, err
+	}
+	if p.Window, err = r.u16(); err != nil {
+		return nil, err
+	}
+	if p.ICMPType, err = r.u8(); err != nil {
+		return nil, err
+	}
+	if p.ICMPCode, err = r.u8(); err != nil {
+		return nil, err
+	}
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxPayload {
+		return nil, fmt.Errorf("cluster: packet payload %d exceeds limit", n)
+	}
+	if n > 0 {
+		s, err := r.take(int(n))
+		if err != nil {
+			return nil, err
+		}
+		p.Payload = append([]byte(nil), s...)
+	}
+	return p, nil
+}
+
+// decodeInput reads one input encoded by appendCross / appendRecord.
+func decodeInput(r *byteReader) (input, error) {
+	var in input
+	kind, err := r.u8()
+	if err != nil {
+		return in, err
+	}
+	at, err := r.u64()
+	if err != nil {
+		return in, err
+	}
+	in.Kind, in.At = kind, sim.Time(at)
+	if in.At < 0 {
+		return in, fmt.Errorf("cluster: input with negative time %d", in.At)
+	}
+	switch kind {
+	case inputCross:
+		if in.Pkt, err = decodePacket(r); err != nil {
+			return in, err
+		}
+	case inputRecord:
+		src, err := r.u32()
+		if err != nil {
+			return in, err
+		}
+		dst, err := r.u32()
+		if err != nil {
+			return in, err
+		}
+		proto, err := r.u8()
+		if err != nil {
+			return in, err
+		}
+		flags, err := r.u8()
+		if err != nil {
+			return in, err
+		}
+		sport, err := r.u16()
+		if err != nil {
+			return in, err
+		}
+		dport, err := r.u16()
+		if err != nil {
+			return in, err
+		}
+		paylen, err := r.u16()
+		if err != nil {
+			return in, err
+		}
+		in.Rec = telescope.Record{
+			At: in.At, Src: netsim.Addr(src), Dst: netsim.Addr(dst),
+			Proto: netsim.Proto(proto), Flags: flags,
+			SrcPort: sport, DstPort: dport, PayLen: paylen,
+		}
+	default:
+		return in, fmt.Errorf("cluster: unknown input kind %d", kind)
+	}
+	return in, nil
+}
+
+// decodeInputs decodes a whole input list.
+func decodeInputs(b []byte) ([]input, error) {
+	r := &byteReader{b: b}
+	var ins []input
+	for !r.done() {
+		in, err := decodeInput(r)
+		if err != nil {
+			return nil, err
+		}
+		ins = append(ins, in)
+	}
+	return ins, nil
+}
+
+// conn wraps a worker connection with serialized writes and heartbeat
+// bookkeeping. Reads happen on a single reader goroutine per conn (the
+// coordinator side) or the worker's main loop.
+type conn struct {
+	c       net.Conn
+	writeMu chMutex
+}
+
+// chMutex is a channel-based mutex so writes can be serialized from
+// both the heartbeat goroutine and the main loop without a sync.Mutex
+// held across network writes blocking shutdown forever (the conn close
+// unblocks the writer, which releases the slot).
+type chMutex chan struct{}
+
+func newConn(c net.Conn) *conn {
+	w := &conn{c: c, writeMu: make(chMutex, 1)}
+	w.writeMu <- struct{}{}
+	return w
+}
+
+func (w *conn) send(typ msgType, v any) error {
+	<-w.writeMu
+	defer func() { w.writeMu <- struct{}{} }()
+	return writeMsg(w.c, typ, v)
+}
+
+func (w *conn) sendRaw(typ msgType, payload []byte) error {
+	<-w.writeMu
+	defer func() { w.writeMu <- struct{}{} }()
+	return writeFrame(w.c, typ, payload)
+}
+
+func (w *conn) close() { w.c.Close() }

@@ -1,0 +1,508 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"potemkin/internal/core"
+	"potemkin/internal/netsim"
+	"potemkin/internal/sim"
+)
+
+// ErrKilled is returned by RunWorker when a fault-injected
+// kill-worker action aborts this worker (WorkerConfig.OnKill nil).
+var ErrKilled = errors.New("cluster: worker killed by injected fault")
+
+// WorkerConfig parameterizes one worker process (or in-process worker,
+// as the tests run them).
+type WorkerConfig struct {
+	// Addr is the coordinator's TCP address.
+	Addr string
+	// Engine is the shared scenario — the same configuration the
+	// coordinator was launched with (SPMD). EventLog and TraceOut serve
+	// only as collection markers here: the worker buffers per-domain
+	// output and ships it to the coordinator when asked, regardless of
+	// where those writers point.
+	Engine core.ShardEngineConfig
+	// ConfigTag must match the coordinator's (see Config.ConfigTag).
+	ConfigTag string
+	// Name identifies the worker in logs and recovery events.
+	Name string
+
+	// DialAttempts bounds connection retries (default 8), starting at
+	// DialBackoff (default 200ms) and doubling up to 3s per wait.
+	DialAttempts int
+	DialBackoff  time.Duration
+
+	// HeartbeatInterval is the outgoing ping period (default 1s);
+	// IdleTimeout declares the coordinator dead after that much read
+	// silence (default 2m — epochs ship continuously, and the
+	// coordinator pings while idle).
+	HeartbeatInterval time.Duration
+	IdleTimeout       time.Duration
+
+	// OnKill, when non-nil, replaces the default kill behaviour (abort
+	// the epoch, close the connection, return ErrKilled). The daemon
+	// installs os.Exit so the process dies as abruptly as a SIGKILL.
+	OnKill func(worker int)
+
+	// Logf, when non-nil, receives worker progress logging.
+	Logf func(format string, args ...any)
+}
+
+func (cfg WorkerConfig) withDefaults() WorkerConfig {
+	if cfg.DialAttempts <= 0 {
+		cfg.DialAttempts = 8
+	}
+	if cfg.DialBackoff <= 0 {
+		cfg.DialBackoff = 200 * time.Millisecond
+	}
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = time.Second
+	}
+	if cfg.IdleTimeout <= 0 {
+		cfg.IdleTimeout = 2 * time.Minute
+	}
+	return cfg
+}
+
+// killPanic is the sentinel a fault-injected kill raises to abort the
+// in-flight epoch from inside a kernel event.
+type killPanic struct{ worker int }
+
+// worker is the run state behind RunWorker.
+type worker struct {
+	cfg       WorkerConfig
+	ecfg      core.ShardEngineConfig
+	lookahead time.Duration
+	cn        *conn
+
+	id      int
+	shards  []int
+	domains map[int]*core.ShardDomain
+	// outbox holds each owned shard's cross-shard emissions for the
+	// in-flight epoch. Slots are allocated at assignment and the cross
+	// closures write through their own slot pointer, so parallel domain
+	// goroutines never touch the map itself.
+	outbox map[int]*[]outboxEntry
+
+	replaying bool
+	// killed is atomic: under Parallel every owned domain runs its kill
+	// action in the same epoch, so multiple goroutines set it at once.
+	killed atomic.Bool
+}
+
+// RunWorker dials the coordinator (bounded retry with backoff), offers
+// itself for shard assignment — fresh or restored-from-checkpoint — and
+// serves epochs until shutdown. It returns nil on a clean shutdown,
+// ErrKilled when an injected kill-worker fault aborted it, and the
+// transport or protocol error otherwise.
+func RunWorker(cfg WorkerConfig) error {
+	cfg = cfg.withDefaults()
+	ecfg := cfg.Engine
+	if ecfg.Lookahead <= 0 {
+		ecfg.Lookahead = time.Millisecond
+	}
+	if err := ecfg.Validate(); err != nil {
+		return err
+	}
+	w := &worker{
+		cfg: cfg, ecfg: ecfg, lookahead: ecfg.Lookahead,
+		id: -1, domains: map[int]*core.ShardDomain{}, outbox: map[int]*[]outboxEntry{},
+	}
+
+	nc, err := w.dial()
+	if err != nil {
+		return err
+	}
+	w.cn = newConn(nc)
+	defer w.cn.close()
+
+	hello := helloMsg{
+		Version:    ProtoVersion,
+		ConfigHash: configHash(cfg.ConfigTag, ecfg.Shards, ecfg.Seed, ecfg.Lookahead),
+		Name:       cfg.Name,
+	}
+	if err := w.cn.send(msgHello, hello); err != nil {
+		return fmt.Errorf("cluster: handshake: %w", err)
+	}
+
+	stop := make(chan struct{})
+	defer close(stop)
+	go w.heartbeatLoop(stop)
+
+	return w.serve()
+}
+
+func (w *worker) logf(format string, args ...any) {
+	if w.cfg.Logf != nil {
+		w.cfg.Logf(format, args...)
+	}
+}
+
+// dial connects with bounded retry-with-backoff: transient refusals
+// while the coordinator boots (or a worker restarts into a running
+// cluster) resolve themselves; a persistently absent coordinator is an
+// error, not a hang.
+func (w *worker) dial() (net.Conn, error) {
+	backoff := w.cfg.DialBackoff
+	var lastErr error
+	for attempt := 0; attempt < w.cfg.DialAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+			if backoff > 3*time.Second {
+				backoff = 3 * time.Second
+			}
+		}
+		nc, err := net.DialTimeout("tcp", w.cfg.Addr, 5*time.Second)
+		if err == nil {
+			return nc, nil
+		}
+		lastErr = err
+		w.logf("cluster: dial %s attempt %d/%d: %v", w.cfg.Addr, attempt+1, w.cfg.DialAttempts, err)
+	}
+	return nil, fmt.Errorf("cluster: dialing coordinator %s: %w", w.cfg.Addr, lastErr)
+}
+
+func (w *worker) heartbeatLoop(stop chan struct{}) {
+	t := time.NewTicker(w.cfg.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			if err := w.cn.send(msgHeartbeat, struct{}{}); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// serve is the worker's message loop.
+func (w *worker) serve() error {
+	for {
+		w.cn.c.SetReadDeadline(time.Now().Add(w.cfg.IdleTimeout))
+		fr, err := readFrame(w.cn.c)
+		if err != nil {
+			if w.killed.Load() {
+				return ErrKilled
+			}
+			return fmt.Errorf("cluster: coordinator connection: %w", err)
+		}
+		switch fr.typ {
+		case msgHeartbeat:
+			continue
+		case msgAssign:
+			err = w.handleAssign(fr.payload)
+		case msgRestore:
+			err = w.handleRestore(fr.payload)
+		case msgAlign:
+			err = w.handleAlign(fr.payload)
+		case msgEpoch:
+			err = w.handleEpoch(fr.payload)
+		case msgResults:
+			err = w.handleResults()
+		case msgShutdown:
+			return nil
+		case msgError:
+			var em errorMsg
+			unmarshal(fr.payload, &em)
+			return fmt.Errorf("cluster: coordinator: %s", em.Text)
+		default:
+			err = fmt.Errorf("cluster: unexpected %v message", fr.typ)
+		}
+		if err != nil {
+			if errors.Is(err, ErrKilled) {
+				return ErrKilled
+			}
+			w.cn.send(msgError, errorMsg{Text: err.Error()})
+			return err
+		}
+	}
+}
+
+// buildDomains constructs the owned shard domains exactly as the
+// in-process engine would, with cross-shard emissions serialized into
+// the per-shard epoch outbox instead of a runner send.
+func (w *worker) buildDomains(id int, shards []int, events, trace bool, snapName string, warmup time.Duration) error {
+	if len(w.domains) > 0 {
+		return errors.New("cluster: worker assigned twice")
+	}
+	w.id = id
+	w.shards = append([]int(nil), shards...)
+	ecfg := w.ecfg
+	// The writers only mark that output should be collected; the
+	// domains buffer and the coordinator merges.
+	ecfg.EventLog, ecfg.TraceOut = nil, nil
+	if events {
+		ecfg.EventLog = io.Discard
+	}
+	if trace {
+		ecfg.TraceOut = io.Discard
+	}
+	for _, s := range shards {
+		s := s
+		slot := new([]outboxEntry)
+		w.outbox[s] = slot
+		d, err := core.NewShardDomain(ecfg, s, func(now sim.Time, dst int, pkt *netsim.Packet) {
+			if w.replaying {
+				return // the coordinator already delivered these once
+			}
+			*slot = append(*slot, outboxEntry{
+				Src: s, Dst: dst, At: now.Add(w.lookahead), Pkt: appendPacket(nil, pkt),
+			})
+		})
+		if err != nil {
+			return fmt.Errorf("cluster: building shard %d: %w", s, err)
+		}
+		if snapName != "" {
+			if err := d.F.PrepareSnapshotImages(snapName, warmup); err != nil {
+				return fmt.Errorf("cluster: preparing shard %d: %w", s, err)
+			}
+		}
+		w.domains[s] = d
+	}
+	return nil
+}
+
+// armFaults starts the per-domain fault injectors. The kill hook only
+// arms on fresh assignment: restored domains replay any kill action as
+// the recorded no-op it is everywhere else, so the fault log stays
+// byte-identical without crash-looping the recovery.
+func (w *worker) armFaults(withKillHook bool) {
+	for _, s := range w.shards {
+		d := w.domains[s]
+		if d.Fault == nil {
+			continue
+		}
+		if withKillHook {
+			d.Fault.OnKillWorker = func(now sim.Time, target int) {
+				if target == w.id {
+					if w.cfg.OnKill != nil {
+						w.cfg.OnKill(target)
+						return
+					}
+					panic(killPanic{worker: target})
+				}
+			}
+		}
+		d.Fault.Start()
+	}
+}
+
+func (w *worker) handleAssign(payload []byte) error {
+	var m assignMsg
+	if err := unmarshal(payload, &m); err != nil {
+		return err
+	}
+	if err := w.buildDomains(m.Worker, m.Shards, m.Events, m.Trace, m.SnapName, time.Duration(m.WarmupNs)); err != nil {
+		return err
+	}
+	reply := preparedMsg{}
+	for _, s := range w.shards {
+		reply.Clocks = append(reply.Clocks, w.domains[s].K.Now())
+	}
+	w.logf("cluster: assigned worker %d, shards %v", w.id, w.shards)
+	return w.cn.send(msgPrepared, reply)
+}
+
+func (w *worker) handleAlign(payload []byte) error {
+	var m alignMsg
+	if err := unmarshal(payload, &m); err != nil {
+		return err
+	}
+	if len(w.domains) == 0 {
+		return errors.New("cluster: align before assignment")
+	}
+	for _, s := range w.shards {
+		w.domains[s].K.RunUntil(m.Base)
+	}
+	w.armFaults(true)
+	return w.cn.send(msgReady, readyMsg{})
+}
+
+// handleRestore adopts a crashed worker's shards: rebuild the domains
+// from the shared configuration, run the warmup, align to the recorded
+// base, arm faults (sans kill hook), then replay the checkpointed epoch
+// inputs — each epoch's inputs scheduled while the kernel sits at that
+// epoch's opening barrier, reproducing event-heap insertion order — up
+// to the last completed boundary.
+func (w *worker) handleRestore(payload []byte) error {
+	var m restoreMsg
+	if err := unmarshal(payload, &m); err != nil {
+		return err
+	}
+	if len(m.Checkpoints) != len(m.Shards) {
+		return fmt.Errorf("cluster: restore with %d checkpoints for %d shards", len(m.Checkpoints), len(m.Shards))
+	}
+	if err := w.buildDomains(m.Worker, m.Shards, m.Events, m.Trace, m.SnapName, time.Duration(m.WarmupNs)); err != nil {
+		return err
+	}
+	for _, s := range w.shards {
+		w.domains[s].K.RunUntil(m.Base)
+	}
+	w.armFaults(false)
+
+	w.replaying = true
+	defer func() { w.replaying = false }()
+	hash := configHash(w.cfg.ConfigTag, w.ecfg.Shards, w.ecfg.Seed, w.lookahead)
+	for i, s := range m.Shards {
+		ck, err := DecodeCheckpoint(m.Checkpoints[i])
+		if err != nil {
+			return fmt.Errorf("cluster: shard %d checkpoint: %w", s, err)
+		}
+		if ck.Shard != s || ck.Shards != w.ecfg.Shards || ck.ConfigHash != hash {
+			return fmt.Errorf("cluster: shard %d checkpoint identity mismatch (shard=%d shards=%d)", s, ck.Shard, ck.Shards)
+		}
+		d := w.domains[s]
+		for _, ep := range ck.Epochs {
+			d.K.RunUntil(ep.Start)
+			ins, err := decodeInputs(ep.Inputs)
+			if err != nil {
+				return fmt.Errorf("cluster: shard %d replay: %w", s, err)
+			}
+			w.scheduleInputs(d, ins)
+			d.K.RunUntil(ep.End)
+		}
+		d.K.RunUntil(ck.Through)
+		w.logf("cluster: restored shard %d through %v (%d logged epochs)", s, ck.Through, len(ck.Epochs))
+	}
+	return w.cn.send(msgReady, readyMsg{})
+}
+
+// scheduleInputs schedules decoded barrier inputs on a domain's kernel
+// in delivery order.
+func (w *worker) scheduleInputs(d *core.ShardDomain, ins []input) {
+	for _, in := range ins {
+		in := in
+		switch in.Kind {
+		case inputCross:
+			d.K.At(in.At, func(now sim.Time) { d.G.HandleInbound(now, in.Pkt) })
+		case inputRecord:
+			d.K.At(in.At, func(now sim.Time) { d.G.HandleInbound(now, in.Rec.Packet()) })
+		}
+	}
+}
+
+func (w *worker) handleEpoch(payload []byte) error {
+	var m epochMsg
+	if err := unmarshal(payload, &m); err != nil {
+		return err
+	}
+	if len(w.domains) == 0 {
+		return errors.New("cluster: epoch before assignment")
+	}
+	for _, si := range m.Inputs {
+		d := w.domains[si.Shard]
+		if d == nil {
+			return fmt.Errorf("cluster: epoch inputs for shard %d this worker does not own", si.Shard)
+		}
+		ins, err := decodeInputs(si.Inputs)
+		if err != nil {
+			return fmt.Errorf("cluster: epoch %d shard %d inputs: %w", m.Seq, si.Shard, err)
+		}
+		for _, in := range ins {
+			if in.At < m.Start {
+				return fmt.Errorf("cluster: epoch %d input at %v before epoch start %v", m.Seq, in.At, m.Start)
+			}
+		}
+		w.scheduleInputs(d, ins)
+	}
+	if err := w.runEpoch(m.End); err != nil {
+		return err
+	}
+	reply := epochDoneMsg{Seq: m.Seq}
+	for _, s := range w.shards {
+		slot := w.outbox[s]
+		reply.Outbox = append(reply.Outbox, *slot...)
+		*slot = (*slot)[:0]
+	}
+	return w.cn.send(msgEpochDone, reply)
+}
+
+// runEpoch advances every owned domain to end — on goroutines when the
+// scenario asks for parallelism, else sequentially in shard order (the
+// result is byte-identical either way; see sim.ParallelRunner). A
+// fault-injected kill aborts the epoch mid-event via the sentinel
+// panic and surfaces as ErrKilled.
+func (w *worker) runEpoch(end sim.Time) (err error) {
+	run := func(d *core.ShardDomain) {
+		defer func() {
+			if r := recover(); r != nil {
+				if kp, ok := r.(killPanic); ok {
+					w.killed.Store(true)
+					w.logf("cluster: worker %d killed by injected fault at %v", kp.worker, d.K.Now())
+					return
+				}
+				panic(r)
+			}
+		}()
+		d.K.RunUntil(end)
+	}
+	if w.ecfg.Parallel && len(w.shards) > 1 {
+		var wg sync.WaitGroup
+		for _, s := range w.shards {
+			d := w.domains[s]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				run(d)
+			}()
+		}
+		wg.Wait()
+	} else {
+		for _, s := range w.shards {
+			run(w.domains[s])
+		}
+	}
+	if w.killed.Load() {
+		// Die like the real thing: drop the connection mid-epoch with
+		// no farewell; the coordinator's crash detection takes it from
+		// here.
+		w.cn.close()
+		return ErrKilled
+	}
+	return nil
+}
+
+// handleResults snapshots stats (pre-close, matching when a
+// single-process run reads its facade stats), closes the domains to
+// flush open trace spans, and ships everything in one reply.
+func (w *worker) handleResults() error {
+	var m resultsMsg
+	for _, s := range w.shards {
+		d := w.domains[s]
+		sr := shardResult{
+			Shard:       s,
+			Gateway:     d.G.Stats(),
+			Farm:        d.F.Stats(),
+			Guest:       d.F.GuestTotals(),
+			LiveVMs:     d.F.LiveVMs(),
+			InfectedVMs: d.F.InfectedVMs(),
+			Bindings:    d.G.NumBindings(),
+			Memory:      d.F.MemoryInUse(),
+			DNSQueries:  d.Resolver.Queries,
+		}
+		if d.Fault != nil {
+			for _, ev := range d.Fault.Log() {
+				sr.FaultLog = append(sr.FaultLog, fmt.Sprintf("shard=%d %s", s, ev))
+			}
+		}
+		d.Close()
+		if d.EventBuf != nil {
+			sr.Events = d.EventBuf.Bytes()
+		}
+		if d.TraceBuf != nil {
+			sr.Trace = d.TraceBuf.Bytes()
+		}
+		m.Shards = append(m.Shards, sr)
+	}
+	return w.cn.send(msgResults, m)
+}

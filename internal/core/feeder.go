@@ -1,0 +1,119 @@
+package core
+
+// Replay feeding, factored out of the shard engine so any sim.Barrier
+// implementation — the in-process parallel runner or the cluster
+// coordinator — replays a telescope source with byte-identical
+// semantics: records are batched one epoch ahead (bounded memory),
+// out-of-order records clamp forward, and the run extends past the last
+// record by an epilogue.
+
+import (
+	"io"
+	"time"
+
+	"potemkin/internal/sim"
+	"potemkin/internal/telescope"
+)
+
+// ReplayFeeder streams a telescope source into epoch-sized batches.
+type ReplayFeeder struct {
+	src  telescope.Source
+	halt func() bool
+	base sim.Time
+	last sim.Time
+
+	pending telescope.Record
+	have    bool
+	done    bool
+	err     error
+}
+
+// NewReplayFeeder wraps src; record times are offset by base (the
+// barrier clock at replay start).
+func NewReplayFeeder(src telescope.Source, halt func() bool, base sim.Time) *ReplayFeeder {
+	return &ReplayFeeder{src: src, halt: halt, base: base, last: base}
+}
+
+// Feed emits every record falling inside [start, end) in trace order.
+// Records that sort before start (out-of-order traces) are clamped to
+// start, and the clamp sticks so time stays monotonic. halt, when
+// non-nil, is consulted before each read and ends the feed early.
+func (f *ReplayFeeder) Feed(start, end sim.Time, emit func(at sim.Time, rec telescope.Record)) {
+	for !f.done {
+		if !f.have {
+			if f.halt != nil && f.halt() {
+				f.done = true
+				return
+			}
+			err := f.src.Read(&f.pending)
+			if err == io.EOF {
+				f.done = true
+				return
+			}
+			if err != nil {
+				f.done, f.err = true, err
+				return
+			}
+			f.pending.At += f.base
+			f.have = true
+		}
+		at := f.pending.At
+		if at < start {
+			at = start
+		}
+		if at >= end {
+			f.pending.At = at // keep the clamp so time stays monotonic
+			return            // belongs to a later epoch
+		}
+		rec := f.pending
+		rec.At = at
+		if at > f.last {
+			f.last = at
+		}
+		f.have = false
+		emit(at, rec)
+	}
+}
+
+// Done reports whether the source is exhausted (EOF, halt, or error).
+func (f *ReplayFeeder) Done() bool { return f.done }
+
+// Err returns the first source error, if any.
+func (f *ReplayFeeder) Err() error { return f.err }
+
+// Last returns the latest record time emitted (base when none were).
+func (f *ReplayFeeder) Last() sim.Time { return f.last }
+
+// ReplayOver streams src into any barrier-driven executor: schedule is
+// called single-threaded from the pre-epoch hook for every record
+// falling inside the upcoming epoch, in trace order; then the epoch
+// runs. After the last record the run extends by epilogue past the
+// final record time. Returns the number of records scheduled and the
+// first source error.
+func ReplayOver(b sim.Barrier, src telescope.Source, halt func() bool, epilogue time.Duration,
+	schedule func(at sim.Time, rec telescope.Record)) (int, error) {
+	f := NewReplayFeeder(src, halt, b.Now())
+	n := 0
+	b.SetBeforeEpoch(func(start, end sim.Time) {
+		f.Feed(start, end, func(at sim.Time, rec telescope.Record) {
+			n++
+			schedule(at, rec)
+		})
+	})
+	stalled := false
+	for !f.Done() {
+		before := b.Now()
+		b.RunFor(b.Lookahead())
+		if b.Now() == before {
+			// The barrier refused to advance — a degraded cluster
+			// coordinator stops here rather than hanging the feed.
+			stalled = true
+			break
+		}
+	}
+	b.SetBeforeEpoch(nil)
+	if target := f.Last().Add(epilogue); !stalled && target > b.Now() {
+		b.RunUntil(target)
+	}
+	return n, f.Err()
+}

@@ -18,6 +18,12 @@ package core
 // run on goroutines or sequentially on one thread — see
 // TestShardEngineParallelMatchesSequential and the determinism argument
 // in DESIGN.md "Parallel execution".
+//
+// Domain construction is factored out as NewShardDomain so that
+// internal/cluster workers can build exactly the domains they own (same
+// seeds, same sinks, same farm split) in a separate process, with
+// cross-shard traffic routed through the coordinator instead of the
+// in-process runner — see DESIGN.md "Cluster execution".
 
 import (
 	"bytes"
@@ -28,6 +34,7 @@ import (
 
 	"potemkin/internal/dns"
 	"potemkin/internal/farm"
+	"potemkin/internal/fault"
 	"potemkin/internal/gateway"
 	"potemkin/internal/guest"
 	"potemkin/internal/metrics"
@@ -61,6 +68,14 @@ type ShardEngineConfig struct {
 	// shards (split as evenly as possible, at least one per shard).
 	Farm farm.Config
 
+	// Fault, when non-nil, attaches a fault injector to every domain —
+	// same script and rates each, every random draw from the domain's
+	// own seeded "fault" stream — so the fault schedule is a pure
+	// function of the seed in sequential, parallel, and cluster runs
+	// alike. Script server indices address the domain's farm slice.
+	// Arm the injectors with StartFaults after any snapshot warmup.
+	Fault *fault.Config
+
 	// EventLog, when non-nil, receives the forensic event logs of all
 	// shards: buffered per domain during the run, written in shard
 	// order on Close, so the bytes are a pure function of the seed.
@@ -85,14 +100,159 @@ type ShardEngineConfig struct {
 	OnEgress   func(now sim.Time, pkt *netsim.Packet)
 }
 
+// normalized returns cfg with defaults applied.
+func (cfg ShardEngineConfig) normalized() ShardEngineConfig {
+	if cfg.Lookahead <= 0 {
+		cfg.Lookahead = time.Millisecond
+	}
+	return cfg
+}
+
+// Validate reports every structural problem with the config.
+func (cfg ShardEngineConfig) Validate() error {
+	var errs []error
+	if cfg.Shards < 1 {
+		errs = append(errs, fmt.Errorf("core: shard engine needs at least 1 shard, got %d", cfg.Shards))
+	}
+	if cfg.Shards >= 1 && cfg.Farm.Servers < cfg.Shards {
+		errs = append(errs, fmt.Errorf("core: %d servers cannot cover %d shards (need one per shard)",
+			cfg.Farm.Servers, cfg.Shards))
+	}
+	if cfg.Gateway.EventSink != nil || cfg.Gateway.Tracer != nil || cfg.Gateway.Capture != nil ||
+		cfg.Gateway.ExternalOut != nil || cfg.Gateway.OnDetected != nil {
+		errs = append(errs, errors.New("core: shard engine installs its own gateway sinks; leave them nil in the template"))
+	}
+	return errors.Join(errs...)
+}
+
+// OwnerOf maps addr onto its owning shard: addresses in space partition
+// by index mod shards, addresses outside route to shard 0 (like
+// gateway.Sharded, so they are counted somewhere deterministic). The
+// cluster coordinator and every worker use this same function, which is
+// what makes remote routing agree with the in-process engine.
+func OwnerOf(space netsim.Prefix, shards int, addr netsim.Addr) int {
+	if !space.Contains(addr) {
+		return 0
+	}
+	return int(space.Index(addr) % uint64(shards))
+}
+
+// CrossSend delivers a cross-shard packet emitted by a domain at now,
+// destined for shard dst. The in-process engine routes it through the
+// parallel runner's barrier; a cluster worker serializes it into the
+// epoch outbox for the coordinator to exchange.
+type CrossSend func(now sim.Time, dst int, pkt *netsim.Packet)
+
 // ShardDomain is one shard's isolated simulation domain.
 type ShardDomain struct {
+	Index    int
 	K        *sim.Kernel
 	G        *gateway.Gateway
 	F        *farm.Farm
 	Resolver *dns.Resolver
+	// Fault is the domain's injector (nil unless the config asks for
+	// one); it draws only from this domain's seeded stream.
+	Fault *fault.Injector
 
-	injected int // replay records delivered into this domain
+	// EventBuf and TraceBuf hold the domain's buffered forensic event
+	// log and span trace (nil when the config does not collect them).
+	// They are flushed in shard order — by ShardEngine.Close locally,
+	// or by the cluster coordinator after fetching them off workers.
+	EventBuf *bytes.Buffer
+	TraceBuf *bytes.Buffer
+	tracer   *trace.Tracer
+}
+
+// NewShardDomain builds domain i of cfg.Shards exactly as the engine
+// does: derived seed, even farm split, per-shard host names, buffered
+// event/trace sinks, shard-local safe resolver. cross receives every
+// packet the domain emits for an address another shard owns. The caller
+// (engine or cluster worker) owns epoch advancement of the domain's
+// kernel.
+func NewShardDomain(cfg ShardEngineConfig, i int, cross CrossSend) (*ShardDomain, error) {
+	cfg = cfg.normalized()
+	n := cfg.Shards
+	// Golden-ratio stride keeps per-domain seeds distinct and
+	// deterministic; shard 0 keeps the caller's seed.
+	k := sim.NewKernel(cfg.Seed + uint64(i)*0x9e3779b97f4a7c15)
+
+	base, extra := cfg.Farm.Servers/n, cfg.Farm.Servers%n
+	fc := cfg.Farm
+	fc.Servers = base
+	if i < extra {
+		fc.Servers++
+	}
+	// Suffix host names per shard so spans and logs stay unambiguous.
+	fc.HostConfig.Name = fmt.Sprintf("%s-s%d", cfg.Farm.HostConfig.Name, i)
+	if cfg.OnInfected != nil {
+		fc.OnInfected = cfg.OnInfected
+	}
+	f, err := farm.New(k, fc)
+	if err != nil {
+		return nil, err
+	}
+
+	d := &ShardDomain{Index: i, K: k, F: f}
+	gc := cfg.Gateway
+	if cfg.EventLog != nil {
+		d.EventBuf = &bytes.Buffer{}
+		gc.EventSink = gateway.JSONLSink(d.EventBuf, nil)
+	}
+	if cfg.TraceOut != nil {
+		d.TraceBuf = &bytes.Buffer{}
+		d.tracer = trace.New(trace.JSONL(d.TraceBuf, nil))
+		gc.Tracer = d.tracer
+		f.SetTracer(d.tracer)
+	}
+	if cfg.Capture != nil {
+		sink, err := cfg.Capture(i)
+		if err != nil {
+			return nil, err
+		}
+		gc.Capture = sink
+	}
+	gc.OnDetected = cfg.OnDetected
+
+	d.Resolver = dns.NewResolver(gc.Space)
+	resolverAddr := gc.Resolver
+	gc.ExternalOut = func(now sim.Time, p *netsim.Packet) {
+		if p.Proto == netsim.ProtoUDP && p.Dst == resolverAddr {
+			if resp := d.Resolver.ServePacket(p); resp != nil {
+				// The answer returns to the querying VM, which this
+				// domain owns — shard-local, no barrier needed.
+				d.K.After(time.Millisecond, func(then sim.Time) {
+					d.G.HandleInbound(then, resp)
+				})
+			}
+			return
+		}
+		if cfg.OnEgress != nil {
+			cfg.OnEgress(now, p)
+		}
+	}
+
+	g := gateway.New(k, gc, f)
+	f.SetGateway(g)
+	space := gc.Space
+	g.SetShardHooks(func(a netsim.Addr) bool {
+		return OwnerOf(space, n, a) == i
+	}, func(now sim.Time, pkt *netsim.Packet) {
+		cross(now, OwnerOf(space, n, pkt.Dst), pkt)
+	})
+	d.G = g
+
+	if cfg.Fault != nil {
+		d.Fault = fault.New(k, f, *cfg.Fault)
+	}
+	return d, nil
+}
+
+// Close stops the domain's background work and finishes open spans.
+func (d *ShardDomain) Close() {
+	d.G.Close()
+	if d.tracer != nil {
+		d.tracer.FlushOpen(d.K.Now())
+	}
 }
 
 // ShardEngine is the parallel (or sequential-oracle) shard executor.
@@ -101,127 +261,42 @@ type ShardEngine struct {
 	space   netsim.Prefix
 	runner  *sim.ParallelRunner
 	domains []*ShardDomain
-
-	// Per-domain buffered sinks, flushed in shard order on Close.
-	eventBufs []*bytes.Buffer
-	traceBufs []*bytes.Buffer
-	tracers   []*trace.Tracer
-	closed    bool
+	closed  bool
 }
 
 // NewShardEngine builds the domains and their runner.
 func NewShardEngine(cfg ShardEngineConfig) (*ShardEngine, error) {
-	if cfg.Shards < 1 {
-		return nil, fmt.Errorf("core: shard engine needs at least 1 shard, got %d", cfg.Shards)
-	}
-	if cfg.Lookahead <= 0 {
-		cfg.Lookahead = time.Millisecond
-	}
-	if cfg.Farm.Servers < cfg.Shards {
-		return nil, fmt.Errorf("core: %d servers cannot cover %d shards (need one per shard)",
-			cfg.Farm.Servers, cfg.Shards)
-	}
-	if cfg.Gateway.EventSink != nil || cfg.Gateway.Tracer != nil || cfg.Gateway.Capture != nil ||
-		cfg.Gateway.ExternalOut != nil || cfg.Gateway.OnDetected != nil {
-		return nil, errors.New("core: shard engine installs its own gateway sinks; leave them nil in the template")
+	cfg = cfg.normalized()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	e := &ShardEngine{cfg: cfg, space: cfg.Gateway.Space}
-	n := cfg.Shards
-	base, extra := cfg.Farm.Servers/n, cfg.Farm.Servers%n
-	hostName := cfg.Farm.HostConfig.Name
-	kernels := make([]*sim.Kernel, n)
-	for i := 0; i < n; i++ {
-		// Golden-ratio stride keeps per-domain seeds distinct and
-		// deterministic; shard 0 keeps the caller's seed.
-		k := sim.NewKernel(cfg.Seed + uint64(i)*0x9e3779b97f4a7c15)
-		kernels[i] = k
-
-		fc := cfg.Farm
-		fc.Servers = base
-		if i < extra {
-			fc.Servers++
-		}
-		// Suffix host names per shard so spans and logs stay unambiguous.
-		fc.HostConfig.Name = fmt.Sprintf("%s-s%d", hostName, i)
-		if cfg.OnInfected != nil {
-			fc.OnInfected = cfg.OnInfected
-		}
-		f, err := farm.New(k, fc)
-		if err != nil {
-			return nil, err
-		}
-
-		gc := cfg.Gateway
-		if cfg.EventLog != nil {
-			buf := &bytes.Buffer{}
-			e.eventBufs = append(e.eventBufs, buf)
-			gc.EventSink = gateway.JSONLSink(buf, nil)
-		}
-		if cfg.TraceOut != nil {
-			buf := &bytes.Buffer{}
-			e.traceBufs = append(e.traceBufs, buf)
-			tr := trace.New(trace.JSONL(buf, nil))
-			e.tracers = append(e.tracers, tr)
-			gc.Tracer = tr
-			f.SetTracer(tr)
-		}
-		if cfg.Capture != nil {
-			sink, err := cfg.Capture(i)
-			if err != nil {
-				return nil, err
-			}
-			gc.Capture = sink
-		}
-		gc.OnDetected = cfg.OnDetected
-
-		d := &ShardDomain{K: k, F: f}
-		d.Resolver = dns.NewResolver(gc.Space)
-		resolverAddr := gc.Resolver
-		gc.ExternalOut = func(now sim.Time, p *netsim.Packet) {
-			if p.Proto == netsim.ProtoUDP && p.Dst == resolverAddr {
-				if resp := d.Resolver.ServePacket(p); resp != nil {
-					// The answer returns to the querying VM, which this
-					// domain owns — shard-local, no barrier needed.
-					d.K.After(time.Millisecond, func(then sim.Time) {
-						d.G.HandleInbound(then, resp)
-					})
-				}
-				return
-			}
-			if cfg.OnEgress != nil {
-				cfg.OnEgress(now, p)
-			}
-		}
-
-		g := gateway.New(k, gc, f)
-		f.SetGateway(g)
-		shard := i
-		g.SetShardHooks(func(a netsim.Addr) bool {
-			return e.Owner(a) == shard
-		}, func(now sim.Time, pkt *netsim.Packet) {
-			// Cross-shard internal traffic: deliver to the owner at the
-			// next barrier, paying the minimum internal latency.
-			dst := e.Owner(pkt.Dst)
-			e.runner.Send(shard, dst, now.Add(e.cfg.Lookahead), func(then sim.Time) {
+	kernels := make([]*sim.Kernel, cfg.Shards)
+	for i := 0; i < cfg.Shards; i++ {
+		src := i
+		// Cross-shard internal traffic: deliver to the owner at the
+		// next barrier, paying the minimum internal latency. The
+		// closure fires only during runs, after e.runner and e.domains
+		// are fully wired.
+		d, err := NewShardDomain(cfg, i, func(now sim.Time, dst int, pkt *netsim.Packet) {
+			e.runner.Send(src, dst, now.Add(e.cfg.Lookahead), func(then sim.Time) {
 				e.domains[dst].G.HandleInbound(then, pkt)
 			})
 		})
-		d.G = g
+		if err != nil {
+			return nil, err
+		}
 		e.domains = append(e.domains, d)
+		kernels[i] = d.K
 	}
 	e.runner = sim.NewParallelRunner(kernels, cfg.Lookahead)
 	e.runner.SetSequential(!cfg.Parallel)
 	return e, nil
 }
 
-// Owner returns the shard index owning addr (addresses outside the
-// monitored space route to shard 0, like gateway.Sharded, so they are
-// counted somewhere deterministic).
+// Owner returns the shard index owning addr.
 func (e *ShardEngine) Owner(addr netsim.Addr) int {
-	if !e.space.Contains(addr) {
-		return 0
-	}
-	return int(e.space.Index(addr) % uint64(len(e.domains)))
+	return OwnerOf(e.space, len(e.domains), addr)
 }
 
 // Domains exposes the per-shard simulation domains (tests, Internals).
@@ -249,11 +324,27 @@ func (e *ShardEngine) RunUntil(deadline sim.Time) { e.runner.RunUntil(deadline) 
 // RunFor advances every domain by d.
 func (e *ShardEngine) RunFor(d time.Duration) { e.runner.RunFor(d) }
 
+// Barrier exposes the engine's epoch coordinator.
+func (e *ShardEngine) Barrier() sim.Barrier { return e.runner }
+
 // Inject delivers pkt to its owning shard synchronously at the current
 // time. Call only between runs (the facade's single-probe entry points).
 func (e *ShardEngine) Inject(pkt *netsim.Packet) {
 	d := e.domains[e.Owner(pkt.Dst)]
 	d.G.HandleInbound(d.K.Now(), pkt)
+}
+
+// InjectBarrier schedules pkt for delivery to its owning shard through
+// the event queue at the current barrier clock — unlike Inject, which
+// calls into the gateway synchronously. This is the exact delivery
+// semantics the cluster coordinator gives injected packets (it can
+// only act at barriers), so cross-mode byte comparisons seed exploits
+// through this entry point. Call only between runs.
+func (e *ShardEngine) InjectBarrier(pkt *netsim.Packet) {
+	d := e.domains[e.Owner(pkt.Dst)]
+	d.K.At(e.runner.Now(), func(now sim.Time) {
+		d.G.HandleInbound(now, pkt)
+	})
 }
 
 // PrepareSnapshotImages runs the paper's image-preparation flow on every
@@ -269,6 +360,33 @@ func (e *ShardEngine) PrepareSnapshotImages(name string, warmup time.Duration) e
 	return nil
 }
 
+// StartFaults arms every domain's fault injector (no-op without
+// cfg.Fault). Call once, after PrepareSnapshotImages and before any
+// traffic — the same point every execution mode uses — so the fault
+// schedule stays a pure function of the seed.
+func (e *ShardEngine) StartFaults() {
+	for _, d := range e.domains {
+		if d.Fault != nil {
+			d.Fault.Start()
+		}
+	}
+}
+
+// FaultLog returns every applied fault across all domains, in shard
+// order, one rendered event per line — the cross-mode comparison form.
+func (e *ShardEngine) FaultLog() []string {
+	var out []string
+	for _, d := range e.domains {
+		if d.Fault == nil {
+			continue
+		}
+		for _, ev := range d.Fault.Log() {
+			out = append(out, fmt.Sprintf("shard=%d %s", d.Index, ev))
+		}
+	}
+	return out
+}
+
 // Replay streams src into the engine: at each epoch barrier the records
 // falling inside the upcoming epoch are scheduled on their owning
 // domain's kernel (one record of lookahead, so multi-GB traces stream
@@ -277,70 +395,12 @@ func (e *ShardEngine) PrepareSnapshotImages(name string, warmup time.Duration) e
 // record (the facade default is 1 ms). Returns packets injected and the
 // first source error.
 func (e *ShardEngine) Replay(src telescope.Source, halt func() bool, epilogue time.Duration) (int, error) {
-	before := 0
-	for _, d := range e.domains {
-		before += d.injected
-	}
-	base := e.runner.Now()
-	last := base
-	var (
-		pending telescope.Record
-		have    bool
-		done    bool
-		readErr error
-	)
-	feed := func(start, end sim.Time) {
-		for !done {
-			if !have {
-				if halt != nil && halt() {
-					done = true
-					return
-				}
-				err := src.Read(&pending)
-				if err == io.EOF {
-					done = true
-					return
-				}
-				if err != nil {
-					done, readErr = true, err
-					return
-				}
-				pending.At += base
-				have = true
-			}
-			at := pending.At
-			if at < start {
-				at = start // clamp out-of-order records, like StreamReplayer
-			}
-			if at >= end {
-				pending.At = at // keep the clamp so time stays monotonic
-				return          // belongs to a later epoch
-			}
-			rec := pending
-			d := e.domains[e.Owner(rec.Dst)]
-			d.K.At(at, func(now sim.Time) {
-				d.injected++
-				d.G.HandleInbound(now, rec.Packet())
-			})
-			if at > last {
-				last = at
-			}
-			have = false
-		}
-	}
-	e.runner.SetBeforeEpoch(feed)
-	for !done {
-		e.runner.RunFor(e.cfg.Lookahead)
-	}
-	e.runner.SetBeforeEpoch(nil)
-	if target := last.Add(epilogue); target > e.runner.Now() {
-		e.runner.RunUntil(target)
-	}
-	after := 0
-	for _, d := range e.domains {
-		after += d.injected
-	}
-	return after - before, readErr
+	return ReplayOver(e.runner, src, halt, epilogue, func(at sim.Time, rec telescope.Record) {
+		d := e.domains[e.Owner(rec.Dst)]
+		d.K.At(at, func(now sim.Time) {
+			d.G.HandleInbound(now, rec.Packet())
+		})
+	})
 }
 
 // GatewayStats sums the per-domain gateway counters, mirroring
@@ -349,34 +409,41 @@ func (e *ShardEngine) GatewayStats() gateway.Stats {
 	var sum gateway.Stats
 	for _, d := range e.domains {
 		st := d.G.Stats()
-		sum.InboundPackets += st.InboundPackets
-		sum.InboundNonIP += st.InboundNonIP
-		sum.InboundOutside += st.InboundOutside
-		sum.BindingsCreated += st.BindingsCreated
-		sum.BindingsRecycled += st.BindingsRecycled
-		sum.SpawnFailures += st.SpawnFailures
-		sum.SpawnRetries += st.SpawnRetries
-		sum.BindingsShed += st.BindingsShed
-		sum.BackendLost += st.BackendLost
-		sum.PendingDropped += st.PendingDropped
-		sum.DeliveredToVM += st.DeliveredToVM
-		sum.OutAllowedOpen += st.OutAllowedOpen
-		sum.OutToSource += st.OutToSource
-		sum.OutDNSProxied += st.OutDNSProxied
-		sum.OutInternal += st.OutInternal
-		sum.OutReflected += st.OutReflected
-		sum.OutDropped += st.OutDropped
-		sum.OutReflectDenied += st.OutReflectDenied
-		sum.DetectedInfected += st.DetectedInfected
-		sum.ScanFiltered += st.ScanFiltered
-		sum.OutRateLimited += st.OutRateLimited
-		sum.OutProxied += st.OutProxied
-		sum.ProxyReturns += st.ProxyReturns
-		sum.PeakBindings += st.PeakBindings
-		sum.ReflectionsActive += st.ReflectionsActive
-		sum.PendingQueued += st.PendingQueued
+		AddGatewayStats(&sum, &st)
 	}
 	return sum
+}
+
+// AddGatewayStats accumulates src into dst field-by-field (the shard
+// engine and the cluster coordinator merge per-domain counters with the
+// same function, so they cannot drift apart).
+func AddGatewayStats(dst, src *gateway.Stats) {
+	dst.InboundPackets += src.InboundPackets
+	dst.InboundNonIP += src.InboundNonIP
+	dst.InboundOutside += src.InboundOutside
+	dst.BindingsCreated += src.BindingsCreated
+	dst.BindingsRecycled += src.BindingsRecycled
+	dst.SpawnFailures += src.SpawnFailures
+	dst.SpawnRetries += src.SpawnRetries
+	dst.BindingsShed += src.BindingsShed
+	dst.BackendLost += src.BackendLost
+	dst.PendingDropped += src.PendingDropped
+	dst.DeliveredToVM += src.DeliveredToVM
+	dst.OutAllowedOpen += src.OutAllowedOpen
+	dst.OutToSource += src.OutToSource
+	dst.OutDNSProxied += src.OutDNSProxied
+	dst.OutInternal += src.OutInternal
+	dst.OutReflected += src.OutReflected
+	dst.OutDropped += src.OutDropped
+	dst.OutReflectDenied += src.OutReflectDenied
+	dst.DetectedInfected += src.DetectedInfected
+	dst.ScanFiltered += src.ScanFiltered
+	dst.OutRateLimited += src.OutRateLimited
+	dst.OutProxied += src.OutProxied
+	dst.ProxyReturns += src.ProxyReturns
+	dst.PeakBindings += src.PeakBindings
+	dst.ReflectionsActive += src.ReflectionsActive
+	dst.PendingQueued += src.PendingQueued
 }
 
 // FarmStats sums the per-domain farm counters.
@@ -384,16 +451,21 @@ func (e *ShardEngine) FarmStats() farm.Stats {
 	var sum farm.Stats
 	for _, d := range e.domains {
 		st := d.F.Stats()
-		sum.Spawns += st.Spawns
-		sum.SpawnFailures += st.SpawnFailures
-		sum.SpawnRetries += st.SpawnRetries
-		sum.Reclaims += st.Reclaims
-		sum.Infections += st.Infections
-		sum.CrashRecycles += st.CrashRecycles
-		sum.LinkDrops += st.LinkDrops
-		sum.PeakLiveVMs += st.PeakLiveVMs
+		AddFarmStats(&sum, &st)
 	}
 	return sum
+}
+
+// AddFarmStats accumulates src into dst (see AddGatewayStats).
+func AddFarmStats(dst, src *farm.Stats) {
+	dst.Spawns += src.Spawns
+	dst.SpawnFailures += src.SpawnFailures
+	dst.SpawnRetries += src.SpawnRetries
+	dst.Reclaims += src.Reclaims
+	dst.Infections += src.Infections
+	dst.CrashRecycles += src.CrashRecycles
+	dst.LinkDrops += src.LinkDrops
+	dst.PeakLiveVMs += src.PeakLiveVMs
 }
 
 // GuestTotals sums the per-guest counters across all live instances.
@@ -401,21 +473,26 @@ func (e *ShardEngine) GuestTotals() guest.Stats {
 	var sum guest.Stats
 	for _, d := range e.domains {
 		st := d.F.GuestTotals()
-		sum.PacketsIn += st.PacketsIn
-		sum.RepliesOut += st.RepliesOut
-		sum.ScansOut += st.ScansOut
-		sum.PagesDirty += st.PagesDirty
-		sum.ExploitHits += st.ExploitHits
-		sum.ConnsAccepted += st.ConnsAccepted
-		sum.ConnsEstablished += st.ConnsEstablished
-		sum.ConnsClosed += st.ConnsClosed
-		sum.ExploitsSent += st.ExploitsSent
-		sum.AppResponses += st.AppResponses
-		sum.DNSQueries += st.DNSQueries
-		sum.DNSResponses += st.DNSResponses
-		sum.Stage2Fetches += st.Stage2Fetches
+		AddGuestStats(&sum, &st)
 	}
 	return sum
+}
+
+// AddGuestStats accumulates src into dst (see AddGatewayStats).
+func AddGuestStats(dst, src *guest.Stats) {
+	dst.PacketsIn += src.PacketsIn
+	dst.RepliesOut += src.RepliesOut
+	dst.ScansOut += src.ScansOut
+	dst.PagesDirty += src.PagesDirty
+	dst.ExploitHits += src.ExploitHits
+	dst.ConnsAccepted += src.ConnsAccepted
+	dst.ConnsEstablished += src.ConnsEstablished
+	dst.ConnsClosed += src.ConnsClosed
+	dst.ExploitsSent += src.ExploitsSent
+	dst.AppResponses += src.AppResponses
+	dst.DNSQueries += src.DNSQueries
+	dst.DNSResponses += src.DNSResponses
+	dst.Stage2Fetches += src.Stage2Fetches
 }
 
 // LiveVMs sums running VMs across domains.
@@ -506,19 +583,20 @@ func (e *ShardEngine) Close() error {
 	e.closed = true
 	var errs []error
 	for _, d := range e.domains {
-		d.G.Close()
+		d.Close()
 	}
-	for i, tr := range e.tracers {
-		tr.FlushOpen(e.domains[i].K.Now())
-	}
-	for _, buf := range e.eventBufs {
-		if _, err := e.cfg.EventLog.Write(buf.Bytes()); err != nil {
-			errs = append(errs, err)
+	for _, d := range e.domains {
+		if d.EventBuf != nil {
+			if _, err := e.cfg.EventLog.Write(d.EventBuf.Bytes()); err != nil {
+				errs = append(errs, err)
+			}
 		}
 	}
-	for _, buf := range e.traceBufs {
-		if _, err := e.cfg.TraceOut.Write(buf.Bytes()); err != nil {
-			errs = append(errs, err)
+	for _, d := range e.domains {
+		if d.TraceBuf != nil {
+			if _, err := e.cfg.TraceOut.Write(d.TraceBuf.Bytes()); err != nil {
+				errs = append(errs, err)
+			}
 		}
 	}
 	return errors.Join(errs...)

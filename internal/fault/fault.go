@@ -40,6 +40,12 @@ const (
 	KindCloneSlowEnd Kind = "clone-slow-end"
 	KindLinkDown     Kind = "link-down"
 	KindLinkUp       Kind = "link-up"
+	// KindKillWorker abruptly terminates a cluster worker process
+	// (Action.Server is the worker index). In single-process runs the
+	// event is recorded but has no effect on the simulation — which is
+	// exactly what makes a cluster run with a kill recover to the same
+	// bytes as the sequential oracle.
+	KindKillWorker Kind = "kill-worker"
 )
 
 // Event records one applied fault transition.
@@ -98,6 +104,14 @@ type Injector struct {
 	// OnEvent observes every applied fault (nil to ignore).
 	OnEvent func(Event)
 
+	// OnKillWorker fires when a KindKillWorker action lands (after the
+	// event is recorded). Cluster workers install a hook that aborts
+	// the process when the killed index is their own; everywhere else
+	// the kill is a recorded no-op. A worker restoring crashed shards
+	// from a checkpoint leaves the hook nil, so a replayed kill records
+	// the same log event without crash-looping the recovery.
+	OnKillWorker func(now sim.Time, worker int)
+
 	rng *sim.RNG
 	log []Event
 }
@@ -148,6 +162,18 @@ func (in *Injector) apply(now sim.Time, a Action) {
 		in.CutLink(now, a.Duration)
 	case KindLinkUp:
 		in.RestoreLink(now)
+	case KindKillWorker:
+		in.KillWorker(now, a.Server)
+	}
+}
+
+// KillWorker records a worker-process kill and notifies the hook. The
+// farm is untouched: the fault models losing the process that hosts
+// the domain, not the simulated hardware inside it.
+func (in *Injector) KillWorker(now sim.Time, worker int) {
+	in.record(now, KindKillWorker, worker, "")
+	if in.OnKillWorker != nil {
+		in.OnKillWorker(now, worker)
 	}
 }
 

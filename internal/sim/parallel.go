@@ -29,6 +29,32 @@ import (
 	"time"
 )
 
+// Barrier is the epoch-coordination surface a shard executor runs on: a
+// shared clock, epoch-wise advancement, and a single-threaded pre-epoch
+// injection hook. The in-process implementation is *ParallelRunner;
+// internal/cluster's Coordinator implements the same surface over
+// remote worker processes, which is what lets replay drivers and
+// experiment code run unchanged whether the shards live on goroutines
+// or on other machines.
+type Barrier interface {
+	// Now returns the barrier clock; every shard has run to exactly
+	// this time whenever no epoch is in flight.
+	Now() Time
+	// Lookahead returns the epoch length / minimum cross-shard latency.
+	Lookahead() time.Duration
+	// RunUntil advances every shard to deadline in epochs of at most
+	// the lookahead.
+	RunUntil(deadline Time)
+	// RunFor is RunUntil(Now()+d).
+	RunFor(d time.Duration)
+	// SetBeforeEpoch installs a hook called single-threaded at the
+	// start of every epoch with the epoch bounds [start, end), before
+	// any shard runs. Nil removes the hook.
+	SetBeforeEpoch(fn func(start, end Time))
+}
+
+var _ Barrier = (*ParallelRunner)(nil)
+
 // crossMsg is one scheduled cross-shard delivery.
 type crossMsg struct {
 	at Time

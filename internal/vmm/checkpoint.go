@@ -32,6 +32,15 @@ var (
 	ErrBadCkptVer    = errors.New("vmm: unsupported checkpoint version")
 )
 
+// Caps applied while reading untrusted checkpoint bytes, far above any
+// checkpoint a real VM produces (2^24 4 KiB pages is 64 GiB of delta).
+// A corrupt count field must fail fast, not drive a 2^60-iteration read
+// loop.
+const (
+	maxCkptPages  = 1 << 24
+	maxCkptBlocks = 1 << 24
+)
+
 // Checkpoint is a VM's captured delta state.
 type Checkpoint struct {
 	ImageName string
@@ -197,29 +206,35 @@ func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 	if err != nil {
 		return nil, err
 	}
+	if nPages > maxCkptPages {
+		return nil, fmt.Errorf("vmm: absurd checkpoint page count %d", nPages)
+	}
 	for i := uint64(0); i < nPages; i++ {
 		vpn, err := get64()
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("vmm: truncated checkpoint at page %d of %d: %w", i, nPages, err)
 		}
 		page := make([]byte, mem.PageSize)
 		if _, err := io.ReadFull(br, page); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("vmm: truncated checkpoint at page %d of %d: %w", i, nPages, err)
 		}
 		ck.Pages[vpn] = page
 	}
 	nBlocks, err := get64()
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("vmm: truncated checkpoint before disk blocks: %w", err)
+	}
+	if nBlocks > maxCkptBlocks {
+		return nil, fmt.Errorf("vmm: absurd checkpoint block count %d", nBlocks)
 	}
 	for i := uint64(0); i < nBlocks; i++ {
 		block, err := get64()
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("vmm: truncated checkpoint at block %d of %d: %w", i, nBlocks, err)
 		}
 		val, err := br.ReadByte()
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("vmm: truncated checkpoint at block %d of %d: %w", i, nBlocks, err)
 		}
 		ck.DiskBlocks[block] = val
 	}
@@ -234,6 +249,30 @@ func (h *VMHost) Restore(ck *Checkpoint, ready func(*VM)) (*VM, error) {
 	vm, err := h.FlashClone(ck.ImageName, ck.IP, ready)
 	if err != nil {
 		return nil, err
+	}
+	// Validate the delta against the clone's actual geometry before
+	// applying any of it: a checkpoint whose counts parsed fine can
+	// still address pages or blocks the image doesn't have, and that
+	// must come back as an error, not a panic from the memory or disk
+	// layer mid-apply.
+	for vpn, content := range ck.Pages {
+		if vpn >= vm.Mem.NumPages() {
+			h.Destroy(vm.ID)
+			return nil, fmt.Errorf("vmm: checkpoint page %d outside image %q of %d pages",
+				vpn, ck.ImageName, vm.Mem.NumPages())
+		}
+		if len(content) != mem.PageSize {
+			h.Destroy(vm.ID)
+			return nil, fmt.Errorf("vmm: checkpoint page %d has %d bytes, want %d",
+				vpn, len(content), mem.PageSize)
+		}
+	}
+	for block := range ck.DiskBlocks {
+		if block >= vm.Disk.Base.Blocks() {
+			h.Destroy(vm.ID)
+			return nil, fmt.Errorf("vmm: checkpoint block %d outside image %q of %d blocks",
+				block, ck.ImageName, vm.Disk.Base.Blocks())
+		}
 	}
 	for vpn, content := range ck.Pages {
 		vm.Mem.Write(vpn, 0, content)

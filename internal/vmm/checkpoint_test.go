@@ -142,3 +142,93 @@ func TestRestoreUnknownImageFails(t *testing.T) {
 		t.Error("restore of unknown image succeeded")
 	}
 }
+
+// TestRestoreRejectsOutOfRangeDelta: a structurally valid checkpoint
+// whose delta addresses pages or blocks the image doesn't have must
+// fail with an error (and no leaked VM), not a panic from the memory
+// or disk layer.
+func TestRestoreRejectsOutOfRangeDelta(t *testing.T) {
+	k := sim.NewKernel(1)
+	h := newTestHost(t, k)
+	vm := infectedVM(t, h)
+	base := TakeCheckpoint(vm)
+	h.Destroy(vm.ID)
+	before := h.NumVMs()
+
+	cases := []struct {
+		name   string
+		mutate func(ck *Checkpoint)
+	}{
+		{"page out of range", func(ck *Checkpoint) {
+			ck.Pages[1<<40] = make([]byte, mem.PageSize)
+		}},
+		{"short page content", func(ck *Checkpoint) {
+			ck.Pages[3] = []byte{1, 2, 3}
+		}},
+		{"block out of range", func(ck *Checkpoint) {
+			ck.DiskBlocks[1<<40] = 0xcc
+		}},
+	}
+	for _, tc := range cases {
+		ck := &Checkpoint{
+			ImageName: base.ImageName, IP: base.IP,
+			Pages:      map[uint64][]byte{},
+			DiskBlocks: map[uint64]byte{},
+		}
+		for vpn, c := range base.Pages {
+			ck.Pages[vpn] = c
+		}
+		for b, v := range base.DiskBlocks {
+			ck.DiskBlocks[b] = v
+		}
+		tc.mutate(ck)
+		if _, err := h.Restore(ck, nil); err == nil {
+			t.Errorf("%s: restore succeeded", tc.name)
+		}
+		if h.NumVMs() != before {
+			t.Errorf("%s: leaked VM (have %d, want %d)", tc.name, h.NumVMs(), before)
+		}
+	}
+	if err := h.CheckMemoryInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReadCheckpointTruncation: every proper prefix of a valid
+// checkpoint errors cleanly.
+func TestReadCheckpointTruncation(t *testing.T) {
+	k := sim.NewKernel(1)
+	h := newTestHost(t, k)
+	vm := infectedVM(t, h)
+	var buf bytes.Buffer
+	TakeCheckpoint(vm).WriteTo(&buf)
+	enc := buf.Bytes()
+	for i := 0; i < len(enc); i++ {
+		if _, err := ReadCheckpoint(bytes.NewReader(enc[:i])); err == nil {
+			t.Fatalf("truncation at %d/%d bytes accepted", i, len(enc))
+		}
+	}
+}
+
+// TestReadCheckpointAbsurdCounts: corrupt count fields fail fast
+// instead of driving a multi-billion-iteration read loop.
+func TestReadCheckpointAbsurdCounts(t *testing.T) {
+	k := sim.NewKernel(1)
+	h := newTestHost(t, k)
+	vm, err := h.FlashClone("winxp", 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	TakeCheckpoint(vm).WriteTo(&buf)
+	enc := buf.Bytes()
+	// Page count sits right after magic, version, name length+bytes, IP.
+	off := 4 + 4 + 4 + len("winxp") + 4
+	for _, v := range []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f} {
+		enc[off] = v
+		off++
+	}
+	if _, err := ReadCheckpoint(bytes.NewReader(enc)); err == nil {
+		t.Error("absurd page count accepted")
+	}
+}

@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# Cluster-mode smoke test: a coordinator and two worker processes plus
+# one hot standby run a 4-shard scenario over real TCP; one assigned
+# worker is SIGKILLed mid-feed; the run must recover onto the standby
+# and the merged -json stats must be byte-identical to the
+# single-process oracle at the same seed.
+#
+# Usage: scripts/cluster_smoke.sh [workdir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+work="${1:-$(mktemp -d)}"
+mkdir -p "$work"
+
+seed=5
+shards=4
+dur=30s
+rate=200
+addr="127.0.0.1:$((47540 + RANDOM % 1000))"
+common=(-shards "$shards" -seed "$seed" -duration "$dur" -rate "$rate")
+
+echo "== building potemkind"
+go build -o "$work/potemkind" ./cmd/potemkind
+
+echo "== single-process oracle"
+"$work/potemkind" -parallel "${common[@]}" -json >"$work/oracle.raw"
+
+pids=()
+cleanup() {
+    for pid in "${pids[@]}"; do
+        kill "$pid" 2>/dev/null || true
+    done
+}
+trap cleanup EXIT
+
+echo "== coordinator on $addr + 2 workers + 1 standby"
+"$work/potemkind" -coordinator "$addr" -workers 2 "${common[@]}" -json \
+    >"$work/cluster.raw" 2>"$work/coord.err" &
+coord=$!
+pids+=("$coord")
+
+start_worker() {
+    "$work/potemkind" -worker "$addr" -name "$1" "${common[@]}" \
+        >"$work/$1.out" 2>&1 &
+    pids+=("$!")
+    echo "$!"
+}
+# Sequenced startup so the first two connections (the assigned workers)
+# are w0 and w1, and w2 is the standby.
+victim=$(start_worker w0)
+sleep 0.5
+start_worker w1 >/dev/null
+sleep 0.5
+start_worker w2 >/dev/null
+
+echo "== waiting for the feed to start"
+for _ in $(seq 1 120); do
+    grep -q "starting feed" "$work/cluster.raw" && break
+    if ! kill -0 "$coord" 2>/dev/null; then
+        echo "FAIL: coordinator died before the feed started" >&2
+        cat "$work/coord.err" >&2
+        exit 1
+    fi
+    sleep 0.25
+done
+grep -q "starting feed" "$work/cluster.raw" || {
+    echo "FAIL: feed never started" >&2
+    cat "$work/coord.err" >&2
+    exit 1
+}
+
+sleep 1
+echo "== SIGKILL worker w0 (pid $victim) mid-run"
+kill -KILL "$victim"
+
+if ! wait "$coord"; then
+    echo "FAIL: coordinator exited non-zero" >&2
+    cat "$work/coord.err" >&2
+    exit 1
+fi
+wait || true
+
+echo "== asserting recovery happened"
+if ! grep -q "crash-detected" "$work/coord.err" || ! grep -q "restore-done" "$work/coord.err"; then
+    echo "FAIL: no recovery in coordinator log" >&2
+    cat "$work/coord.err" >&2
+    exit 1
+fi
+
+echo "== diffing merged stats against the oracle"
+# Both outputs carry informational lines before the JSON body.
+sed -n '/^{/,$p' "$work/oracle.raw" >"$work/oracle.json"
+sed -n '/^{/,$p' "$work/cluster.raw" >"$work/cluster.json"
+if ! diff -u "$work/oracle.json" "$work/cluster.json"; then
+    echo "FAIL: cluster stats differ from single-process oracle" >&2
+    exit 1
+fi
+[ -s "$work/oracle.json" ] || { echo "FAIL: empty oracle JSON" >&2; exit 1; }
+
+echo "PASS: recovered from SIGKILL; stats byte-identical to the oracle"
