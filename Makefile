@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check build test race vet fuzz bench bench-all trace-demo apicheck api-snapshot
+.PHONY: check build test race vet fuzz bench bench-telemetry bench-all trace-demo apicheck api-snapshot
 
 # The full pre-merge gate: static checks, the race detector over every
 # package, and a short pass over every fuzz target.
@@ -39,6 +39,13 @@ bench:
 	( $(GO) test -run '^$$' -bench 'BenchmarkE1FlashClone$$|BenchmarkE2DeltaVirt$$|BenchmarkE4Gateway|BenchmarkAblation|BenchmarkE11WireIngest$$|BenchmarkShardReplay' -benchmem -benchtime 1s . ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkIngestDecap$$|BenchmarkWireSenderEncap$$' -benchmem -benchtime 1s ./internal/ingest ) \
 		| $(GO) run ./cmd/benchjson -baseline results/bench_baseline.json -out BENCH_core.json
+
+# The telemetry-off overhead gate: the hot-path benchmarks with
+# Options.Metrics unset (the default), i.e. nil instrument handles on
+# every instrumented site. Compare against the recorded samples in
+# BENCH_trace.json — medians are expected within the noise band (≤2%).
+bench-telemetry:
+	$(GO) test -run '^$$' -bench 'BenchmarkE1FlashClone$$|BenchmarkE4GatewayMixed$$|BenchmarkShardReplaySequential$$' -benchtime 0.3s -count 5 .
 
 bench-all:
 	$(GO) test -bench . -benchmem ./...

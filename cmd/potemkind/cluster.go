@@ -11,6 +11,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"sync/atomic"
@@ -24,6 +25,7 @@ import (
 	"potemkin/internal/gateway"
 	"potemkin/internal/guest"
 	"potemkin/internal/ingest"
+	"potemkin/internal/metrics"
 	"potemkin/internal/netsim"
 	"potemkin/internal/telescope"
 )
@@ -105,8 +107,12 @@ type coordinatorRun struct {
 
 	eventLog *os.File
 	traceOut *os.File
+	epochLog *os.File
 	jsonOut  bool
 	snapOut  string
+	// debugAddr serves the farm-wide /metrics and /cluster health views
+	// (plus expvar/pprof) while the run is live.
+	debugAddr string
 }
 
 // runClusterCoordinator drives one cluster run end to end and returns
@@ -124,6 +130,15 @@ func runClusterCoordinator(r coordinatorRun) int {
 	}
 	if r.traceOut != nil {
 		ec.TraceOut = r.traceOut
+	}
+	if r.epochLog != nil {
+		ec.EpochLog = r.epochLog
+	}
+	if r.debugAddr != "" || r.epochLog != nil {
+		// The registry turns on worker-side telemetry too (the assign
+		// message carries the flag); heartbeats piggyback the snapshots
+		// the farm-wide /metrics merge is built from.
+		ec.Metrics = metrics.NewRegistry()
 	}
 	c, err := cluster.New(cluster.Config{
 		Engine:            ec,
@@ -147,6 +162,25 @@ func runClusterCoordinator(r coordinatorRun) int {
 	}
 	fmt.Printf("coordinator on %s: %d shards across %d workers, scenario %q\n",
 		c.Addr(), r.scenario.Shards, r.workers, r.scenario.tag())
+	if r.debugAddr != "" {
+		// Both handlers read only atomics published by the driver and
+		// read loops, so serving them from HTTP goroutines mid-run is
+		// safe (same rule as the single-process /metrics).
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			w.Write(c.MetricsText())
+		})
+		http.HandleFunc("/cluster", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(c.HealthJSON())
+		})
+		go func() {
+			if err := http.ListenAndServe(r.debugAddr, nil); err != nil {
+				clusterLogf("debug endpoint: %v", err)
+			}
+		}()
+		fmt.Printf("debug endpoint on http://%s (/metrics, /cluster, /debug/pprof)\n", r.debugAddr)
+	}
 
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()

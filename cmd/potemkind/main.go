@@ -30,7 +30,8 @@
 //	-capture DIR     record gateway traffic (.potm, or .pcap with -capture-pcap)
 //	-trace-out F     write the binding-lifecycle span trace (JSONL; see cmd/tracetool)
 //	-trace-chrome F  write the trace in Chrome trace-event format (Perfetto)
-//	-debug-addr A    serve /snapshot, expvar and pprof on this HTTP address
+//	-debug-addr A    serve /snapshot, /metrics, expvar and pprof on this HTTP address
+//	-epoch-log F     write the parallel engine's JSONL epoch timeline (tracetool -epochs)
 //	-snapshot-out F  write the final JSON snapshot
 //
 // Cluster mode distributes the shards across worker processes while
@@ -49,7 +50,10 @@
 // flags (space/servers/shards/policy/idle/guest/seed); the handshake
 // rejects mismatches. Extra workers beyond -workers register as hot
 // standbys and adopt a crashed worker's shards from the coordinator's
-// epoch-boundary checkpoints.
+// epoch-boundary checkpoints. With -debug-addr the coordinator serves
+// the farm-wide /metrics (its epoch profile merged with the registry
+// snapshots workers piggyback on heartbeats) and /cluster (per-worker
+// epoch lag, heartbeat age, recovery count) while the run is live.
 //
 // SIGINT/SIGTERM stop the feed cleanly: the replay or listener winds
 // down, and every open writer (trace, capture, event log, snapshot) is
@@ -110,7 +114,8 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit the final stats as JSON on stdout")
 		traceOut  = flag.String("trace-out", "", "write the binding-lifecycle span trace (JSONL) to this file")
 		traceChr  = flag.String("trace-chrome", "", "write the trace in Chrome trace-event format (Perfetto-loadable) to this file")
-		debug     = flag.String("debug-addr", "", "serve /snapshot, /debug/vars (expvar) and /debug/pprof on this address while running")
+		debug     = flag.String("debug-addr", "", "serve /snapshot, /metrics, /debug/vars (expvar) and /debug/pprof on this address while running")
+		epochLog  = flag.String("epoch-log", "", "write the parallel engine's JSONL epoch timeline to this file (see tracetool -epochs)")
 		snapOut   = flag.String("snapshot-out", "", "write the final JSON snapshot to this file")
 
 		coordAddr  = flag.String("coordinator", "", "run as cluster coordinator, serving workers on this TCP address")
@@ -153,7 +158,8 @@ func main() {
 		for name, set := range map[string]bool{
 			"-trace": *traceF != "", "-pcap": *pcapF != "", "-json": *jsonOut,
 			"-eventlog": *eventLog != "", "-trace-out": *traceOut != "",
-			"-snapshot-out": *snapOut != "",
+			"-snapshot-out": *snapOut != "", "-debug-addr": *debug != "",
+			"-epoch-log": *epochLog != "",
 		} {
 			if set {
 				badFlags("%s is a coordinator flag; the worker ships its output over the cluster protocol", name)
@@ -163,12 +169,15 @@ func main() {
 	if clusterMode {
 		for name, set := range map[string]bool{
 			"-capture": *capture != "", "-checkpoints": *ckptDir != "",
-			"-trace-chrome": *traceChr != "", "-debug-addr": *debug != "",
+			"-trace-chrome": *traceChr != "",
 		} {
 			if set {
 				badFlags("%s is not supported in cluster mode", name)
 			}
 		}
+	}
+	if *epochLog != "" && !*parallel && *coordAddr == "" {
+		badFlags("-epoch-log requires -parallel or -coordinator (the timeline profiles epoch barriers)")
 	}
 
 	opts := potemkin.Options{
@@ -255,7 +264,7 @@ func main() {
 			scenario: sc, addr: *coordAddr, workers: *workersN,
 			heartbeat: *heartbeat, heartbeatTimeout: *hbTimeout, recoveryWait: *recWait,
 			traceFile: *traceF, pcapFile: *pcapF, duration: *duration, rate: *rate,
-			jsonOut: *jsonOut, snapOut: *snapOut,
+			jsonOut: *jsonOut, snapOut: *snapOut, debugAddr: *debug,
 		}
 		if *eventLog != "" {
 			f, err := os.Create(*eventLog)
@@ -271,12 +280,22 @@ func main() {
 			}
 			run.traceOut = f
 		}
+		if *epochLog != "" {
+			f, err := os.Create(*epochLog)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			run.epochLog = f
+		}
 		code := runClusterCoordinator(run)
 		if run.eventLog != nil {
 			run.eventLog.Close()
 		}
 		if run.traceOut != nil {
 			run.traceOut.Close()
+		}
+		if run.epochLog != nil {
+			run.epochLog.Close()
 		}
 		os.Exit(code)
 	}
@@ -313,6 +332,18 @@ func main() {
 		defer f.Close()
 		opts.TraceChrome = f
 	}
+	if *epochLog != "" {
+		f, err := os.Create(*epochLog)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		opts.EpochLog = f
+	}
+	// The live /metrics scrape needs the telemetry registry; it costs
+	// one atomic add per instrumented event, so turn it on whenever the
+	// debug endpoint (its only consumer here) is requested.
+	opts.Metrics = *debug != ""
 
 	hf, err := potemkin.New(opts)
 	if err != nil {
@@ -357,12 +388,19 @@ func main() {
 				w.Write([]byte("{}"))
 			}
 		})
+		// Unlike /snapshot, /metrics reads the registry live: every
+		// series is an atomic, so the scrape never touches sim state and
+		// needs no publish step.
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			w.Write(hf.MetricsText())
+		})
 		go func() {
 			if err := http.ListenAndServe(*debug, nil); err != nil {
 				fmt.Fprintf(os.Stderr, "potemkind: debug endpoint: %v\n", err)
 			}
 		}()
-		fmt.Printf("debug endpoint on http://%s (/snapshot, /debug/vars, /debug/pprof)\n", *debug)
+		fmt.Printf("debug endpoint on http://%s (/snapshot, /metrics, /debug/vars, /debug/pprof)\n", *debug)
 	}
 
 	// Progress reporting rides the simulation clock. In -parallel mode
@@ -395,6 +433,7 @@ func main() {
 			Shards:      *shardsIn,
 			QueueLen:    *queueLen,
 			Timestamped: !*plainGRE,
+			Metrics:     hf.Metrics(),
 		})
 		if err != nil {
 			fatalf("%v", err)

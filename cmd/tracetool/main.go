@@ -4,9 +4,15 @@
 // paths of the slowest bindings. It can also convert the JSONL into the
 // Chrome trace-event format for Perfetto / chrome://tracing.
 //
+// With -epochs the input is instead an epoch timeline (the JSONL
+// written by potemkind -epoch-log or potemkin.Options.EpochLog):
+// per-phase wall-clock summaries — shard advance, barrier wait,
+// outbox exchange — plus the N slowest epochs and who stalled them.
+//
 // Usage:
 //
 //	tracetool [-top N] [-csv FILE] [-chrome FILE] [FILE]
+//	tracetool -epochs [-top N] [-csv FILE] [FILE]
 //
 // Reads stdin when FILE is omitted.
 package main
@@ -16,14 +22,17 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
+	"potemkin/internal/metrics"
 	"potemkin/internal/trace"
 )
 
 func main() {
-	top := flag.Int("top", 5, "show the critical path of the N slowest bindings")
+	top := flag.Int("top", 5, "show the critical path of the N slowest bindings (or the N slowest epochs with -epochs)")
 	csvOut := flag.String("csv", "", "write the stage table as CSV to this file")
 	chromeOut := flag.String("chrome", "", "convert the trace to Chrome trace-event JSON at this path")
+	epochs := flag.Bool("epochs", false, "input is an epoch timeline (potemkind -epoch-log); report barrier/exchange profile")
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -35,6 +44,12 @@ func main() {
 		defer f.Close()
 		in = f
 	}
+
+	if *epochs {
+		analyzeEpochs(in, *top, *csvOut)
+		return
+	}
+
 	recs, err := trace.ReadAll(in)
 	if err != nil {
 		fatal(err)
@@ -86,6 +101,84 @@ func main() {
 		for _, r := range slow {
 			fmt.Printf("  t=%.3fs %s\n", float64(r.StartNS)/1e9, trace.FormatPath(a.CriticalPath(r)))
 		}
+	}
+}
+
+// analyzeEpochs reads a JSONL epoch timeline and prints per-phase
+// wall-clock summaries plus the top slowest epochs.
+func analyzeEpochs(in io.Reader, top int, csvOut string) {
+	samples, err := metrics.ReadEpochs(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(samples) == 0 {
+		fatal(fmt.Errorf("no epoch samples in input"))
+	}
+
+	shards := 0
+	var simNS int64
+	for _, s := range samples {
+		if n := len(s.AdvanceNS); n > shards {
+			shards = n
+		}
+		if d := s.EndNS - s.StartNS; d > 0 {
+			simNS += d
+		}
+	}
+	agg := metrics.AggregateEpochs(samples)
+
+	fmt.Printf("%d epochs, %d shards, %.3fs simulated\n", len(samples), shards, float64(simNS)/1e9)
+	fmt.Printf("exchange: %d msgs, %d bytes\n\n", agg.TotalMsgs, agg.TotalBytes)
+	fmt.Printf("phase wall-clock (ms):\n")
+	fmt.Printf("  epoch wall    %s\n", agg.Wall.Summary())
+	fmt.Printf("  shard advance %s\n", agg.Advance.Summary())
+	fmt.Printf("  barrier wait  %s (p50=%.3fms p99=%.3fms)\n",
+		agg.BarrierWait.Summary(), agg.BarrierWait.Quantile(0.50), agg.BarrierWait.Quantile(0.99))
+	fmt.Printf("  exchange      %s\n\n", agg.Exchange.Summary())
+
+	order := make([]int, len(samples))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return samples[order[a]].WallNS > samples[order[b]].WallNS
+	})
+	if top > len(order) {
+		top = len(order)
+	}
+	tab := metrics.NewTable(fmt.Sprintf("slowest %d epochs", top),
+		"epoch", "t_ms", "wall_ms", "adv_max_ms", "barrier_max_ms", "exch_ms", "msgs", "bytes", "slowest")
+	for _, i := range order[:top] {
+		s := samples[i]
+		var advMax, waitMax int64
+		for _, ns := range s.AdvanceNS {
+			if ns > advMax {
+				advMax = ns
+			}
+		}
+		for _, ns := range s.BarrierWaitNS {
+			if ns > waitMax {
+				waitMax = ns
+			}
+		}
+		tab.AddRow(s.Seq, float64(s.StartNS)/1e6, float64(s.WallNS)/1e6,
+			float64(advMax)/1e6, float64(waitMax)/1e6, float64(s.ExchangeNS)/1e6,
+			s.ExchangeMsgs, s.ExchangeBytes, s.SlowestShard)
+	}
+	tab.Render(os.Stdout)
+
+	if csvOut != "" {
+		f, err := os.Create(csvOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tab.WriteCSV(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\n[csv] %s\n", csvOut)
 	}
 }
 

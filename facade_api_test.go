@@ -57,14 +57,21 @@ func TestValidateReportsAllProblems(t *testing.T) {
 
 // TestValidateParallelConstraints covers the Parallel-specific rules.
 func TestValidateParallelConstraints(t *testing.T) {
-	err := Options{Parallel: true, TraceChrome: &bytes.Buffer{}}.Validate()
+	err := Options{Parallel: true}.Validate()
 	if err == nil {
-		t.Fatal("Parallel with one shard and TraceChrome validated clean")
+		t.Fatal("Parallel with one shard validated clean")
 	}
-	for _, want := range []string{"GatewayShards >= 2", "TraceChrome"} {
-		if !strings.Contains(err.Error(), want) {
-			t.Errorf("error missing %q:\n%v", want, err)
-		}
+	if !strings.Contains(err.Error(), "GatewayShards >= 2") {
+		t.Errorf("error missing %q:\n%v", "GatewayShards >= 2", err)
+	}
+	// TraceChrome under Parallel is supported (buffered per shard).
+	if err := (Options{Parallel: true, GatewayShards: 4, TraceChrome: &bytes.Buffer{}}).Validate(); err != nil {
+		t.Errorf("Parallel+TraceChrome should validate: %v", err)
+	}
+	// The epoch timeline profiles the parallel engine only.
+	if err := (Options{EpochLog: &bytes.Buffer{}}).Validate(); err == nil ||
+		!strings.Contains(err.Error(), "EpochLog requires Parallel") {
+		t.Errorf("EpochLog without Parallel should fail: %v", err)
 	}
 	if err := (Options{Parallel: true, GatewayShards: 8}).Validate(); err == nil ||
 		!strings.Contains(err.Error(), "at least one server per shard") {

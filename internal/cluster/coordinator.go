@@ -1,18 +1,22 @@
 package cluster
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"potemkin/internal/core"
 	"potemkin/internal/farm"
 	"potemkin/internal/gateway"
 	"potemkin/internal/guest"
+	"potemkin/internal/metrics"
 	"potemkin/internal/netsim"
 	"potemkin/internal/sim"
 	"potemkin/internal/telescope"
@@ -104,6 +108,10 @@ type Results struct {
 	Trace       []byte
 	Now         sim.Time
 	Recoveries  int
+	// Metrics is every worker's final registry snapshot merged (empty
+	// when the scenario ran without telemetry). The same merge feeds
+	// MetricsText, so a post-run scrape equals these points exactly.
+	Metrics []metrics.Point
 }
 
 // wconn is the coordinator's view of one worker connection.
@@ -117,6 +125,13 @@ type wconn struct {
 	// was awaiting a different worker (e.g. broadcast results replies
 	// completing out of order). Driver goroutine only.
 	stash []frame
+
+	// Telemetry mirrors, written by the read loop and read by the HTTP
+	// health/metrics endpoints — atomics only, never the driver state.
+	lastRecv    atomic.Int64                    // wall nanos of the last frame
+	lastSeq     atomic.Uint64                   // last epoch the worker completed
+	lastMetrics atomic.Pointer[[]metrics.Point] // latest registry snapshot
+	stashN      atomic.Int64                    // live mirror of len(stash)
 }
 
 // wevent is one item on the coordinator's single event stream: a frame
@@ -167,6 +182,29 @@ type Coordinator struct {
 	recoveries int
 	recLines   []string
 	closed     bool
+
+	// Telemetry. reg/prof come from Engine.Metrics / Engine.EpochLog;
+	// the profiler times each epoch with workers in the shard role. The
+	// pub* atomics and the published worker list are the driver's health
+	// mirror, refreshed at epoch boundaries and recovery events so the
+	// HTTP endpoints never read driver-owned state.
+	reg           *metrics.Registry
+	prof          *metrics.EpochProfiler
+	epochT0       time.Time
+	epochDoneNS   []int64
+	epochInBytes  int64
+	pubSeq        atomic.Uint64
+	pubNow        atomic.Int64
+	pubRecoveries atomic.Int64
+	pubDegraded   atomic.Bool
+	pubWorkers    atomic.Pointer[[]workerRef]
+}
+
+// workerRef is one published worker-slot entry behind the health view.
+type workerRef struct {
+	id   int
+	name string
+	w    *wconn // nil for an empty (crashed, unrecovered) slot
 }
 
 // New builds a coordinator (call Start to listen).
@@ -198,6 +236,11 @@ func New(cfg Config) (*Coordinator, error) {
 	c.workers = cfg.Workers
 	if c.workers > c.shards {
 		c.workers = c.shards
+	}
+	c.reg = ecfg.Metrics
+	if c.reg != nil || ecfg.EpochLog != nil {
+		c.prof = metrics.NewEpochProfiler(c.reg, ecfg.EpochLog)
+		c.epochDoneNS = make([]int64, c.workers)
 	}
 	c.assigned = make([]*wconn, c.workers)
 	c.logs = make([]*shardLog, c.shards)
@@ -270,6 +313,7 @@ func (c *Coordinator) Err() error { return c.err }
 func (c *Coordinator) fail(err error) {
 	if c.err == nil {
 		c.err = err
+		c.pubDegraded.Store(true)
 		c.recoveryf("event=degraded err=%q", err.Error())
 	}
 }
@@ -288,6 +332,7 @@ func (c *Coordinator) acceptLoop() {
 
 func (c *Coordinator) handshake(nc net.Conn) {
 	w := &wconn{conn: newConn(nc), id: -1, stop: make(chan struct{})}
+	w.lastRecv.Store(time.Now().UnixNano())
 	nc.SetReadDeadline(time.Now().Add(c.cfg.HeartbeatTimeout))
 	fr, err := readFrame(nc)
 	if err != nil || fr.typ != msgHello {
@@ -323,8 +368,10 @@ func (c *Coordinator) handshake(nc net.Conn) {
 	c.readLoop(w)
 }
 
-// readLoop pumps decoded frames onto the coordinator's event stream;
-// heartbeats only refresh the read deadline.
+// readLoop pumps decoded frames onto the coordinator's event stream.
+// Heartbeats refresh the read deadline and unload their telemetry
+// piggyback (epoch progress + registry snapshot) into the connection's
+// atomic mirrors without ever reaching the driver.
 func (c *Coordinator) readLoop(w *wconn) {
 	for {
 		w.c.SetReadDeadline(time.Now().Add(c.cfg.HeartbeatTimeout))
@@ -333,7 +380,15 @@ func (c *Coordinator) readLoop(w *wconn) {
 			c.events <- wevent{w: w, err: err}
 			return
 		}
+		w.lastRecv.Store(time.Now().UnixNano())
 		if fr.typ == msgHeartbeat {
+			var hb heartbeatMsg
+			if unmarshal(fr.payload, &hb) == nil {
+				w.lastSeq.Store(hb.Seq)
+				if hb.Metrics != nil {
+					w.lastMetrics.Store(&hb.Metrics)
+				}
+			}
 			continue
 		}
 		c.events <- wevent{w: w, fr: fr}
@@ -446,6 +501,9 @@ func (c *Coordinator) handleEpochDone(w *wconn, payload []byte) {
 	}
 	c.doneOutbox = append(c.doneOutbox, m.Outbox...)
 	delete(c.donePending, w.id)
+	if c.prof != nil && w.id < len(c.epochDoneNS) {
+		c.epochDoneNS[w.id] = time.Since(c.epochT0).Nanoseconds()
+	}
 }
 
 // awaitFrom waits for a specific frame type from a specific worker,
@@ -456,6 +514,7 @@ func (c *Coordinator) awaitFrom(w *wconn, typ msgType, deadline time.Time) (fram
 		for i, fr := range w.stash {
 			if fr.typ == typ {
 				w.stash = append(w.stash[:i], w.stash[i+1:]...)
+				w.stashN.Store(int64(len(w.stash)))
 				return fr, nil
 			}
 		}
@@ -477,6 +536,7 @@ func (c *Coordinator) awaitFrom(w *wconn, typ msgType, deadline time.Time) (fram
 		// complete out of order) — keep it for its own connection
 		// rather than dropping it on the floor.
 		ev.w.stash = append(ev.w.stash, fr)
+		ev.w.stashN.Store(int64(len(ev.w.stash)))
 	}
 }
 
@@ -530,6 +590,7 @@ func (c *Coordinator) WaitReady(timeout time.Duration) error {
 				Worker: id, Shards: c.shardsOf(id),
 				WarmupNs: int64(c.cfg.SnapshotWarmup), SnapName: c.cfg.SnapshotName,
 				Events: c.cfg.Engine.EventLog != nil, Trace: c.cfg.Engine.TraceOut != nil,
+				Metrics: c.reg != nil,
 			}
 			if err := w.send(msgAssign, msg); err != nil {
 				c.markDead(w, "assign write: "+err.Error())
@@ -594,6 +655,7 @@ func (c *Coordinator) WaitReady(timeout time.Duration) error {
 		l.through = c.base
 	}
 	c.ready = true
+	c.publishHealth()
 	c.logf("cluster: %d workers ready, %d shards, base clock %v", c.workers, c.shards, c.base)
 	return nil
 }
@@ -672,6 +734,12 @@ func (c *Coordinator) runEpoch(start, end sim.Time) bool {
 	if c.cfg.OnEpoch != nil {
 		c.cfg.OnEpoch(c.seq, start, end)
 	}
+	if c.prof != nil {
+		c.epochT0 = time.Now()
+		for i := range c.epochDoneNS {
+			c.epochDoneNS[i] = 0
+		}
+	}
 	// Fill worker slots emptied by deaths noticed between epochs.
 	for id := 0; id < c.workers; id++ {
 		if c.assigned[id] == nil {
@@ -700,6 +768,12 @@ func (c *Coordinator) runEpoch(start, end sim.Time) bool {
 	c.curStart, c.curEnd, c.curShardInputs = start, end, inputs
 	c.donePending = make(map[int]bool, c.workers)
 	c.doneOutbox = c.doneOutbox[:0]
+	if c.prof != nil {
+		c.epochInBytes = 0
+		for _, in := range inputs {
+			c.epochInBytes += int64(len(in))
+		}
+	}
 	for id := 0; id < c.workers; id++ {
 		c.donePending[id] = true
 		c.sendEpoch(id)
@@ -740,7 +814,60 @@ func (c *Coordinator) runEpoch(start, end sim.Time) bool {
 	c.pendingCross = append([]outboxEntry(nil), c.doneOutbox...)
 	c.curShardInputs = nil
 	c.seq++
+	if c.prof != nil {
+		c.recordEpoch(start, end, len(c.doneOutbox))
+	}
+	c.publishHealth()
 	return true
+}
+
+// recordEpoch folds the finished epoch into the profiler, workers in
+// the shard role: AdvanceNS[i] is worker i's dispatch-to-completion
+// wall time, barrier wait the idle tail behind the slowest worker, and
+// ExchangeBytes the encoded epoch-input payloads shipped.
+func (c *Coordinator) recordEpoch(start, end sim.Time, outMsgs int) {
+	wall := time.Since(c.epochT0).Nanoseconds()
+	adv := append([]int64(nil), c.epochDoneNS...)
+	var maxAdv int64
+	slowest := 0
+	for i, ns := range adv {
+		if ns > maxAdv {
+			maxAdv, slowest = ns, i
+		}
+	}
+	wait := make([]int64, len(adv))
+	for i, ns := range adv {
+		wait[i] = maxAdv - ns
+	}
+	c.prof.Record(metrics.EpochSample{
+		Seq:     c.seq, // 1-based: runEpoch already advanced it
+		StartNS: int64(start), EndNS: int64(end),
+		WallNS:        wall,
+		ExchangeNS:    wall - maxAdv, // input encode/ship + outbox merge around the advances
+		ExchangeMsgs:  outMsgs,
+		ExchangeBytes: c.epochInBytes,
+		AdvanceNS:     adv,
+		BarrierWaitNS: wait,
+		SlowestShard:  slowest,
+	})
+}
+
+// publishHealth refreshes the atomic mirror the HTTP /cluster endpoint
+// reads: run progress plus the current worker-slot assignments. Driver
+// goroutine only; called at every epoch boundary and recovery.
+func (c *Coordinator) publishHealth() {
+	c.pubSeq.Store(c.seq)
+	c.pubNow.Store(int64(c.now))
+	c.pubRecoveries.Store(int64(c.recoveries))
+	c.pubDegraded.Store(c.err != nil)
+	refs := make([]workerRef, c.workers)
+	for id := 0; id < c.workers; id++ {
+		refs[id] = workerRef{id: id, w: c.assigned[id]}
+		if w := c.assigned[id]; w != nil {
+			refs[id].name = w.name
+		}
+	}
+	c.pubWorkers.Store(&refs)
 }
 
 // sendEpoch ships the current epoch to worker id (its shards' inputs
@@ -791,7 +918,8 @@ func (c *Coordinator) recover(id int, resend bool) bool {
 			Worker: id, Shards: shards,
 			WarmupNs: int64(c.cfg.SnapshotWarmup), SnapName: c.cfg.SnapshotName,
 			Events: c.cfg.Engine.EventLog != nil, Trace: c.cfg.Engine.TraceOut != nil,
-			Base: c.base, Seq: c.seq, Checkpoints: cks,
+			Metrics: c.reg != nil,
+			Base:    c.base, Seq: c.seq, Checkpoints: cks,
 		}
 		if err := w.send(msgRestore, msg); err != nil {
 			c.markDead(w, "restore write: "+err.Error())
@@ -805,6 +933,7 @@ func (c *Coordinator) recover(id int, resend bool) bool {
 			continue
 		}
 		c.recoveryf("epoch=%d t=%s event=restore-done worker=%d name=%q", c.seq, c.now, id, w.name)
+		c.publishHealth()
 		if resend {
 			c.sendEpoch(id)
 		}
@@ -852,6 +981,12 @@ func (c *Coordinator) Results() (*Results, error) {
 		if err := unmarshal(fr.payload, &m); err != nil {
 			c.markDead(w, "bad results: "+err.Error())
 			continue
+		}
+		if m.Metrics != nil {
+			// Supersede the heartbeat-lagged snapshot with the final
+			// one, so a post-run /metrics scrape equals Results.Metrics.
+			w.lastMetrics.Store(&m.Metrics)
+			res.Metrics = metrics.MergePoints(res.Metrics, m.Metrics)
 		}
 		for i := range m.Shards {
 			sr := &m.Shards[i]
@@ -913,7 +1048,105 @@ func (c *Coordinator) Close() error {
 	if c.ln != nil {
 		c.ln.Close()
 	}
+	if err := c.prof.FlushTimeline(); err != nil {
+		c.logf("cluster: epoch timeline: %v", err)
+	}
 	return nil
+}
+
+// Profiler exposes the coordinator's epoch profiler (nil without
+// Engine.Metrics / Engine.EpochLog).
+func (c *Coordinator) Profiler() *metrics.EpochProfiler { return c.prof }
+
+// MetricsText renders the farm-wide metric view in the Prometheus text
+// exposition format: the coordinator's own registry (epoch_* series)
+// merged with the latest snapshot each worker piggybacked on its
+// heartbeats — or its final results snapshot once the run ended. Safe
+// from any goroutine at any time; reads atomics only.
+func (c *Coordinator) MetricsText() []byte {
+	merged := c.reg.Snapshot()
+	if refs := c.pubWorkers.Load(); refs != nil {
+		for _, ref := range *refs {
+			if ref.w == nil {
+				continue
+			}
+			if pts := ref.w.lastMetrics.Load(); pts != nil {
+				merged = metrics.MergePoints(merged, *pts)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	metrics.WriteProm(&buf, merged)
+	return buf.Bytes()
+}
+
+// WorkerHealth is one worker slot in the /cluster health view.
+type WorkerHealth struct {
+	ID      int    `json:"id"`
+	Name    string `json:"name,omitempty"`
+	Live    bool   `json:"live"`
+	LastSeq uint64 `json:"last_seq"`
+	// EpochLag is how many epochs the worker's last completion trails
+	// the coordinator's dispatched epoch count.
+	EpochLag uint64 `json:"epoch_lag"`
+	// HeartbeatAgeMs is wall milliseconds since the worker's last frame.
+	HeartbeatAgeMs int64 `json:"heartbeat_age_ms"`
+	// StashDepth counts out-of-order frames parked for this connection.
+	StashDepth int64 `json:"stash_depth"`
+}
+
+// ClusterHealth is the /cluster health document.
+type ClusterHealth struct {
+	Epoch      uint64         `json:"epoch"`
+	TSeconds   float64        `json:"t_seconds"`
+	Shards     int            `json:"shards"`
+	Slots      int            `json:"worker_slots"`
+	Recoveries int64          `json:"recoveries"`
+	Degraded   bool           `json:"degraded"`
+	Workers    []WorkerHealth `json:"workers"`
+}
+
+// Health assembles the cluster health view from the driver's published
+// mirror. Safe from any goroutine; progress fields refresh at epoch
+// boundaries, heartbeat ages are live.
+func (c *Coordinator) Health() ClusterHealth {
+	h := ClusterHealth{
+		Epoch:      c.pubSeq.Load(),
+		TSeconds:   sim.Time(c.pubNow.Load()).Seconds(),
+		Shards:     c.shards,
+		Slots:      c.workers,
+		Recoveries: c.pubRecoveries.Load(),
+		Degraded:   c.pubDegraded.Load(),
+	}
+	refs := c.pubWorkers.Load()
+	if refs == nil {
+		return h
+	}
+	now := time.Now().UnixNano()
+	for _, ref := range *refs {
+		wh := WorkerHealth{ID: ref.id, Name: ref.name}
+		if ref.w != nil {
+			wh.Live = true
+			wh.LastSeq = ref.w.lastSeq.Load()
+			if h.Epoch > wh.LastSeq {
+				wh.EpochLag = h.Epoch - wh.LastSeq
+			}
+			wh.HeartbeatAgeMs = (now - ref.w.lastRecv.Load()) / 1e6
+			wh.StashDepth = ref.w.stashN.Load()
+		}
+		h.Workers = append(h.Workers, wh)
+	}
+	return h
+}
+
+// HealthJSON renders Health as indented JSON for the /cluster debug
+// endpoint.
+func (c *Coordinator) HealthJSON() []byte {
+	b, err := json.MarshalIndent(c.Health(), "", "  ")
+	if err != nil {
+		return []byte("{}")
+	}
+	return b
 }
 
 // appendCrossRaw appends a cross input whose packet is already encoded

@@ -1,0 +1,189 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"potemkin/internal/core"
+	"potemkin/internal/metrics"
+	"potemkin/internal/telescope"
+)
+
+// filterSim drops the wall-clock epoch_* profiler series so snapshots
+// can be compared across execution modes.
+func filterSim(pts []metrics.Point) []metrics.Point {
+	var out []metrics.Point
+	for _, p := range pts {
+		if strings.HasPrefix(p.Name, "epoch") {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// TestClusterMetricsAggregation is the farm-wide telemetry acceptance
+// test: with a registry on the coordinator, workers piggyback their
+// snapshots on heartbeats, the merged /metrics view equals the merged
+// end-of-run Results.Metrics, and both equal what a single sequential
+// registry would have recorded for the same seed.
+func TestClusterMetricsAggregation(t *testing.T) {
+	const seed = 23
+
+	// Oracle: the same scenario in one process, one registry.
+	oracleReg := metrics.NewRegistry()
+	ocfg := testEngineConfig(seed, nil)
+	ocfg.Parallel = false
+	ocfg.Metrics = oracleReg
+	oeng, err := core.NewShardEngine(ocfg)
+	if err != nil {
+		t.Fatalf("NewShardEngine: %v", err)
+	}
+	oeng.StartFaults()
+	for _, pkt := range exploitPackets(ocfg.Farm.Profile) {
+		oeng.InjectBarrier(pkt)
+	}
+	if _, err := oeng.Replay(&telescope.SliceSource{Recs: testRecords(t, seed)}, nil, time.Millisecond); err != nil {
+		t.Fatalf("oracle replay: %v", err)
+	}
+	oeng.RunFor(time.Second)
+	oraclePts := filterSim(oracleReg.Snapshot())
+	oracleGw := oeng.GatewayStats()
+	oeng.Close()
+	if len(oraclePts) == 0 {
+		t.Fatal("oracle registry empty; scenario records no metrics")
+	}
+
+	// Cluster: two workers, coordinator registry + epoch timeline.
+	var timeline bytes.Buffer
+	h := startCluster(t, seed, nil, 2, 0, func(cfg *Config) {
+		cfg.Engine.Metrics = metrics.NewRegistry()
+		cfg.Engine.EpochLog = &timeline
+	})
+	got, err := h.drive(t, seed, time.Second)
+	if err != nil {
+		t.Fatalf("cluster run: %v", err)
+	}
+	res, err := h.c.Results()
+	if err != nil {
+		t.Fatalf("Results: %v", err)
+	}
+	_ = got
+
+	// Merged worker registries must equal the oracle registry exactly:
+	// counters, gauges, and histogram buckets are all order-independent
+	// integer accumulations over the same simulated run.
+	clusterPts := filterSim(res.Metrics)
+	a, _ := json.Marshal(oraclePts)
+	b, _ := json.Marshal(clusterPts)
+	if !bytes.Equal(a, b) {
+		t.Errorf("cluster metrics diverge from sequential oracle:\noracle:  %s\ncluster: %s", a, b)
+	}
+
+	// The live scrape after the run reflects the exact final snapshots
+	// (results supersede the heartbeat-lagged copies).
+	text := string(h.c.MetricsText())
+	for _, want := range []string{
+		"# TYPE gateway_inbound_packets_total counter",
+		"# TYPE farm_live_vms gauge",
+		"# TYPE epoch_barrier_wait_ms summary",
+		"epochs_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("farm-wide exposition missing %q", want)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if n := len(strings.Fields(line)); n != 2 {
+			t.Errorf("malformed series line: %q", line)
+		}
+	}
+	// Scraped counter equals the merged gateway stats.
+	var inbound int64 = -1
+	for _, p := range metrics.MergePoints(nil, res.Metrics) {
+		if p.Name == "gateway_inbound_packets_total" {
+			inbound = p.Value
+		}
+	}
+	if uint64(inbound) != got.gw.InboundPackets || got.gw.InboundPackets != oracleGw.InboundPackets {
+		t.Errorf("inbound: metrics=%d cluster-stats=%d oracle=%d",
+			inbound, got.gw.InboundPackets, oracleGw.InboundPackets)
+	}
+
+	// Cluster health: both workers live, caught up, no recoveries.
+	health := h.c.Health()
+	if len(health.Workers) != 2 {
+		t.Fatalf("health lists %d workers, want 2", len(health.Workers))
+	}
+	for _, w := range health.Workers {
+		if !w.Live {
+			t.Errorf("worker %d (%s) not live: %+v", w.ID, w.Name, w)
+		}
+		if w.EpochLag < 0 {
+			t.Errorf("worker %d negative epoch lag: %+v", w.ID, w)
+		}
+	}
+	if health.Epoch == 0 || health.Shards != 4 || health.Degraded {
+		t.Errorf("health: %+v", health)
+	}
+	var parsed ClusterHealth
+	if err := json.Unmarshal(h.c.HealthJSON(), &parsed); err != nil {
+		t.Fatalf("HealthJSON: %v", err)
+	}
+	if parsed.Slots != 2 {
+		t.Errorf("parsed health: %+v", parsed)
+	}
+
+	h.shutdown(t)
+
+	// The coordinator's epoch timeline profiled the worker barrier:
+	// per-epoch samples with one advance/wait entry per worker.
+	samples, err := metrics.ReadEpochs(&timeline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(samples)) != health.Epoch {
+		t.Errorf("timeline has %d epochs, health says %d", len(samples), health.Epoch)
+	}
+	if len(samples) == 0 {
+		t.Fatal("empty coordinator epoch timeline")
+	}
+	s := samples[0]
+	if len(s.AdvanceNS) != 2 || len(s.BarrierWaitNS) != 2 {
+		t.Errorf("per-worker arrays not 2-wide: %+v", s)
+	}
+}
+
+// TestClusterMetricsOffByDefault: without a coordinator registry no
+// metric bytes cross the wire and the scrape endpoints degrade
+// gracefully.
+func TestClusterMetricsOffByDefault(t *testing.T) {
+	const seed = 29
+	h := startCluster(t, seed, nil, 2, 0, nil)
+	got, err := h.drive(t, seed, 500*time.Millisecond)
+	if err != nil {
+		t.Fatalf("cluster run: %v", err)
+	}
+	res, err := h.c.Results()
+	if err != nil {
+		t.Fatalf("Results: %v", err)
+	}
+	if res.Metrics != nil {
+		t.Errorf("metrics shipped without a registry: %d points", len(res.Metrics))
+	}
+	if text := h.c.MetricsText(); len(text) != 0 {
+		t.Errorf("MetricsText without registry: %q", text)
+	}
+	// Health still works — it reads connection state, not the registry.
+	if health := h.c.Health(); len(health.Workers) != 2 {
+		t.Errorf("health workers = %d", len(health.Workers))
+	}
+	_ = got
+	h.shutdown(t)
+}

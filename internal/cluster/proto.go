@@ -28,14 +28,17 @@ import (
 	"potemkin/internal/farm"
 	"potemkin/internal/gateway"
 	"potemkin/internal/guest"
+	"potemkin/internal/metrics"
 	"potemkin/internal/netsim"
 	"potemkin/internal/sim"
 	"potemkin/internal/telescope"
 )
 
 // ProtoVersion is bumped on any wire-format change; coordinator and
-// worker refuse to pair across versions.
-const ProtoVersion = 1
+// worker refuse to pair across versions. v2 added metric piggybacks:
+// worker heartbeats carry a registry snapshot and results frames carry
+// the final one, feeding the coordinator's farm-wide /metrics.
+const ProtoVersion = 2
 
 // maxFrame bounds a single frame payload. Results frames carry whole
 // buffered event logs, so the bound is generous; everything else is
@@ -162,6 +165,7 @@ type assignMsg struct {
 	SnapName string // snapshot image name
 	Events   bool   // collect per-domain event logs for the coordinator
 	Trace    bool   // collect per-domain span traces
+	Metrics  bool   // run a live telemetry registry, piggyback on heartbeats
 }
 
 type restoreMsg struct {
@@ -171,6 +175,7 @@ type restoreMsg struct {
 	SnapName    string
 	Events      bool
 	Trace       bool
+	Metrics     bool
 	Base        sim.Time
 	Seq         uint64   // next epoch the worker will receive
 	Checkpoints [][]byte // one serialized Checkpoint per entry of Shards
@@ -203,6 +208,16 @@ type epochDoneMsg struct {
 	Outbox []outboxEntry
 }
 
+// heartbeatMsg is the worker->coordinator heartbeat payload: the last
+// epoch the worker completed plus a live registry snapshot (empty
+// without metrics). Coordinator->worker heartbeats stay empty; the
+// worker ignores the payload either way, so the frame doubles as the
+// liveness signal it always was.
+type heartbeatMsg struct {
+	Seq     uint64          `json:",omitempty"`
+	Metrics []metrics.Point `json:",omitempty"`
+}
+
 // outboxEntry is one cross-shard packet emitted during an epoch. Src
 // entries from one worker arrive grouped by source shard in send order;
 // the coordinator's stable merge across workers reproduces the
@@ -231,6 +246,10 @@ type shardResult struct {
 
 type resultsMsg struct {
 	Shards []shardResult
+	// Metrics is the worker's final registry snapshot (the worker runs
+	// one registry across its domains), so the coordinator's end-of-run
+	// aggregation is exact rather than heartbeat-lagged.
+	Metrics []metrics.Point
 }
 
 type errorMsg struct {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"potemkin/internal/core"
+	"potemkin/internal/metrics"
 	"potemkin/internal/netsim"
 	"potemkin/internal/sim"
 )
@@ -95,6 +96,14 @@ type worker struct {
 	// killed is atomic: under Parallel every owned domain runs its kill
 	// action in the same epoch, so multiple goroutines set it at once.
 	killed atomic.Bool
+
+	// metrics is the worker's live registry (one across all owned
+	// domains; nil unless the coordinator asked for telemetry). It is
+	// an atomic pointer because buildDomains publishes it on the serve
+	// goroutine while the heartbeat goroutine snapshots it. lastSeq is
+	// the last completed epoch, read by the heartbeat goroutine.
+	metrics atomic.Pointer[metrics.Registry]
+	lastSeq atomic.Uint64
 }
 
 // RunWorker dials the coordinator (bounded retry with backoff), offers
@@ -178,7 +187,13 @@ func (w *worker) heartbeatLoop(stop chan struct{}) {
 		case <-stop:
 			return
 		case <-t.C:
-			if err := w.cn.send(msgHeartbeat, struct{}{}); err != nil {
+			// Piggyback the live registry snapshot and epoch progress on
+			// the liveness ping: the coordinator's farm-wide /metrics and
+			// /cluster health view are fed entirely by frames it already
+			// needs. Snapshot reads atomics only, so racing the domain
+			// goroutines is safe.
+			hb := heartbeatMsg{Seq: w.lastSeq.Load(), Metrics: w.metrics.Load().Snapshot()}
+			if err := w.cn.send(msgHeartbeat, hb); err != nil {
 				return
 			}
 		}
@@ -231,7 +246,7 @@ func (w *worker) serve() error {
 // buildDomains constructs the owned shard domains exactly as the
 // in-process engine would, with cross-shard emissions serialized into
 // the per-shard epoch outbox instead of a runner send.
-func (w *worker) buildDomains(id int, shards []int, events, trace bool, snapName string, warmup time.Duration) error {
+func (w *worker) buildDomains(id int, shards []int, events, trace, metricsOn bool, snapName string, warmup time.Duration) error {
 	if len(w.domains) > 0 {
 		return errors.New("cluster: worker assigned twice")
 	}
@@ -239,13 +254,19 @@ func (w *worker) buildDomains(id int, shards []int, events, trace bool, snapName
 	w.shards = append([]int(nil), shards...)
 	ecfg := w.ecfg
 	// The writers only mark that output should be collected; the
-	// domains buffer and the coordinator merges.
-	ecfg.EventLog, ecfg.TraceOut = nil, nil
+	// domains buffer and the coordinator merges. The registry is the
+	// worker's own — the coordinator's cannot cross the wire.
+	ecfg.EventLog, ecfg.TraceOut, ecfg.Metrics, ecfg.EpochLog = nil, nil, nil, nil
 	if events {
 		ecfg.EventLog = io.Discard
 	}
 	if trace {
 		ecfg.TraceOut = io.Discard
+	}
+	if metricsOn {
+		reg := metrics.NewRegistry()
+		w.metrics.Store(reg)
+		ecfg.Metrics = reg
 	}
 	for _, s := range shards {
 		s := s
@@ -302,7 +323,7 @@ func (w *worker) handleAssign(payload []byte) error {
 	if err := unmarshal(payload, &m); err != nil {
 		return err
 	}
-	if err := w.buildDomains(m.Worker, m.Shards, m.Events, m.Trace, m.SnapName, time.Duration(m.WarmupNs)); err != nil {
+	if err := w.buildDomains(m.Worker, m.Shards, m.Events, m.Trace, m.Metrics, m.SnapName, time.Duration(m.WarmupNs)); err != nil {
 		return err
 	}
 	reply := preparedMsg{}
@@ -342,7 +363,7 @@ func (w *worker) handleRestore(payload []byte) error {
 	if len(m.Checkpoints) != len(m.Shards) {
 		return fmt.Errorf("cluster: restore with %d checkpoints for %d shards", len(m.Checkpoints), len(m.Shards))
 	}
-	if err := w.buildDomains(m.Worker, m.Shards, m.Events, m.Trace, m.SnapName, time.Duration(m.WarmupNs)); err != nil {
+	if err := w.buildDomains(m.Worker, m.Shards, m.Events, m.Trace, m.Metrics, m.SnapName, time.Duration(m.WarmupNs)); err != nil {
 		return err
 	}
 	for _, s := range w.shards {
@@ -424,6 +445,7 @@ func (w *worker) handleEpoch(payload []byte) error {
 		reply.Outbox = append(reply.Outbox, *slot...)
 		*slot = (*slot)[:0]
 	}
+	w.lastSeq.Store(m.Seq)
 	return w.cn.send(msgEpochDone, reply)
 }
 
@@ -477,6 +499,7 @@ func (w *worker) runEpoch(end sim.Time) (err error) {
 // flush open trace spans, and ships everything in one reply.
 func (w *worker) handleResults() error {
 	var m resultsMsg
+	m.Metrics = w.metrics.Load().Snapshot()
 	for _, s := range w.shards {
 		d := w.domains[s]
 		sr := shardResult{

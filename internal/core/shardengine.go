@@ -83,6 +83,25 @@ type ShardEngineConfig struct {
 	// TraceOut likewise receives the per-domain span traces in shard
 	// order on Close.
 	TraceOut io.Writer
+	// ChromeOut, when non-nil, receives the merged Chrome (Perfetto)
+	// trace: per-domain span records are buffered during the run and
+	// streamed through one ChromeWriter in shard order on Close, with
+	// trace IDs shard-tagged so rows from different domains never
+	// collide. Byte-identical between parallel and sequential runs of
+	// the same seed, like EventLog and TraceOut.
+	ChromeOut io.Writer
+
+	// Metrics, when non-nil, is the shared live-telemetry registry
+	// plumbed into every domain's gateway, farm, and VMM hosts (plus
+	// the engine's epoch profiler). One registry serves all shards: the
+	// instruments are atomic and commutative, so concurrent domains
+	// cannot perturb the exposed values.
+	Metrics *metrics.Registry
+	// EpochLog, when non-nil, receives the JSONL epoch timeline (one
+	// metrics.EpochSample per line) for tracetool -epochs. Enables the
+	// epoch profiler even without Metrics. Wall-clock timings are
+	// observability-only — they never feed back into sim state.
+	EpochLog io.Writer
 
 	// Capture, when non-nil, supplies a per-shard capture sink (the
 	// facade opens one capture directory per shard). Called once per
@@ -160,7 +179,12 @@ type ShardDomain struct {
 	// or by the cluster coordinator after fetching them off workers.
 	EventBuf *bytes.Buffer
 	TraceBuf *bytes.Buffer
-	tracer   *trace.Tracer
+	// ChromeRecs buffers the domain's span records for the merged
+	// Chrome export (only when the config sets ChromeOut). Appended
+	// solely by this domain's epoch goroutine; the barrier orders those
+	// appends before the shard-order flush reads them.
+	ChromeRecs []trace.Record
+	tracer     *trace.Tracer
 }
 
 // NewShardDomain builds domain i of cfg.Shards exactly as the engine
@@ -184,6 +208,7 @@ func NewShardDomain(cfg ShardEngineConfig, i int, cross CrossSend) (*ShardDomain
 	}
 	// Suffix host names per shard so spans and logs stay unambiguous.
 	fc.HostConfig.Name = fmt.Sprintf("%s-s%d", cfg.Farm.HostConfig.Name, i)
+	fc.Metrics = cfg.Metrics
 	if cfg.OnInfected != nil {
 		fc.OnInfected = cfg.OnInfected
 	}
@@ -194,13 +219,23 @@ func NewShardDomain(cfg ShardEngineConfig, i int, cross CrossSend) (*ShardDomain
 
 	d := &ShardDomain{Index: i, K: k, F: f}
 	gc := cfg.Gateway
+	gc.Metrics = cfg.Metrics
 	if cfg.EventLog != nil {
 		d.EventBuf = &bytes.Buffer{}
 		gc.EventSink = gateway.JSONLSink(d.EventBuf, nil)
 	}
-	if cfg.TraceOut != nil {
-		d.TraceBuf = &bytes.Buffer{}
-		d.tracer = trace.New(trace.JSONL(d.TraceBuf, nil))
+	if cfg.TraceOut != nil || cfg.ChromeOut != nil {
+		var sinks []trace.Sink
+		if cfg.TraceOut != nil {
+			d.TraceBuf = &bytes.Buffer{}
+			sinks = append(sinks, trace.JSONL(d.TraceBuf, nil))
+		}
+		if cfg.ChromeOut != nil {
+			sinks = append(sinks, func(rec trace.Record) {
+				d.ChromeRecs = append(d.ChromeRecs, rec)
+			})
+		}
+		d.tracer = trace.New(sinks...)
 		gc.Tracer = d.tracer
 		f.SetTracer(d.tracer)
 	}
@@ -261,6 +296,7 @@ type ShardEngine struct {
 	space   netsim.Prefix
 	runner  *sim.ParallelRunner
 	domains []*ShardDomain
+	prof    *metrics.EpochProfiler
 	closed  bool
 }
 
@@ -291,8 +327,28 @@ func NewShardEngine(cfg ShardEngineConfig) (*ShardEngine, error) {
 	}
 	e.runner = sim.NewParallelRunner(kernels, cfg.Lookahead)
 	e.runner.SetSequential(!cfg.Parallel)
+	if cfg.Metrics != nil || cfg.EpochLog != nil {
+		e.prof = metrics.NewEpochProfiler(cfg.Metrics, cfg.EpochLog)
+		e.runner.SetEpochObserver(func(s sim.EpochStats) {
+			e.prof.Record(metrics.EpochSample{
+				Seq:           s.Seq,
+				StartNS:       int64(s.Start),
+				EndNS:         int64(s.End),
+				WallNS:        s.WallNS,
+				ExchangeNS:    s.ExchangeNS,
+				ExchangeMsgs:  s.ExchangeMsgs,
+				AdvanceNS:     s.AdvanceNS,
+				BarrierWaitNS: s.BarrierWaitNS,
+				SlowestShard:  s.SlowestShard,
+			})
+		})
+	}
 	return e, nil
 }
+
+// Profiler returns the engine's epoch profiler (nil unless the config
+// enabled Metrics or EpochLog).
+func (e *ShardEngine) Profiler() *metrics.EpochProfiler { return e.prof }
 
 // Owner returns the shard index owning addr.
 func (e *ShardEngine) Owner(addr netsim.Addr) int {
@@ -581,6 +637,7 @@ func (e *ShardEngine) Close() error {
 		return nil
 	}
 	e.closed = true
+	flushT0 := time.Now()
 	var errs []error
 	for _, d := range e.domains {
 		d.Close()
@@ -599,5 +656,32 @@ func (e *ShardEngine) Close() error {
 			}
 		}
 	}
+	if e.cfg.ChromeOut != nil {
+		if err := e.flushChrome(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	e.prof.RecordFlush(time.Since(flushT0).Nanoseconds())
+	if err := e.prof.FlushTimeline(); err != nil {
+		errs = append(errs, err)
+	}
 	return errors.Join(errs...)
+}
+
+// flushChrome streams the buffered per-domain span records through one
+// ChromeWriter in shard order. Every domain's tracer numbers its traces
+// from 1, so trace IDs are tagged with the shard index to keep one
+// domain's timeline rows from colliding with another's — the tag is
+// applied identically in parallel and sequential runs, preserving
+// byte-for-byte equality.
+func (e *ShardEngine) flushChrome() error {
+	cw := trace.NewChromeWriter(e.cfg.ChromeOut)
+	for _, d := range e.domains {
+		tag := uint64(d.Index) << 48
+		for _, rec := range d.ChromeRecs {
+			rec.Trace |= tag
+			cw.Write(rec)
+		}
+	}
+	return cw.Close()
 }

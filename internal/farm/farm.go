@@ -14,6 +14,7 @@ import (
 
 	"potemkin/internal/gateway"
 	"potemkin/internal/guest"
+	"potemkin/internal/metrics"
 	"potemkin/internal/netsim"
 	"potemkin/internal/sim"
 	"potemkin/internal/trace"
@@ -92,6 +93,11 @@ type Config struct {
 
 	// OnInfected observes guest compromises (experiments hook this).
 	OnInfected func(now sim.Time, in *guest.Instance)
+
+	// Metrics, when set, registers live telemetry (farm_* series,
+	// passed down to every server's VMM for the vmm_* series). Nil
+	// disables telemetry at one nil check per site.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns a 4-server farm of 16 GiB hosts running the
@@ -132,6 +138,19 @@ func (farmFullError) Error() string { return "farm: all servers at capacity" }
 
 func (farmFullError) Is(target error) bool { return target == gateway.ErrBackendFull }
 
+// farmMetrics are the registry handles, resolved once in New (all nil
+// — no-op — when Config.Metrics is nil).
+type farmMetrics struct {
+	spawns        *metrics.Counter
+	spawnRetries  *metrics.Counter
+	spawnFailures *metrics.Counter
+	reclaims      *metrics.Counter
+	infections    *metrics.Counter
+	crashRecycles *metrics.Counter
+	linkDrops     *metrics.Counter
+	liveVMs       *metrics.Gauge
+}
+
 // Farm is the server pool. It implements gateway.Backend.
 type Farm struct {
 	Cfg Config
@@ -152,6 +171,7 @@ type Farm struct {
 	linkDown bool
 
 	stats Stats
+	met   farmMetrics
 	rr    int // round-robin cursor for tie-breaking
 	// tr, when non-nil, records placement spans under the gateway's
 	// binding trace (shared via the tracer's per-address context).
@@ -172,9 +192,22 @@ func New(k *sim.Kernel, cfg Config) (*Farm, error) {
 		cfg.PickTarget = func(r *sim.RNG) netsim.Addr { return netsim.Addr(r.Uint64n(1 << 32)) }
 	}
 	f := &Farm{Cfg: cfg, K: k, byAddr: make(map[netsim.Addr]*FarmVM)}
+	if m := cfg.Metrics; m != nil {
+		f.met = farmMetrics{
+			spawns:        m.Counter("farm_spawns_total"),
+			spawnRetries:  m.Counter("farm_spawn_retries_total"),
+			spawnFailures: m.Counter("farm_spawn_failures_total"),
+			reclaims:      m.Counter("farm_reclaims_total"),
+			infections:    m.Counter("farm_infections_total"),
+			crashRecycles: m.Counter("farm_crash_recycles_total"),
+			linkDrops:     m.Counter("farm_link_drops_total"),
+			liveVMs:       m.Gauge("farm_live_vms"),
+		}
+	}
 	for i := 0; i < cfg.Servers; i++ {
 		hc := cfg.HostConfig
 		hc.Name = fmt.Sprintf("%s-%d", cfg.HostConfig.Name, i)
+		hc.Metrics = cfg.Metrics
 		h := vmm.NewHost(k, hc)
 		h.RegisterImage(cfg.Image.Name, cfg.Image.NumPages, cfg.Image.ResidentPages,
 			cfg.Image.DiskBlocks, cfg.Image.Seed)
@@ -437,6 +470,8 @@ func (f *Farm) trySpawn(now sim.Time, req *spawnReq, avoid *vmm.VMHost) {
 		f.finish(req)
 		fv := f.attachGuest(h, vm, req.addr)
 		f.stats.Spawns++
+		f.met.spawns.Inc()
+		f.met.liveVMs.Add(1)
 		if live := f.LiveVMs(); live > f.stats.PeakLiveVMs {
 			f.stats.PeakLiveVMs = live
 		}
@@ -474,11 +509,13 @@ func (f *Farm) failOrRetry(now sim.Time, req *spawnReq, failed *vmm.VMHost, err 
 	if req.attempt >= f.Cfg.RetryBudget {
 		f.finish(req)
 		f.stats.SpawnFailures++
+		f.met.spawnFailures.Inc()
 		f.K.After(0, func(sim.Time) { req.ready(nil, err) })
 		return
 	}
 	req.attempt++
 	f.stats.SpawnRetries++
+	f.met.spawnRetries.Inc()
 	if req.parent != nil {
 		req.parent.Event(now, "clone-retry", err.Error())
 	}
@@ -511,6 +548,7 @@ func (f *Farm) attachGuest(h *vmm.VMHost, vm *vmm.VM, addr netsim.Addr) *FarmVM 
 	send := func(pkt *netsim.Packet) {
 		if f.linkDown {
 			f.stats.LinkDrops++
+			f.met.linkDrops.Inc()
 			return
 		}
 		f.K.After(f.Cfg.UplinkLatency, func(now sim.Time) {
@@ -521,6 +559,7 @@ func (f *Farm) attachGuest(h *vmm.VMHost, vm *vmm.VM, addr netsim.Addr) *FarmVM 
 	}
 	hooks := guest.Hooks{OnInfected: func(in *guest.Instance) {
 		f.stats.Infections++
+		f.met.infections.Inc()
 		if f.Cfg.OnInfected != nil {
 			f.Cfg.OnInfected(f.K.Now(), in)
 		}
@@ -566,6 +605,7 @@ func (fv *FarmVM) Deliver(now sim.Time, pkt *netsim.Packet) {
 	}
 	if fv.farm.linkDown {
 		fv.farm.stats.LinkDrops++
+		fv.farm.met.linkDrops.Inc()
 		return
 	}
 	fv.Host.ChargeCPU(now, fv.Host.Cfg.CPU.PerPacket)
@@ -591,6 +631,8 @@ func (fv *FarmVM) Destroy(_ sim.Time) {
 		delete(fv.farm.byAddr, fv.VM.IP)
 	}
 	fv.farm.stats.Reclaims++
+	fv.farm.met.reclaims.Inc()
+	fv.farm.met.liveVMs.Add(-1)
 }
 
 // CheckInvariants verifies memory refcount consistency on every server.

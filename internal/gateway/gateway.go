@@ -24,6 +24,7 @@ import (
 	"sort"
 	"time"
 
+	"potemkin/internal/metrics"
 	"potemkin/internal/netsim"
 	"potemkin/internal/sim"
 	"potemkin/internal/trace"
@@ -201,6 +202,14 @@ type Config struct {
 	// Capture, when set, taps every packet crossing the gateway (see
 	// CaptureSink). Nil disables capture.
 	Capture CaptureSink
+
+	// Metrics, when set, registers live telemetry counters/gauges
+	// (gateway_* series) updated alongside Stats. Nil (the default)
+	// disables telemetry; the hot paths then pay a single nil check per
+	// instrument. Shard domains share one registry — the instruments
+	// are atomic and order-independent, so concurrent shards cannot
+	// perturb the exposed values.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns the standard experiment configuration: a /16,
@@ -293,6 +302,27 @@ type Gateway struct {
 	// own back through the shard router.
 	owns     func(netsim.Addr) bool
 	reinject func(now sim.Time, pkt *netsim.Packet)
+
+	// met holds the live-telemetry instrument handles (all nil when
+	// Cfg.Metrics is nil — every method on them is then a no-op).
+	met gatewayMetrics
+}
+
+// gatewayMetrics are the registry handles, resolved once in New.
+type gatewayMetrics struct {
+	inbound       *metrics.Counter
+	created       *metrics.Counter
+	recycled      *metrics.Counter
+	shed          *metrics.Counter
+	delivered     *metrics.Counter
+	spawnRetries  *metrics.Counter
+	spawnFailures *metrics.Counter
+	backendLost   *metrics.Counter
+	detected      *metrics.Counter
+	proxied       *metrics.Counter
+	proxyReturns  *metrics.Counter
+	bindingsLive  *metrics.Gauge
+	pendingQueued *metrics.Gauge
 }
 
 // scanKey identifies a scanner's probe signature.
@@ -322,6 +352,23 @@ func New(k *sim.Kernel, cfg Config, backend Backend) *Gateway {
 		nat:         make(map[uint16]natEntry),
 		natPorts:    make(map[natEntry]uint16),
 		rng:         k.Stream("gateway"),
+	}
+	if m := cfg.Metrics; m != nil {
+		g.met = gatewayMetrics{
+			inbound:       m.Counter("gateway_inbound_packets_total"),
+			created:       m.Counter("gateway_bindings_created_total"),
+			recycled:      m.Counter("gateway_bindings_recycled_total"),
+			shed:          m.Counter("gateway_bindings_shed_total"),
+			delivered:     m.Counter("gateway_delivered_to_vm_total"),
+			spawnRetries:  m.Counter("gateway_spawn_retries_total"),
+			spawnFailures: m.Counter("gateway_spawn_failures_total"),
+			backendLost:   m.Counter("gateway_backend_lost_total"),
+			detected:      m.Counter("gateway_detected_infected_total"),
+			proxied:       m.Counter("gateway_out_proxied_total"),
+			proxyReturns:  m.Counter("gateway_proxy_returns_total"),
+			bindingsLive:  m.Gauge("gateway_bindings_live"),
+			pendingQueued: m.Gauge("gateway_pending_queued"),
+		}
 	}
 	g.startScrubber()
 	return g
@@ -421,6 +468,7 @@ func (g *Gateway) scrubOnce(now sim.Time) {
 func (g *Gateway) recycle(now sim.Time, addr netsim.Addr, b *Binding) {
 	g.logEvent(now, EvRecycled, addr, 0, "")
 	g.pendingDepth -= len(b.pending)
+	g.met.pendingQueued.Add(-int64(len(b.pending)))
 	if b.VM != nil {
 		b.VM.Destroy(now)
 	}
@@ -434,6 +482,8 @@ func (g *Gateway) recycle(now sim.Time, addr netsim.Addr, b *Binding) {
 		}
 	}
 	g.stats.BindingsRecycled++
+	g.met.recycled.Inc()
+	g.met.bindingsLive.Add(-1)
 	if tr := g.Cfg.Tracer; tr != nil && b.span != nil {
 		b.activeSpan.Finish(now)
 		if b.spawnSpan != nil && !b.spawnSpan.Done() {
@@ -458,6 +508,7 @@ func (g *Gateway) RecycleBinding(now sim.Time, addr netsim.Addr, detail string) 
 		return false
 	}
 	g.stats.BackendLost++
+	g.met.backendLost.Inc()
 	g.stats.PendingDropped += uint64(len(b.pending))
 	g.logEvent(now, EvBackendLost, addr, 0, detail)
 	g.recycle(now, addr, b)

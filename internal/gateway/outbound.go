@@ -185,6 +185,7 @@ func (g *Gateway) detect(now sim.Time, b *Binding, dst netsim.Addr) {
 	if len(b.outTargets) >= g.Cfg.DetectThreshold {
 		b.detected = true
 		g.stats.DetectedInfected++
+		g.met.detected.Inc()
 		g.logEvent(now, EvDetected, b.Addr, dst, "")
 		if g.Cfg.OnDetected != nil {
 			g.Cfg.OnDetected(now, b.Addr, len(b.outTargets))

@@ -43,6 +43,20 @@ type Bridge struct {
 	// QueueDepth samples the listener queue depth once per frame, the
 	// E11 queue-occupancy measurement.
 	QueueDepth metrics.Histogram
+
+	// listener is the feed last (or currently) pumped, retained so the
+	// facade can surface wire-loss accounting in Snapshot().
+	listener *Listener
+}
+
+// ListenerStats returns the stats of the listener this bridge is (or
+// was last) pumping, and whether one is attached. The listener's
+// counters are atomics, so this is safe during a live pump.
+func (b *Bridge) ListenerStats() (Stats, bool) {
+	if b.listener == nil {
+		return Stats{}, false
+	}
+	return b.listener.Stats(), true
 }
 
 // Pump consumes the listener until it is closed and drained, then runs
@@ -54,6 +68,7 @@ func (b *Bridge) Pump(l *Listener, tail time.Duration) sim.Time {
 	if speed <= 0 {
 		speed = 1
 	}
+	b.listener = l
 	merged := b.merge(l)
 	base := b.K.Now()
 	var last sim.Time

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"potemkin/internal/gre"
+	"potemkin/internal/metrics"
 	"potemkin/internal/netsim"
 	"potemkin/internal/sim"
 )
@@ -83,6 +84,9 @@ type Config struct {
 	// ReadBuffer is the socket receive buffer size hint in bytes
 	// (SO_RCVBUF). Default 4 MiB; the OS may clamp it.
 	ReadBuffer int
+	// Metrics, when set, registers live telemetry (ingest_* series)
+	// updated alongside the atomic Stats fields. Nil disables it.
+	Metrics *metrics.Registry
 }
 
 // Stats is an atomic snapshot of listener activity.
@@ -117,6 +121,13 @@ type Listener struct {
 
 	t0   atomic.Int64 // wall nanos of first arrival (plain framing)
 	once sync.Once
+
+	// Registry handles mirroring the atomic counters above (nil/no-op
+	// without Config.Metrics).
+	metReceived    *metrics.Counter
+	metFrameErrors *metrics.Counter
+	metDropped     *metrics.Counter
+	metSeqGaps     *metrics.Counter
 }
 
 // Listen opens the UDP socket and starts the reader and decap workers.
@@ -141,6 +152,12 @@ func Listen(cfg Config) (*Listener, error) {
 	}
 	uc.SetReadBuffer(cfg.ReadBuffer) // best effort; the OS may clamp
 	l := &Listener{cfg: cfg, pc: uc}
+	if m := cfg.Metrics; m != nil {
+		l.metReceived = m.Counter("ingest_received_total")
+		l.metFrameErrors = m.Counter("ingest_frame_errors_total")
+		l.metDropped = m.Counter("ingest_dropped_total")
+		l.metSeqGaps = m.Counter("ingest_seq_gaps_total")
+	}
 	l.pool.New = func() any { return new(Frame) }
 	l.raw = make([]chan *Frame, cfg.Shards)
 	l.out = make([]chan *Frame, cfg.Shards)
@@ -232,6 +249,7 @@ func (l *Listener) readLoop() {
 		}
 		f.N = n
 		l.received.Add(1)
+		l.metReceived.Inc()
 		l.bytes.Add(uint64(n))
 		f.shard = l.shardOf(f.Buf[:n])
 		select {
@@ -239,6 +257,7 @@ func (l *Listener) readLoop() {
 			l.trackDepth()
 		default:
 			l.dropped.Add(1)
+			l.metDropped.Inc()
 			l.pool.Put(f)
 		}
 	}
@@ -301,6 +320,7 @@ func (l *Listener) decapWorker(shard int) {
 	for f := range l.raw[shard] {
 		if !l.decode(f, lastSeq) {
 			l.frameErrors.Add(1)
+			l.metFrameErrors.Inc()
 			l.pool.Put(f)
 			continue
 		}
@@ -331,6 +351,7 @@ func (l *Listener) decode(f *Frame, lastSeq map[uint32]uint32) bool {
 	if h.HasSequence {
 		if last, ok := lastSeq[h.Key]; ok && f.Seq > last+1 {
 			l.seqGaps.Add(uint64(f.Seq - last - 1))
+			l.metSeqGaps.Add(uint64(f.Seq - last - 1))
 		}
 		lastSeq[h.Key] = f.Seq
 	}

@@ -1,0 +1,156 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sample(seq uint64, adv ...int64) EpochSample {
+	var max int64
+	for _, a := range adv {
+		if a > max {
+			max = a
+		}
+	}
+	waits := make([]int64, len(adv))
+	slowest := 0
+	for i, a := range adv {
+		waits[i] = max - a
+		if a == max {
+			slowest = i
+		}
+	}
+	return EpochSample{
+		Seq: seq, StartNS: int64(seq-1) * 1e6, EndNS: int64(seq) * 1e6,
+		WallNS: max + 50_000, ExchangeNS: 50_000,
+		ExchangeMsgs: 3, ExchangeBytes: 128,
+		AdvanceNS: adv, BarrierWaitNS: waits, SlowestShard: slowest,
+	}
+}
+
+// TestEpochProfilerRoundTrip: Record streams JSONL that ReadEpochs
+// parses back verbatim, and the registry histograms see every phase.
+func TestEpochProfilerRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	var tl bytes.Buffer
+	p := NewEpochProfiler(reg, &tl)
+	in := []EpochSample{
+		sample(1, 2_000_000, 3_000_000, 1_000_000, 2_500_000),
+		sample(2, 4_000_000, 1_000_000, 1_500_000, 900_000),
+	}
+	for _, s := range in {
+		p.Record(s)
+	}
+	p.RecordFlush(7_000_000)
+	if err := p.FlushTimeline(); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := ReadEpochs(&tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("read %d samples", len(out))
+	}
+	if out[0].Seq != 1 || out[1].SlowestShard != 0 {
+		t.Errorf("samples: %+v", out)
+	}
+	if len(out[0].AdvanceNS) != 4 || len(out[0].BarrierWaitNS) != 4 {
+		t.Errorf("per-shard arrays: %+v", out[0])
+	}
+
+	pts := reg.Snapshot()
+	byName := map[string]Point{}
+	for _, pt := range pts {
+		byName[pt.Name] = pt
+	}
+	if byName["epochs_total"].Value != 2 {
+		t.Errorf("epochs_total = %d", byName["epochs_total"].Value)
+	}
+	if byName["epoch_exchange_msgs_total"].Value != 6 {
+		t.Errorf("msgs = %d", byName["epoch_exchange_msgs_total"].Value)
+	}
+	if byName["epoch_exchange_bytes_total"].Value != 256 {
+		t.Errorf("bytes = %d", byName["epoch_exchange_bytes_total"].Value)
+	}
+	if byName["epoch_barrier_wait_ms"].Count != 8 {
+		t.Errorf("barrier wait observations = %d", byName["epoch_barrier_wait_ms"].Count)
+	}
+	if byName["epoch_advance_ms"].Count != 8 {
+		t.Errorf("advance observations = %d", byName["epoch_advance_ms"].Count)
+	}
+	if byName["epoch_sink_flush_ms"].Count != 1 {
+		t.Errorf("flush observations = %d", byName["epoch_sink_flush_ms"].Count)
+	}
+}
+
+// TestEpochProfilerNilSafe: a nil profiler (telemetry off) absorbs
+// every call.
+func TestEpochProfilerNilSafe(t *testing.T) {
+	var p *EpochProfiler
+	p.Record(sample(1, 1000))
+	p.RecordFlush(5)
+	if err := p.FlushTimeline(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEpochProfilerAssignsSeq: zero-seq samples get 1-based sequence
+// numbers in record order.
+func TestEpochProfilerAssignsSeq(t *testing.T) {
+	var tl bytes.Buffer
+	p := NewEpochProfiler(nil, &tl)
+	s := sample(5, 1000)
+	s.Seq = 0
+	p.Record(s)
+	p.Record(s)
+	p.FlushTimeline()
+	out, err := ReadEpochs(&tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0].Seq != 1 || out[1].Seq != 2 {
+		t.Errorf("assigned seqs: %+v", out)
+	}
+}
+
+// TestAggregateEpochs: the offline aggregation reproduces totals and
+// per-phase distributions from a timeline.
+func TestAggregateEpochs(t *testing.T) {
+	samples := []EpochSample{
+		sample(1, 2_000_000, 3_000_000),
+		sample(2, 1_000_000, 1_000_000),
+		sample(3, 5_000_000, 500_000),
+	}
+	a := AggregateEpochs(samples)
+	if a.TotalMsgs != 9 || a.TotalBytes != 384 {
+		t.Errorf("totals: msgs=%d bytes=%d", a.TotalMsgs, a.TotalBytes)
+	}
+	if a.Wall.Count() != 3 || a.Exchange.Count() != 3 {
+		t.Errorf("wall/exchange counts: %d/%d", a.Wall.Count(), a.Exchange.Count())
+	}
+	if a.Advance.Count() != 6 || a.BarrierWait.Count() != 6 {
+		t.Errorf("per-shard counts: %d/%d", a.Advance.Count(), a.BarrierWait.Count())
+	}
+	if a.BarrierWait.Max() < 4.3 || a.BarrierWait.Max() > 4.7 {
+		t.Errorf("barrier wait max = %v ms, want ~4.5", a.BarrierWait.Max())
+	}
+	if !strings.Contains(a.BarrierWait.Summary(), "p99=") {
+		t.Errorf("summary lacks p99: %s", a.BarrierWait.Summary())
+	}
+}
+
+// TestReadEpochsBadLine: a corrupt line surfaces as an error with the
+// good prefix preserved.
+func TestReadEpochsBadLine(t *testing.T) {
+	in := strings.NewReader(`{"seq":1,"start_ns":0,"end_ns":1,"wall_ns":5,"exchange_ns":1,"slowest_shard":0}` + "\n{broken\n")
+	out, err := ReadEpochs(in)
+	if err == nil {
+		t.Fatal("corrupt line accepted")
+	}
+	if len(out) != 1 || out[0].Seq != 1 {
+		t.Errorf("good prefix lost: %+v", out)
+	}
+}

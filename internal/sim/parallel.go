@@ -74,6 +74,29 @@ type ParallelRunner struct {
 
 	sequential  bool
 	beforeEpoch func(start, end Time)
+
+	epochSeq uint64
+	observer func(EpochStats)
+}
+
+// EpochStats is one epoch's wall-clock phase breakdown, reported to the
+// observer installed with SetEpochObserver. Start/End are the epoch's
+// simulated-time bounds; everything else is wall-clock. AdvanceNS[i] is
+// shard i's kernel-advance duration and BarrierWaitNS[i] the time it
+// then idled waiting for the slowest shard (max advance minus its own).
+// ExchangeMsgs counts cross-shard messages delivered entering the
+// epoch. These figures are observability-only — they never influence
+// event order, so an observed run is byte-identical to an unobserved
+// one.
+type EpochStats struct {
+	Seq           uint64
+	Start, End    Time
+	WallNS        int64
+	ExchangeNS    int64
+	ExchangeMsgs  int
+	AdvanceNS     []int64
+	BarrierWaitNS []int64
+	SlowestShard  int
 }
 
 // NewParallelRunner builds a runner over kernels with the given
@@ -141,6 +164,23 @@ func (r *ParallelRunner) Sequential() bool { return r.sequential }
 // removes the hook.
 func (r *ParallelRunner) SetBeforeEpoch(fn func(start, end Time)) { r.beforeEpoch = fn }
 
+// SetEpochObserver installs a profiling hook invoked single-threaded at
+// the end of every epoch with that epoch's phase timings. Nil removes
+// the hook; with no observer installed the epoch loop takes no
+// timestamps and allocates nothing extra.
+func (r *ParallelRunner) SetEpochObserver(fn func(EpochStats)) { r.observer = fn }
+
+// pendingMsgs counts cross-shard messages queued for the next exchange.
+func (r *ParallelRunner) pendingMsgs() int {
+	n := 0
+	for src := range r.outbox {
+		for dst := range r.outbox[src] {
+			n += len(r.outbox[src][dst])
+		}
+	}
+	return n
+}
+
 // Send schedules fn to run on shard dst's kernel at time at. During an
 // epoch it may only be called from shard src's goroutine; at must be at
 // least the sending shard's current time plus the lookahead, or the
@@ -182,6 +222,10 @@ func (r *ParallelRunner) exchange() {
 // ahead of the runner clock) and all messages sent by completed epochs
 // have been delivered.
 func (r *ParallelRunner) RunUntil(deadline Time) {
+	if r.observer != nil {
+		r.runUntilObserved(deadline)
+		return
+	}
 	for r.now < deadline {
 		r.exchange()
 		end := r.now.Add(r.lookahead)
@@ -207,6 +251,70 @@ func (r *ParallelRunner) RunUntil(deadline Time) {
 			wg.Wait()
 		}
 		r.now = end
+	}
+	r.exchange()
+}
+
+// runUntilObserved is RunUntil with per-phase wall timing. Identical
+// event execution — only timestamps are added around each phase and the
+// observer is invoked at each barrier.
+func (r *ParallelRunner) runUntilObserved(deadline Time) {
+	for r.now < deadline {
+		epochT0 := time.Now()
+		msgs := r.pendingMsgs()
+		r.exchange()
+		exchangeNS := time.Since(epochT0).Nanoseconds()
+		end := r.now.Add(r.lookahead)
+		if end > deadline {
+			end = deadline
+		}
+		start := r.now
+		if r.beforeEpoch != nil {
+			r.beforeEpoch(start, end)
+		}
+		advance := make([]int64, len(r.kernels))
+		if r.sequential {
+			for i, k := range r.kernels {
+				t0 := time.Now()
+				k.RunUntil(end)
+				advance[i] = time.Since(t0).Nanoseconds()
+			}
+		} else {
+			var wg sync.WaitGroup
+			for i, k := range r.kernels {
+				wg.Add(1)
+				go func(i int, k *Kernel) {
+					defer wg.Done()
+					t0 := time.Now()
+					k.RunUntil(end)
+					advance[i] = time.Since(t0).Nanoseconds()
+				}(i, k)
+			}
+			wg.Wait()
+		}
+		r.now = end
+		r.epochSeq++
+		slowest, maxAdv := 0, int64(0)
+		for i, ns := range advance {
+			if ns > maxAdv {
+				slowest, maxAdv = i, ns
+			}
+		}
+		wait := make([]int64, len(advance))
+		for i, ns := range advance {
+			wait[i] = maxAdv - ns
+		}
+		r.observer(EpochStats{
+			Seq:           r.epochSeq,
+			Start:         start,
+			End:           end,
+			WallNS:        time.Since(epochT0).Nanoseconds(),
+			ExchangeNS:    exchangeNS,
+			ExchangeMsgs:  msgs,
+			AdvanceNS:     advance,
+			BarrierWaitNS: wait,
+			SlowestShard:  slowest,
+		})
 	}
 	r.exchange()
 }

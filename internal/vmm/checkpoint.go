@@ -67,6 +67,7 @@ func TakeCheckpoint(vm *VM) *Checkpoint {
 	vm.Disk.EachOwnedBlock(func(block uint64, firstByte byte) {
 		ck.DiskBlocks[block] = firstByte
 	})
+	vm.host.met.checkpoints.Inc()
 	return ck
 }
 

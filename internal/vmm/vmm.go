@@ -112,6 +112,7 @@ func (vm *VM) WriteMemory(vpn uint64, off int, b []byte) bool {
 	faulted := vm.Mem.Write(vpn, off, b)
 	if faulted {
 		vm.host.stats.CowFaults++
+		vm.host.met.cowFaults.Inc()
 	}
 	return faulted
 }
@@ -136,6 +137,12 @@ type HostConfig struct {
 	// CPU models per-host compute; the zero value disables CPU
 	// accounting and admission.
 	CPU CPUModel
+
+	// Metrics, when set, registers live telemetry (vmm_* series) shared
+	// across hosts — the instruments are atomic and commutative, so
+	// many hosts (or shard domains) updating one registry is safe. Nil
+	// disables telemetry.
+	Metrics *metrics.Registry
 }
 
 // DefaultHostConfig matches the experiments' standard server: 16 GiB of
@@ -198,6 +205,21 @@ type VMHost struct {
 	StepLatency [NumCloneSteps]metrics.Histogram
 	// End-to-end clone latency distribution, in milliseconds.
 	CloneLatency metrics.Histogram
+
+	// met holds live-telemetry handles (nil/no-op without Cfg.Metrics).
+	met hostMetrics
+}
+
+// hostMetrics are the registry handles, resolved once in NewHost.
+type hostMetrics struct {
+	clones      *metrics.Counter
+	fullBoots   *metrics.Counter
+	destroys    *metrics.Counter
+	cowFaults   *metrics.Counter
+	crashes     *metrics.Counter
+	cloneFaults *metrics.Counter
+	checkpoints *metrics.Counter
+	cloneMs     *metrics.Hist
 }
 
 // NewHost creates a host on kernel k.
@@ -207,7 +229,7 @@ func NewHost(k *sim.Kernel, cfg HostConfig) *VMHost {
 	}
 	store := mem.NewStore()
 	store.ShareContent = cfg.ShareContent
-	return &VMHost{
+	h := &VMHost{
 		Cfg:    cfg,
 		K:      k,
 		store:  store,
@@ -216,6 +238,19 @@ func NewHost(k *sim.Kernel, cfg HostConfig) *VMHost {
 		nextID: 1,
 		rng:    k.Stream("vmm/" + cfg.Name),
 	}
+	if m := cfg.Metrics; m != nil {
+		h.met = hostMetrics{
+			clones:      m.Counter("vmm_clones_total"),
+			fullBoots:   m.Counter("vmm_full_boots_total"),
+			destroys:    m.Counter("vmm_destroys_total"),
+			cowFaults:   m.Counter("vmm_cow_faults_total"),
+			crashes:     m.Counter("vmm_crashes_total"),
+			cloneFaults: m.Counter("vmm_clone_faults_total"),
+			checkpoints: m.Counter("vmm_checkpoints_total"),
+			cloneMs:     m.Hist("vmm_clone_ms"),
+		}
+	}
+	return h
 }
 
 // Store exposes the host's frame store (tests and experiments read
@@ -335,7 +370,9 @@ func (h *VMHost) FlashClone(imageName string, ip netsim.Addr, ready func(*VM)) (
 		total += d
 	}
 	h.CloneLatency.Observe(float64(total) / float64(time.Millisecond))
+	h.met.cloneMs.Observe(float64(total) / float64(time.Millisecond))
 	h.stats.Clones++
+	h.met.clones.Inc()
 
 	h.K.After(total, func(now sim.Time) {
 		if vm.State != StateCloning {
@@ -375,6 +412,7 @@ func (h *VMHost) FullBoot(imageName string, ip netsim.Addr, ready func(*VM)) (*V
 	vm.Mem = mem.NewPatternSpace(h.store, img.NumPages, img.ResidentPages, img.Seed)
 	vm.Disk = NewOverlay(img.Disk)
 	h.stats.FullBoots++
+	h.met.fullBoots.Inc()
 	if h.tr != nil {
 		vm.span = h.tr.StartChild(h.K.Now(), h.tr.Current(uint64(ip)), "boot",
 			trace.Attr{K: "server", V: h.Cfg.Name}, trace.Attr{K: "image", V: img.Name})
@@ -435,6 +473,7 @@ func (h *VMHost) Destroy(id VMID) {
 	vm.Mem.Release()
 	delete(h.vms, id)
 	h.stats.Destroys++
+	h.met.destroys.Inc()
 }
 
 // DestroyAll tears down every VM (end-of-experiment cleanup and host

@@ -27,6 +27,7 @@
 package potemkin
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -40,6 +41,7 @@ import (
 	"potemkin/internal/gateway"
 	"potemkin/internal/guest"
 	"potemkin/internal/ingest"
+	"potemkin/internal/metrics"
 	"potemkin/internal/netsim"
 	"potemkin/internal/sim"
 	"potemkin/internal/telescope"
@@ -128,8 +130,8 @@ type Options struct {
 	// Requires GatewayShards >= 2 and at least one server per shard.
 	// Cross-shard traffic pays the engine's 1 ms internal latency, so
 	// results differ from the non-parallel in-process shard router (by
-	// design: that latency is the lookahead budget). TraceChrome and
-	// WireBridge are not supported in this mode.
+	// design: that latency is the lookahead budget). WireBridge is not
+	// supported in this mode.
 	Parallel bool
 
 	// Policy is the containment mode. Default InternalReflect.
@@ -181,9 +183,29 @@ type Options struct {
 	// TraceChrome, when non-nil, receives the same trace in the Chrome
 	// trace-event format — load the file in Perfetto or chrome://tracing
 	// to see binding lifecycles on a timeline, one track per trace.
-	// Call Close to terminate the JSON array. Not supported with
-	// Parallel (convert a TraceOut file offline instead).
+	// Call Close to terminate the JSON array. In Parallel mode the
+	// records are buffered per shard and merged in shard order on
+	// Close, with trace IDs shard-tagged so rows never collide; the
+	// bytes are identical between parallel and sequential runs of the
+	// same seed.
 	TraceChrome io.Writer
+
+	// Metrics enables the live telemetry registry: named atomic
+	// counters/gauges/histograms (gateway_*, farm_*, vmm_*, ingest_*,
+	// epoch_*) instrumented across the whole farm, readable at any
+	// moment from any goroutine via Metrics()/MetricsText() without
+	// touching simulation state. Telemetry is observability-only — a
+	// same-seed run produces byte-identical output with it on or off —
+	// and when off (the default) the instrumented paths pay one nil
+	// check each.
+	Metrics bool
+
+	// EpochLog, when non-nil, receives the parallel engine's JSONL
+	// epoch timeline — one line per epoch barrier with per-shard
+	// advance and barrier-wait wall times plus exchange cost — for
+	// `tracetool -epochs`. Requires Parallel. Wall-clock figures are
+	// observability-only and never feed back into the simulation.
+	EpochLog io.Writer
 
 	// CheckpointDir, when set, saves a delta checkpoint of every VM the
 	// scan detector flags (its dirtied memory pages and disk blocks) to
@@ -279,9 +301,9 @@ func (o Options) Validate() error {
 			add("Parallel needs at least one server per shard (%d servers, %d shards)",
 				o.Servers, o.GatewayShards)
 		}
-		if o.TraceChrome != nil {
-			add("Parallel does not support TraceChrome (write TraceOut and convert offline)")
-		}
+	}
+	if o.EpochLog != nil && !o.Parallel {
+		add("EpochLog requires Parallel (the epoch timeline profiles the parallel engine)")
 	}
 	return errors.Join(errs...)
 }
@@ -379,6 +401,12 @@ type Honeyfarm struct {
 	// Parallel engine (nil otherwise).
 	eng *core.ShardEngine
 
+	// metrics is the live telemetry registry (nil unless Options.Metrics).
+	metrics *metrics.Registry
+	// bridge is the wire-ingest bridge last handed out by WireBridge,
+	// retained so Snapshot can surface listener loss accounting.
+	bridge *ingest.Bridge
+
 	captures []*captureFile
 }
 
@@ -390,6 +418,9 @@ func New(opts Options) (*Honeyfarm, error) {
 	}
 	space, _ := netsim.ParsePrefix(opts.MonitoredSpace)
 	hf := &Honeyfarm{opts: opts, space: space, profile: opts.guestProfile()}
+	if opts.Metrics {
+		hf.metrics = metrics.NewRegistry()
+	}
 
 	fc := farm.DefaultConfig()
 	fc.Servers = opts.Servers
@@ -433,6 +464,8 @@ func (hf *Honeyfarm) buildSequential(fc farm.Config, gc gateway.Config, hooks Ho
 	opts := hf.opts
 	k := sim.NewKernel(opts.Seed)
 	hf.k = k
+	fc.Metrics = hf.metrics
+	gc.Metrics = hf.metrics
 
 	if hooks.OnInfected != nil {
 		cb := hooks.OnInfected
@@ -525,13 +558,16 @@ func (hf *Honeyfarm) buildSequential(fc farm.Config, gc gateway.Config, hooks Ho
 func (hf *Honeyfarm) buildParallel(fc farm.Config, gc gateway.Config, hooks Hooks) (*Honeyfarm, error) {
 	opts := hf.opts
 	ec := core.ShardEngineConfig{
-		Shards:   opts.GatewayShards,
-		Parallel: true,
-		Seed:     opts.Seed,
-		Gateway:  gc,
-		Farm:     fc,
-		EventLog: opts.EventLog,
-		TraceOut: opts.TraceOut,
+		Shards:    opts.GatewayShards,
+		Parallel:  true,
+		Seed:      opts.Seed,
+		Gateway:   gc,
+		Farm:      fc,
+		EventLog:  opts.EventLog,
+		TraceOut:  opts.TraceOut,
+		ChromeOut: opts.TraceChrome,
+		Metrics:   hf.metrics,
+		EpochLog:  opts.EpochLog,
 	}
 	if hooks.OnInfected != nil {
 		cb := hooks.OnInfected
@@ -710,12 +746,13 @@ func (hf *Honeyfarm) WireBridge(speedup float64) *ingest.Bridge {
 	if hf.eng != nil {
 		panic("potemkin: WireBridge is not supported with Options.Parallel")
 	}
-	return &ingest.Bridge{
+	hf.bridge = &ingest.Bridge{
 		K: hf.k, Speedup: speedup, Tracer: hf.tracer,
 		Emit: func(now sim.Time, pkt *netsim.Packet) {
 			hf.g.HandleInbound(now, pkt)
 		},
 	}
+	return hf.bridge
 }
 
 // GenerateTrace synthesizes background-radiation traffic for the
@@ -818,6 +855,24 @@ func (hf *Honeyfarm) Close() {
 // safe to call methods on — when tracing is off, and in Parallel mode
 // (each shard owns a private tracer there).
 func (hf *Honeyfarm) Tracer() *trace.Tracer { return hf.tracer }
+
+// Metrics exposes the live telemetry registry when Options.Metrics is
+// set; nil — safe to call methods on — otherwise. The registry may be
+// read (Snapshot, WriteProm) from any goroutine at any time, including
+// mid-run: every series is a plain atomic, so a scrape never touches
+// simulation state.
+func (hf *Honeyfarm) Metrics() *metrics.Registry { return hf.metrics }
+
+// MetricsText renders the registry in the Prometheus text exposition
+// format (empty when Options.Metrics is off).
+func (hf *Honeyfarm) MetricsText() []byte {
+	if hf.metrics == nil {
+		return nil
+	}
+	var buf bytes.Buffer
+	hf.metrics.WriteProm(&buf)
+	return buf.Bytes()
+}
 
 // captureFile is one open capture trace, in either the native .potm
 // format (record sizes only) or classic pcap (full marshaled packets).

@@ -43,6 +43,24 @@ type Snapshot struct {
 	// only when tracing is on. encoding/json sorts map keys, so the
 	// rendered snapshot is deterministic.
 	StagesMs map[string]LatencySummary `json:"stages_ms,omitempty"`
+
+	// Ingest carries wire-listener loss accounting, present only when a
+	// WireBridge has been attached to a live listener.
+	Ingest *IngestSummary `json:"ingest,omitempty"`
+}
+
+// IngestSummary is the wire-ingest side of a snapshot: what the
+// GRE-over-UDP listener saw, lost, and handed to the simulation.
+type IngestSummary struct {
+	Received    uint64 `json:"received"`
+	Bytes       uint64 `json:"bytes"`
+	FrameErrors uint64 `json:"frame_errors"`
+	Dropped     uint64 `json:"dropped"`
+	SeqGaps     uint64 `json:"seq_gaps"`
+	Delivered   uint64 `json:"delivered"`
+	Clamped     uint64 `json:"clamped"`
+	QueueDepth  int    `json:"queue_depth"`
+	QueueHWM    int    `json:"queue_hwm"`
 }
 
 // LatencySummary condenses a histogram for JSON export. All latency
@@ -133,6 +151,21 @@ func (hf *Honeyfarm) Snapshot() Snapshot {
 			s.StagesMs = make(map[string]LatencySummary, len(names))
 			for _, n := range names {
 				s.StagesMs[n] = summarize(tr.Stage(n))
+			}
+		}
+	}
+	if br := hf.bridge; br != nil {
+		if ls, ok := br.ListenerStats(); ok {
+			s.Ingest = &IngestSummary{
+				Received:    ls.Received,
+				Bytes:       ls.Bytes,
+				FrameErrors: ls.FrameErrors,
+				Dropped:     ls.Dropped,
+				SeqGaps:     ls.SeqGaps,
+				Delivered:   br.Delivered,
+				Clamped:     br.Clamped,
+				QueueDepth:  ls.QueueDepth,
+				QueueHWM:    ls.QueueHWM,
 			}
 		}
 	}

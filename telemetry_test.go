@@ -1,0 +1,315 @@
+package potemkin
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"potemkin/internal/ingest"
+	"potemkin/internal/metrics"
+	"potemkin/internal/netsim"
+	"potemkin/internal/sim"
+)
+
+// TestMetricsOffByDefault: without Options.Metrics the farm carries no
+// registry and the nil-safe instrument handles make every record a
+// no-op — the telemetry-off path.
+func TestMetricsOffByDefault(t *testing.T) {
+	hf := MustNew(Options{})
+	defer hf.Close()
+	if hf.Metrics() != nil {
+		t.Error("registry present without Options.Metrics")
+	}
+	if b := hf.MetricsText(); b != nil {
+		t.Errorf("MetricsText = %q, want nil", b)
+	}
+	hf.InjectProbe("203.0.113.9", "10.5.1.2", 445)
+	hf.RunFor(time.Second) // must not panic through nil instruments
+}
+
+// TestMetricsThroughFacade: with telemetry on, the registry's live
+// counters agree with the end-of-run Stats, and the Prometheus text
+// exposition carries the key series.
+func TestMetricsThroughFacade(t *testing.T) {
+	hf := MustNew(Options{Metrics: true, Seed: 3, IdleTimeout: 2 * time.Second})
+	defer hf.Close()
+	recs, err := hf.GenerateTrace(10*time.Second, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hf.ReplayTrace(recs)
+	hf.RunFor(30 * time.Second)
+
+	st := hf.Stats()
+	pts := hf.Metrics().Snapshot()
+	get := func(name string) int64 {
+		for _, p := range pts {
+			if p.Name == name {
+				return p.Value
+			}
+		}
+		t.Errorf("series %q missing from snapshot", name)
+		return -1
+	}
+	if got := get("gateway_inbound_packets_total"); uint64(got) != st.InboundPackets {
+		t.Errorf("gateway_inbound_packets_total = %d, Stats = %d", got, st.InboundPackets)
+	}
+	if got := get("gateway_bindings_created_total"); uint64(got) != st.BindingsCreated {
+		t.Errorf("gateway_bindings_created_total = %d, Stats = %d", got, st.BindingsCreated)
+	}
+	if got := get("gateway_delivered_to_vm_total"); uint64(got) != st.DeliveredToVM {
+		t.Errorf("gateway_delivered_to_vm_total = %d, Stats = %d", got, st.DeliveredToVM)
+	}
+	if got := get("farm_live_vms"); int(got) != st.LiveVMs {
+		t.Errorf("farm_live_vms = %d, Stats = %d", got, st.LiveVMs)
+	}
+	if got := get("vmm_clones_total"); got == 0 {
+		t.Error("vmm_clones_total = 0 after a replay that spawned VMs")
+	}
+
+	text := string(hf.MetricsText())
+	for _, want := range []string{
+		"# TYPE gateway_inbound_packets_total counter",
+		"# TYPE farm_live_vms gauge",
+		"# TYPE vmm_clone_ms summary",
+		"vmm_clone_ms_count",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// filterSimMetrics drops the wall-clock epoch_* profiler series, the
+// one explicitly nondeterministic family, leaving only points that are
+// a pure function of the simulated run.
+func filterSimMetrics(pts []metrics.Point) []metrics.Point {
+	out := pts[:0:0]
+	for _, p := range pts {
+		if strings.HasPrefix(p.Name, "epoch") {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// TestMetricsDeterminism is the property test for the registry's
+// determinism contract: two same-seed runs — and a parallel run versus
+// its single-threaded oracle — expose identical snapshots (modulo the
+// wall-clock epoch profiler), because every instrument is an
+// order-independent integer accumulation.
+func TestMetricsDeterminism(t *testing.T) {
+	run := func(parallel, oracle bool) []byte {
+		opts := Options{Seed: 9, Metrics: true, IdleTimeout: time.Second}
+		if parallel {
+			opts.Parallel = true
+			opts.GatewayShards = 4
+		}
+		hf := MustNew(opts)
+		defer hf.Close()
+		if oracle {
+			hf.Internals().Engine.SetSequential(true)
+		}
+		recs, err := hf.GenerateTrace(2*time.Second, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hf.ReplayTrace(recs)
+		hf.RunFor(2 * time.Second)
+		b, err := json.Marshal(filterSimMetrics(hf.Metrics().Snapshot()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	seqA, seqB := run(false, false), run(false, false)
+	if !bytes.Equal(seqA, seqB) {
+		t.Errorf("same-seed sequential snapshots diverge:\n%s\n%s", seqA, seqB)
+	}
+	parO, parP := run(true, true), run(true, false)
+	if !bytes.Equal(parO, parP) {
+		t.Errorf("parallel snapshot diverges from oracle:\n%s\n%s", parO, parP)
+	}
+	if len(parP) <= 2 {
+		t.Error("vacuous parallel snapshot")
+	}
+}
+
+// chromeRun drives the same parallel workload with a Chrome trace
+// attached and returns the trace bytes. With oracle set the engine
+// runs its epochs single-threaded — the byte-identity baseline.
+func chromeRun(t *testing.T, oracle bool) []byte {
+	t.Helper()
+	var chrome bytes.Buffer
+	hf := MustNew(Options{
+		Seed:          11,
+		Parallel:      true,
+		GatewayShards: 4,
+		Policy:        InternalReflect,
+		Guest:         GuestMultiStage,
+		IdleTimeout:   time.Second,
+		TraceChrome:   &chrome,
+	})
+	if oracle {
+		hf.Internals().Engine.SetSequential(true)
+	}
+	if err := hf.InjectExploit("198.51.100.10", "10.5.7.20"); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := hf.GenerateTrace(500*time.Millisecond, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hf.Replay(SliceSource(recs)); err != nil {
+		t.Fatal(err)
+	}
+	hf.RunFor(1500 * time.Millisecond)
+	hf.Close() // Chrome buffers flush in shard order at Close
+	return chrome.Bytes()
+}
+
+// TestTraceChromeParallelMatchesSequential: Chrome trace output under
+// the parallel engine is buffered per shard and flushed in shard
+// order, so a same-seed parallel run emits byte-identical trace JSON
+// to the single-threaded oracle.
+func TestTraceChromeParallelMatchesSequential(t *testing.T) {
+	seq := chromeRun(t, true)
+	par := chromeRun(t, false)
+	if len(par) == 0 {
+		t.Fatal("parallel run produced no Chrome trace")
+	}
+	if !bytes.Equal(seq, par) {
+		t.Errorf("Chrome traces diverge (seq %d bytes, par %d bytes)", len(seq), len(par))
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(par, &events); err != nil {
+		t.Fatalf("Chrome trace not valid JSON: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("Chrome trace has no events")
+	}
+}
+
+// TestEpochLogProfile: a 4-shard parallel run with the epoch timeline
+// attached yields parseable per-epoch samples with 4-wide per-shard
+// arrays, and the registry's barrier-wait histogram is populated.
+func TestEpochLogProfile(t *testing.T) {
+	var timeline bytes.Buffer
+	hf := MustNew(Options{
+		Seed:          5,
+		Parallel:      true,
+		GatewayShards: 4,
+		Metrics:       true,
+		EpochLog:      &timeline,
+		IdleTimeout:   time.Second,
+	})
+	recs, err := hf.GenerateTrace(time.Second, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hf.ReplayTrace(recs)
+	hf.RunFor(time.Second)
+	pts := hf.Metrics().Snapshot()
+	hf.Close() // flushes the buffered timeline
+
+	samples, err := metrics.ReadEpochs(&timeline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) == 0 {
+		t.Fatal("empty epoch timeline")
+	}
+	for _, s := range samples[:1] {
+		if len(s.AdvanceNS) != 4 || len(s.BarrierWaitNS) != 4 {
+			t.Errorf("per-shard arrays not 4-wide: %+v", s)
+		}
+		if s.SlowestShard < 0 || s.SlowestShard > 3 {
+			t.Errorf("slowest shard out of range: %+v", s)
+		}
+	}
+	var wait, epochs metrics.Point
+	for _, p := range pts {
+		switch p.Name {
+		case "epoch_barrier_wait_ms":
+			wait = p
+		case "epochs_total":
+			epochs = p
+		}
+	}
+	if wait.Count == 0 {
+		t.Error("epoch_barrier_wait_ms histogram empty")
+	}
+	if epochs.Value != int64(len(samples)) {
+		t.Errorf("epochs_total = %d, timeline has %d", epochs.Value, len(samples))
+	}
+	if wait.Count != uint64(4*len(samples)) {
+		t.Errorf("barrier-wait observations = %d, want %d", wait.Count, 4*len(samples))
+	}
+}
+
+// TestSnapshotIngestSummary: after a wire replay through the
+// GRE-over-UDP listener, the facade snapshot carries the listener's
+// loss accounting — received/dropped/seq-gap counters and the bridge's
+// delivery totals.
+func TestSnapshotIngestSummary(t *testing.T) {
+	l, err := ingest.Listen(ingest.Config{Addr: "127.0.0.1:0", Timestamped: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hf := MustNew(Options{Seed: 1})
+	defer hf.Close()
+	bridge := hf.WireBridge(1)
+	pumped := make(chan sim.Time)
+	go func() { pumped <- bridge.Pump(l, time.Millisecond) }()
+
+	s, err := ingest.DialWire(l.Addr().String(), 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	const sent = 5
+	src := netsim.MustParseAddr("203.0.113.9")
+	dst := netsim.MustParseAddr("10.5.1.2")
+	for i := 0; i < sent; i++ {
+		at := sim.Time(i+1) * sim.Time(time.Millisecond)
+		pkt := netsim.TCPSyn(src, dst, 40000, 445, uint32(i+1))
+		if err := s.SendPacket(at, pkt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for l.Stats().Received < sent {
+		if time.Now().After(deadline) {
+			t.Fatalf("listener received %d of %d", l.Stats().Received, sent)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	l.Close()
+	select {
+	case <-pumped:
+	case <-time.After(10 * time.Second):
+		t.Fatal("bridge pump did not finish")
+	}
+
+	snap := hf.Snapshot()
+	if snap.Ingest == nil {
+		t.Fatal("snapshot has no ingest summary after a wire run")
+	}
+	ig := snap.Ingest
+	if ig.Received != sent || ig.Delivered != sent {
+		t.Errorf("ingest summary: %+v, want received=delivered=%d", ig, sent)
+	}
+	if ig.Dropped != 0 || ig.SeqGaps != 0 || ig.FrameErrors != 0 {
+		t.Errorf("lossless loopback recorded loss: %+v", ig)
+	}
+	b, err := hf.MarshalSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"ingest"`) || !strings.Contains(string(b), `"seq_gaps"`) {
+		t.Errorf("marshaled snapshot missing ingest block:\n%s", b)
+	}
+}
