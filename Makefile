@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check build test race vet fuzz bench bench-telemetry bench-all trace-demo apicheck api-snapshot
+.PHONY: check build test race vet fuzz bench bench-parallel bench-telemetry bench-all alloc-gate trace-demo apicheck api-snapshot
 
 # The full pre-merge gate: static checks, the race detector over every
 # package, and a short pass over every fuzz target.
@@ -32,13 +32,32 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzPcapRead -fuzztime=$(FUZZTIME) ./internal/ingest
 
 # The core fast-path benchmarks (store alloc, CoW write, gateway scrub,
-# flash clone, wire ingest), compared against the recorded pre-slab
-# baseline and written to BENCH_core.json as before/after ns/op +
-# allocs/op.
+# flash clone, wire ingest, shard replay), compared against the
+# recorded pre-slab baseline and written to BENCH_core.json as
+# before/after ns/op + allocs/op. This is the single documented way to
+# regenerate BENCH_core.json; -require makes the run fail loudly if a
+# rename or pattern typo silently drops a benchmark.
 bench:
 	( $(GO) test -run '^$$' -bench 'BenchmarkE1FlashClone$$|BenchmarkE2DeltaVirt$$|BenchmarkE4Gateway|BenchmarkAblation|BenchmarkE11WireIngest$$|BenchmarkShardReplay' -benchmem -benchtime 1s . ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkIngestDecap$$|BenchmarkWireSenderEncap$$' -benchmem -benchtime 1s ./internal/ingest ) \
-		| $(GO) run ./cmd/benchjson -baseline results/bench_baseline.json -out BENCH_core.json
+		| $(GO) run ./cmd/benchjson -baseline results/bench_baseline.json -out BENCH_core.json \
+			-require BenchmarkE1FlashClone,BenchmarkE2DeltaVirt,BenchmarkAblationScrub,BenchmarkE11WireIngest,BenchmarkShardReplaySequential,BenchmarkShardReplayParallel,BenchmarkIngestDecap,BenchmarkWireSenderEncap
+
+# The multicore scaling table: the shard-replay pair at GOMAXPROCS
+# 1/2/4, merged into BENCH_core.json's "multicore" section with the
+# host CPU count recorded (the parallel/sequential ratio is only
+# meaningful when host_cpus covers the -cpu values).
+bench-parallel:
+	$(GO) test -run '^$$' -bench 'BenchmarkShardReplay(Sequential|Parallel)$$' -benchmem -benchtime 1s -cpu 1,2,4 . \
+		| $(GO) run ./cmd/benchjson -multicore -out BENCH_core.json \
+			-require BenchmarkShardReplaySequential,BenchmarkShardReplayParallel \
+			-note "shard-replay pair at GOMAXPROCS 1/2/4; ratios are only meaningful when host_cpus >= GOMAXPROCS — with fewer cores parallel pays barrier overhead without real concurrency"
+
+# The parallel-allocation gate: one measured pass over the shard-replay
+# pair; fails if parallel allocs/op exceed sequential by more than 5%.
+alloc-gate:
+	$(GO) test -run '^$$' -bench 'BenchmarkShardReplay(Sequential|Parallel)$$' -benchmem -benchtime 1x -count 1 . \
+		| bash scripts/alloc_gate.sh
 
 # The telemetry-off overhead gate: the hot-path benchmarks with
 # Options.Metrics unset (the default), i.e. nil instrument handles on

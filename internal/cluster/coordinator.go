@@ -675,7 +675,15 @@ func (c *Coordinator) SetBeforeEpoch(fn func(start, end sim.Time)) { c.beforeEpo
 // RunUntil advances every worker to deadline in epochs of at most the
 // lookahead. On worker death it recovers onto a standby; if recovery is
 // impossible it stops advancing and records the terminal error (Err).
-func (c *Coordinator) RunUntil(deadline sim.Time) {
+func (c *Coordinator) RunUntil(deadline sim.Time) { c.RunEpochs(deadline, nil) }
+
+// RunEpochs advances like RunUntil but consults stop (when non-nil)
+// after each committed epoch and returns once it reports true. The
+// cluster keeps fixed lookahead-sized epochs — every skipped barrier an
+// adaptive in-process run proves empty is an epoch the fixed schedule
+// executes as a no-op, so the merged output stays byte-identical either
+// way.
+func (c *Coordinator) RunEpochs(deadline sim.Time, stop func() bool) {
 	if !c.ready {
 		c.fail(errors.New("cluster: RunUntil before WaitReady"))
 		return
@@ -689,6 +697,9 @@ func (c *Coordinator) RunUntil(deadline sim.Time) {
 			return
 		}
 		c.now = end
+		if stop != nil && stop() {
+			return
+		}
 	}
 }
 

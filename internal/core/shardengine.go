@@ -26,10 +26,10 @@ package core
 // in-process runner — see DESIGN.md "Cluster execution".
 
 import (
-	"bytes"
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"potemkin/internal/dns"
@@ -37,12 +37,21 @@ import (
 	"potemkin/internal/fault"
 	"potemkin/internal/gateway"
 	"potemkin/internal/guest"
+	"potemkin/internal/mem"
 	"potemkin/internal/metrics"
 	"potemkin/internal/netsim"
 	"potemkin/internal/sim"
 	"potemkin/internal/telescope"
 	"potemkin/internal/trace"
 	"potemkin/internal/vmm"
+)
+
+// Initial capacities for per-domain buffered sinks: big enough that a
+// typical benchmark run never regrows, small enough not to matter when
+// the sink goes unused.
+const (
+	sinkArenaCap  = 64 << 10
+	chromeRecsCap = 1024
 )
 
 // ShardEngineConfig parameterizes a ShardEngine.
@@ -56,6 +65,14 @@ type ShardEngineConfig struct {
 	// Parallel runs each domain's epoch on its own goroutine; false is
 	// the single-threaded oracle that produces identical bytes.
 	Parallel bool
+	// AdaptiveEpochs caps how many lookahead cells a single epoch may
+	// span when the runner widens the window against the pending
+	// cross-shard and injection horizon (see sim.ParallelRunner
+	// SetAdaptive). Zero defaults to 64; 1 pins the historical fixed
+	// grid. For time-sorted replay sources — what telescope.Generate
+	// and capture-order pcaps produce — every setting yields the same
+	// bytes, so the default is safe for oracle comparisons.
+	AdaptiveEpochs int
 	// Seed derives every domain's kernel seed deterministically.
 	Seed uint64
 
@@ -124,6 +141,9 @@ func (cfg ShardEngineConfig) normalized() ShardEngineConfig {
 	if cfg.Lookahead <= 0 {
 		cfg.Lookahead = time.Millisecond
 	}
+	if cfg.AdaptiveEpochs == 0 {
+		cfg.AdaptiveEpochs = 64
+	}
 	return cfg
 }
 
@@ -175,10 +195,11 @@ type ShardDomain struct {
 
 	// EventBuf and TraceBuf hold the domain's buffered forensic event
 	// log and span trace (nil when the config does not collect them).
-	// They are flushed in shard order — by ShardEngine.Close locally,
-	// or by the cluster coordinator after fetching them off workers.
-	EventBuf *bytes.Buffer
-	TraceBuf *bytes.Buffer
+	// They are grow-once arenas appended by this domain only and
+	// flushed in shard order — by ShardEngine.Close locally, or by the
+	// cluster coordinator after fetching them off workers.
+	EventBuf *mem.Arena
+	TraceBuf *mem.Arena
 	// ChromeRecs buffers the domain's span records for the merged
 	// Chrome export (only when the config sets ChromeOut). Appended
 	// solely by this domain's epoch goroutine; the barrier orders those
@@ -221,16 +242,17 @@ func NewShardDomain(cfg ShardEngineConfig, i int, cross CrossSend) (*ShardDomain
 	gc := cfg.Gateway
 	gc.Metrics = cfg.Metrics
 	if cfg.EventLog != nil {
-		d.EventBuf = &bytes.Buffer{}
-		gc.EventSink = gateway.JSONLSink(d.EventBuf, nil)
+		d.EventBuf = mem.NewArena(sinkArenaCap)
+		gc.EventSink = gateway.ArenaSink(d.EventBuf)
 	}
 	if cfg.TraceOut != nil || cfg.ChromeOut != nil {
 		var sinks []trace.Sink
 		if cfg.TraceOut != nil {
-			d.TraceBuf = &bytes.Buffer{}
+			d.TraceBuf = mem.NewArena(sinkArenaCap)
 			sinks = append(sinks, trace.JSONL(d.TraceBuf, nil))
 		}
 		if cfg.ChromeOut != nil {
+			d.ChromeRecs = make([]trace.Record, 0, chromeRecsCap)
 			sinks = append(sinks, func(rec trace.Record) {
 				d.ChromeRecs = append(d.ChromeRecs, rec)
 			})
@@ -297,7 +319,22 @@ type ShardEngine struct {
 	runner  *sim.ParallelRunner
 	domains []*ShardDomain
 	prof    *metrics.EpochProfiler
+	envPool sync.Pool // of *crossEnv
 	closed  bool
+}
+
+// crossEnv is a pooled cross-shard delivery envelope. Its fn closure is
+// bound once at pool construction and captures only the envelope, so
+// routing a cross-shard packet allocates nothing on the steady-state
+// path: the envelope is checked out at Send, rides the runner's ring to
+// the destination kernel, and returns itself to the pool the moment its
+// payload has been copied out — before the gateway call, so a reflected
+// re-send inside HandleInbound can reuse it immediately.
+type crossEnv struct {
+	e   *ShardEngine
+	dst int
+	pkt *netsim.Packet
+	fn  sim.Event
 }
 
 // NewShardEngine builds the domains and their runner.
@@ -307,17 +344,28 @@ func NewShardEngine(cfg ShardEngineConfig) (*ShardEngine, error) {
 		return nil, err
 	}
 	e := &ShardEngine{cfg: cfg, space: cfg.Gateway.Space}
+	e.envPool.New = func() any {
+		env := &crossEnv{e: e}
+		env.fn = func(then sim.Time) {
+			d := env.e.domains[env.dst]
+			pkt := env.pkt
+			env.pkt = nil
+			env.e.envPool.Put(env)
+			d.G.HandleInbound(then, pkt)
+		}
+		return env
+	}
 	kernels := make([]*sim.Kernel, cfg.Shards)
 	for i := 0; i < cfg.Shards; i++ {
 		src := i
 		// Cross-shard internal traffic: deliver to the owner at the
 		// next barrier, paying the minimum internal latency. The
-		// closure fires only during runs, after e.runner and e.domains
+		// envelope fires only during runs, after e.runner and e.domains
 		// are fully wired.
 		d, err := NewShardDomain(cfg, i, func(now sim.Time, dst int, pkt *netsim.Packet) {
-			e.runner.Send(src, dst, now.Add(e.cfg.Lookahead), func(then sim.Time) {
-				e.domains[dst].G.HandleInbound(then, pkt)
-			})
+			env := e.envPool.Get().(*crossEnv)
+			env.dst, env.pkt = dst, pkt
+			e.runner.Send(src, dst, now.Add(e.cfg.Lookahead), env.fn)
 		})
 		if err != nil {
 			return nil, err
@@ -327,6 +375,7 @@ func NewShardEngine(cfg ShardEngineConfig) (*ShardEngine, error) {
 	}
 	e.runner = sim.NewParallelRunner(kernels, cfg.Lookahead)
 	e.runner.SetSequential(!cfg.Parallel)
+	e.runner.SetAdaptive(cfg.AdaptiveEpochs)
 	if cfg.Metrics != nil || cfg.EpochLog != nil {
 		e.prof = metrics.NewEpochProfiler(cfg.Metrics, cfg.EpochLog)
 		e.runner.SetEpochObserver(func(s sim.EpochStats) {
@@ -639,6 +688,7 @@ func (e *ShardEngine) Close() error {
 	e.closed = true
 	flushT0 := time.Now()
 	var errs []error
+	e.runner.Close()
 	for _, d := range e.domains {
 		d.Close()
 	}

@@ -3,10 +3,12 @@ package gateway
 import (
 	"bytes"
 	"encoding/json"
+	"math"
 	"strings"
 	"testing"
 	"time"
 
+	"potemkin/internal/mem"
 	"potemkin/internal/netsim"
 	"potemkin/internal/sim"
 )
@@ -112,6 +114,57 @@ func TestJSONLSink(t *testing.T) {
 	// Omitted peer stays omitted.
 	if strings.Contains(lines[1], "peer") {
 		t.Errorf("empty peer serialized: %s", lines[1])
+	}
+}
+
+// TestArenaSinkMatchesJSONLSink: the arena-backed event encoder must
+// produce the exact bytes encoding/json would, because sequential,
+// parallel, and cluster runs compare event logs byte-for-byte and the
+// cluster coordinator may mix worker-flushed and locally-flushed logs.
+func TestArenaSinkMatchesJSONLSink(t *testing.T) {
+	events := []Event{
+		{T: 0, Kind: EvBound, Addr: "10.0.0.1"},
+		{T: 1.5, Kind: EvActive, Addr: "10.0.0.2", Peer: "198.51.100.7"},
+		{T: 0.001234567, Kind: EvDetected, Addr: "10.0.0.3", Detail: "targets=12"},
+		{T: 1e-9, Kind: EvRecycled, Addr: "10.0.0.4"},     // 'e' form, exponent trim
+		{T: 3.0000001e21, Kind: EvShed, Addr: "10.0.0.5"}, // large 'e' form
+		{T: math.MaxFloat64, Kind: EvShed, Addr: "10.0.0.6"},
+		{T: 123456.789, Kind: EvSpawnFail, Addr: "10.0.0.7", Detail: `backend "full" <error> & retry`},
+		{T: 2, Kind: EvReflected, Addr: "10.0.0.8", Detail: "tab\tnewline\ncr\rdone"},
+		{T: 3, Kind: EvDNSProxied, Addr: "10.0.0.9", Detail: "unicode: héllo —    ✓"},
+		{T: 4, Kind: EvBackendLost, Addr: "10.0.0.10", Detail: "ctrl:\x01\x1f"},
+		{T: 5, Kind: EvSpawnRetry, Addr: "10.0.0.11", Detail: "bad utf8: \xff\xfe"},
+		{T: 6, Kind: EvShed, Addr: "10.0.0.12", Detail: "seps: \u2028 and \u2029."},
+	}
+
+	var want bytes.Buffer
+	jsonl := JSONLSink(&want, func(err error) { t.Fatalf("JSONLSink: %v", err) })
+	arena := mem.NewArena(0)
+	asink := ArenaSink(arena)
+	for _, ev := range events {
+		jsonl(ev)
+		asink(ev)
+	}
+	if !bytes.Equal(want.Bytes(), arena.Bytes()) {
+		t.Fatalf("arena encoding diverges from encoding/json\nwant: %q\ngot:  %q",
+			want.Bytes(), arena.Bytes())
+	}
+}
+
+// TestArenaSinkSteadyStateAllocs: once the arena has grown to its
+// high-water mark, logging an event allocates nothing — the event log
+// is on the per-packet hot path of every gateway shard.
+func TestArenaSinkSteadyStateAllocs(t *testing.T) {
+	arena := mem.NewArena(1 << 16)
+	sink := ArenaSink(arena)
+	ev := Event{T: 1.25, Kind: EvBound, Addr: "10.1.2.3", Peer: "198.51.100.9", Detail: "warm"}
+	sink(ev)
+	arena.Reset()
+	if avg := testing.AllocsPerRun(200, func() {
+		sink(ev)
+		arena.Reset()
+	}); avg != 0 {
+		t.Fatalf("arena event append allocates %.1f objects, want 0", avg)
 	}
 }
 

@@ -83,14 +83,19 @@ func (b *Bridge) Pump(l *Listener, tail time.Duration) sim.Time {
 			at = b.K.Now()
 			b.Clamped++
 		}
-		pkt := clonePacket(&f.Pkt)
 		b.QueueDepth.Observe(float64(l.QueueDepth()))
-		l.Release(f)
+		// Zero-copy handoff: the frame's parsed packet goes straight
+		// into dispatch, marked Ephemeral so any consumer that retains
+		// it past the dispatch (pending queue, latency timer) clones
+		// it first. The injection event fires inside RunUntil below, so
+		// the frame is live until then and released right after.
+		f.Pkt.Ephemeral = true
 		b.K.At(at, func(now sim.Time) {
 			b.Delivered++
-			b.Emit(now, pkt)
+			b.Emit(now, &f.Pkt)
 		})
 		b.K.RunUntil(at)
+		l.Release(f)
 		last = at
 		if b.Tracer.Enabled() {
 			if d := l.dropped.Load(); d > dropsSeen {
@@ -131,15 +136,4 @@ func (b *Bridge) merge(l *Listener) <-chan *Frame {
 		close(merged)
 	}()
 	return merged
-}
-
-// clonePacket copies a frame's parsed packet out of the pooled buffer
-// so the simulation may retain it (pending-queue it, capture it) after
-// the frame is released.
-func clonePacket(p *netsim.Packet) *netsim.Packet {
-	q := *p
-	if p.Payload != nil {
-		q.Payload = append([]byte(nil), p.Payload...)
-	}
-	return &q
 }

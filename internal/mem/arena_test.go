@@ -1,0 +1,46 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestArenaBasics(t *testing.T) {
+	a := NewArena(8)
+	if a.Len() != 0 {
+		t.Fatalf("new arena len = %d", a.Len())
+	}
+	n, err := a.Write([]byte("hello "))
+	if n != 6 || err != nil {
+		t.Fatalf("Write = %d,%v", n, err)
+	}
+	a.SetBuf(append(a.Buf(), "world"...))
+	if !bytes.Equal(a.Bytes(), []byte("hello world")) {
+		t.Fatalf("contents = %q", a.Bytes())
+	}
+	if a.Len() != 11 {
+		t.Fatalf("len = %d", a.Len())
+	}
+	a.Reset()
+	if a.Len() != 0 {
+		t.Fatalf("len after reset = %d", a.Len())
+	}
+}
+
+// TestArenaGrowOnce: after reaching its high-water mark once, the
+// append/reset cycle must stop allocating — that is the whole point of
+// the grow-once sink discipline.
+func TestArenaGrowOnce(t *testing.T) {
+	a := NewArena(4)
+	record := bytes.Repeat([]byte("x"), 100)
+	fill := func() {
+		for i := 0; i < 50; i++ {
+			a.Write(record)
+		}
+		a.Reset()
+	}
+	fill() // grow to the high-water mark
+	if avg := testing.AllocsPerRun(50, fill); avg != 0 {
+		t.Fatalf("warm arena allocates %.1f objects per cycle, want 0", avg)
+	}
+}

@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestKernelNextEvent(t *testing.T) {
+	k := NewKernel(1)
+	if _, ok := k.NextEvent(); ok {
+		t.Fatal("empty kernel reported a pending event")
+	}
+	k.At(Time(5*time.Millisecond), func(Time) {})
+	early := k.At(Time(2*time.Millisecond), func(Time) {})
+	if at, ok := k.NextEvent(); !ok || at != Time(2*time.Millisecond) {
+		t.Fatalf("NextEvent = %v,%v, want 2ms,true", at, ok)
+	}
+	// Cancelling the earliest event must move the horizon, not report a
+	// dead entry — adaptive lookahead widens against this value.
+	early.Stop()
+	if at, ok := k.NextEvent(); !ok || at != Time(5*time.Millisecond) {
+		t.Fatalf("NextEvent after cancel = %v,%v, want 5ms,true", at, ok)
+	}
+	k.Run()
+	if _, ok := k.NextEvent(); ok {
+		t.Fatal("drained kernel reported a pending event")
+	}
+}
+
+// TestTimerStaleStopIsNoOp: once an event has fired, its heap item may
+// be recycled for a later event. A Timer retained from the first
+// scheduling must then report false from Stop and — critically — must
+// not cancel the item's new occupant.
+func TestTimerStaleStopIsNoOp(t *testing.T) {
+	k := NewKernel(1)
+	t1 := k.At(Time(time.Millisecond), func(Time) {})
+	k.RunUntil(Time(2 * time.Millisecond)) // t1 fires, its item is recycled
+
+	fired := false
+	t2 := k.At(Time(3*time.Millisecond), func(Time) { fired = true })
+	if t1.Stop() {
+		t.Fatal("stale Timer claimed to cancel a fired event")
+	}
+	k.RunUntil(Time(4 * time.Millisecond))
+	if !fired {
+		t.Fatal("stale Timer.Stop cancelled the recycled item's new event")
+	}
+	if t2.Stop() {
+		t.Fatal("Stop on a fired timer reported pending")
+	}
+}
+
+func TestTimerStopStillWorksWhilePending(t *testing.T) {
+	k := NewKernel(1)
+	fired := false
+	tm := k.At(Time(time.Millisecond), func(Time) { fired = true })
+	if !tm.Stop() {
+		t.Fatal("Stop on a pending timer reported not pending")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop reported pending")
+	}
+	k.RunUntil(Time(2 * time.Millisecond))
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func kernelNop(Time) {}
+
+// TestKernelSteadyStateAllocs: with the item freelist warm, an
+// At+RunUntil cycle must not allocate — scheduling is the innermost
+// loop of every epoch.
+func TestKernelSteadyStateAllocs(t *testing.T) {
+	k := NewKernel(1)
+	cycle := func() {
+		k.After(time.Microsecond, kernelNop)
+		k.After(2*time.Microsecond, kernelNop)
+		k.RunFor(5 * time.Microsecond)
+	}
+	for i := 0; i < 8; i++ {
+		cycle()
+	}
+	if avg := testing.AllocsPerRun(200, cycle); avg != 0 {
+		t.Fatalf("steady-state scheduling allocates %.1f objects per cycle, want 0", avg)
+	}
+}

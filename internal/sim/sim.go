@@ -96,6 +96,11 @@ type Kernel struct {
 	fired   uint64
 	stopped bool
 	seed    uint64
+	// free recycles fired/cancelled heap items so steady-state
+	// scheduling allocates nothing. Recycled items get a fresh seq, and
+	// Timer carries the seq it was issued with, so a stale Timer can
+	// never cancel the item's next occupant.
+	free []*item
 }
 
 // NewKernel returns a kernel whose clock reads Start and whose random
@@ -117,13 +122,20 @@ func (k *Kernel) Pending() int { return len(k.queue) }
 // Fired returns the total number of events that have executed.
 func (k *Kernel) Fired() uint64 { return k.fired }
 
-// Timer identifies a scheduled event and allows cancelling it.
-type Timer struct{ it *item }
+// Timer identifies a scheduled event and allows cancelling it. It
+// remembers the scheduling sequence number it was issued with: once the
+// event has fired (or been cancelled) its heap item may be recycled for
+// a later event, and the stale Timer then no-ops instead of cancelling
+// the item's new occupant.
+type Timer struct {
+	it  *item
+	seq uint64
+}
 
 // Stop cancels the timer. It is safe to call on an already-fired or
 // already-stopped timer; it reports whether the event was still pending.
 func (t Timer) Stop() bool {
-	if t.it == nil || t.it.cancel || t.it.fn == nil {
+	if t.it == nil || t.it.seq != t.seq || t.it.cancel || t.it.fn == nil {
 		return false
 	}
 	t.it.cancel = true
@@ -140,10 +152,27 @@ func (k *Kernel) At(at Time, fn Event) Timer {
 	if fn == nil {
 		panic("sim: schedule nil event")
 	}
-	it := &item{at: at, seq: k.seq, fn: fn}
+	var it *item
+	if n := len(k.free); n > 0 {
+		it = k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+		it.at, it.seq, it.fn, it.cancel = at, k.seq, fn, false
+	} else {
+		it = &item{at: at, seq: k.seq, fn: fn}
+	}
 	k.seq++
 	heap.Push(&k.queue, it)
-	return Timer{it: it}
+	return Timer{it: it, seq: it.seq}
+}
+
+// recycle returns a popped heap item to the freelist. The fn reference
+// is dropped so the freelist never keeps closures (and their captures)
+// alive.
+func (k *Kernel) recycle(it *item) {
+	it.fn = nil
+	it.cancel = false
+	k.free = append(k.free, it)
 }
 
 // After schedules fn to run d from now. Negative d means "immediately"
@@ -214,11 +243,15 @@ func (k *Kernel) Step() bool {
 	for len(k.queue) > 0 {
 		it := heap.Pop(&k.queue).(*item)
 		if it.cancel {
+			k.recycle(it)
 			continue
 		}
 		k.now = it.at
 		fn := it.fn
-		it.fn = nil // mark fired so Timer.Stop reports false
+		// Recycle before running: the item's seq only changes when At
+		// reuses it, so a Timer held for this event still reports
+		// "already fired" either way.
+		k.recycle(it)
 		k.fired++
 		fn(k.now)
 		return true
@@ -257,10 +290,16 @@ func (k *Kernel) RunFor(d time.Duration) { k.RunUntil(k.now.Add(d)) }
 func (k *Kernel) peek() (Time, bool) {
 	for len(k.queue) > 0 {
 		if k.queue[0].cancel {
-			heap.Pop(&k.queue)
+			k.recycle(heap.Pop(&k.queue).(*item))
 			continue
 		}
 		return k.queue[0].at, true
 	}
 	return 0, false
 }
+
+// NextEvent reports the firing time of the earliest pending event, or
+// false when the queue is empty. The parallel runner's adaptive
+// lookahead consults it between epochs to bound how far the window may
+// widen; like every Kernel method it is single-threaded.
+func (k *Kernel) NextEvent() (Time, bool) { return k.peek() }

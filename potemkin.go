@@ -134,6 +134,13 @@ type Options struct {
 	// supported in this mode.
 	Parallel bool
 
+	// AdaptiveEpochs caps how many 1 ms lookahead cells one epoch
+	// barrier may span when the parallel engine widens quiet stretches
+	// (fewer barriers, same bytes — see DESIGN.md "Epoch exchange").
+	// 0 keeps the default of 64; 1 pins the historical fixed epoch
+	// grid; larger values widen further. Requires Parallel.
+	AdaptiveEpochs int
+
 	// Policy is the containment mode. Default InternalReflect.
 	Policy Policy
 	// IdleTimeout recycles VMs idle this long; 0 keeps the default of
@@ -304,6 +311,12 @@ func (o Options) Validate() error {
 	}
 	if o.EpochLog != nil && !o.Parallel {
 		add("EpochLog requires Parallel (the epoch timeline profiles the parallel engine)")
+	}
+	if o.AdaptiveEpochs < 0 {
+		add("negative AdaptiveEpochs")
+	}
+	if o.AdaptiveEpochs != 0 && !o.Parallel {
+		add("AdaptiveEpochs requires Parallel (it tunes the epoch barrier)")
 	}
 	return errors.Join(errs...)
 }
@@ -558,16 +571,17 @@ func (hf *Honeyfarm) buildSequential(fc farm.Config, gc gateway.Config, hooks Ho
 func (hf *Honeyfarm) buildParallel(fc farm.Config, gc gateway.Config, hooks Hooks) (*Honeyfarm, error) {
 	opts := hf.opts
 	ec := core.ShardEngineConfig{
-		Shards:    opts.GatewayShards,
-		Parallel:  true,
-		Seed:      opts.Seed,
-		Gateway:   gc,
-		Farm:      fc,
-		EventLog:  opts.EventLog,
-		TraceOut:  opts.TraceOut,
-		ChromeOut: opts.TraceChrome,
-		Metrics:   hf.metrics,
-		EpochLog:  opts.EpochLog,
+		Shards:         opts.GatewayShards,
+		Parallel:       true,
+		AdaptiveEpochs: opts.AdaptiveEpochs,
+		Seed:           opts.Seed,
+		Gateway:        gc,
+		Farm:           fc,
+		EventLog:       opts.EventLog,
+		TraceOut:       opts.TraceOut,
+		ChromeOut:      opts.TraceChrome,
+		Metrics:        hf.metrics,
+		EpochLog:       opts.EpochLog,
 	}
 	if hooks.OnInfected != nil {
 		cb := hooks.OnInfected

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# alloc_gate.sh — fail if the parallel shard-replay path allocates more
+# than the sequential oracle (beyond a 5% tolerance).
+#
+# Reads `go test -bench BenchmarkShardReplay... -benchmem` output on
+# stdin. The parallel runner's whole point is that epoch exchange,
+# cross-shard payloads, and sink appends reuse preallocated storage; a
+# parallel allocs/op figure above sequential * 1.05 means a pooling
+# regression slipped in.
+set -euo pipefail
+
+awk '
+    { print }  # pass through so the CI log stays readable
+    /^BenchmarkShardReplaySequential/ {
+        for (i = 2; i < NF; i++) if ($(i+1) == "allocs/op") seq = $i
+    }
+    /^BenchmarkShardReplayParallel/ {
+        for (i = 2; i < NF; i++) if ($(i+1) == "allocs/op") par = $i
+    }
+    END {
+        if (seq == "" || par == "") {
+            print "alloc-gate: missing benchmark output (need both ShardReplaySequential and ShardReplayParallel with -benchmem)" > "/dev/stderr"
+            exit 1
+        }
+        limit = seq * 1.05
+        printf "alloc-gate: sequential %.0f allocs/op, parallel %.0f allocs/op (limit %.0f)\n", seq, par, limit
+        if (par + 0 > limit) {
+            print "alloc-gate: FAIL — parallel allocates more than sequential * 1.05" > "/dev/stderr"
+            exit 1
+        }
+        print "alloc-gate: OK"
+    }
+'
