@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check build test race vet fuzz bench bench-parallel bench-telemetry bench-all alloc-gate trace-demo apicheck api-snapshot
+.PHONY: check build test race vet fuzz bench bench-parallel bench-telemetry bench-all alloc-gate trace-demo apicheck api-snapshot scenarios
 
 # The full pre-merge gate: static checks, the race detector over every
 # package, and a short pass over every fuzz target.
@@ -82,6 +82,12 @@ apicheck:
 
 api-snapshot:
 	$(GO) doc -all . > api.txt
+
+# Run every shipped scenario family through all three execution modes
+# (sequential, -parallel, cluster) and assert the effectiveness
+# scorecards are byte-identical — the scenario engine's end-to-end gate.
+scenarios:
+	bash scripts/scenario_smoke.sh
 
 # Produce a sample Chrome trace from the outbreak example: load
 # outbreak.trace.json in Perfetto (ui.perfetto.dev) or chrome://tracing

@@ -28,6 +28,7 @@ import (
 
 	"potemkin/internal/ingest"
 	"potemkin/internal/netsim"
+	"potemkin/internal/pace"
 	"potemkin/internal/sim"
 )
 
@@ -104,15 +105,16 @@ func main() {
 }
 
 // flood synthesizes and sends probes until deadline, pacing toward
-// rate pps (0 = unpaced). Sends are batched: pacing sleeps happen every
-// batch, not every packet, so high rates are not limited by timer
-// granularity.
+// rate pps (0 = unpaced) with the shared closed-loop governor: sleeps
+// happen every batch, not every packet, and always toward the absolute
+// schedule, so high rates are not limited by timer granularity and
+// pacing error never accumulates.
 func flood(s *ingest.WireSender, space netsim.Prefix, seed uint64, rate float64,
 	start, deadline time.Time, sent, bytes *atomic.Uint64) {
 	const batch = 64
 	rng := sim.NewRNG(seed)
+	gov := pace.NewGovernor(start, rate, batch)
 	var pkt netsim.Packet
-	var n uint64
 	for {
 		for i := 0; i < batch; i++ {
 			// Random external source scanning a random monitored address.
@@ -132,20 +134,13 @@ func flood(s *ingest.WireSender, space netsim.Prefix, seed uint64, rate float64,
 				fmt.Fprintf(os.Stderr, "floodgen: send: %v\n", err)
 				return
 			}
-			n++
+			gov.Pace()
 		}
 		sent.Add(batch)
 		bytes.Add(s.Bytes)
 		s.Bytes = 0
 		if time.Now().After(deadline) {
 			return
-		}
-		if rate > 0 {
-			// Sleep toward the absolute schedule so error never accumulates.
-			target := start.Add(time.Duration(float64(n) / rate * float64(time.Second)))
-			if d := time.Until(target); d > 0 {
-				time.Sleep(d)
-			}
 		}
 	}
 }

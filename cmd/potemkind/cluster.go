@@ -27,6 +27,8 @@ import (
 	"potemkin/internal/ingest"
 	"potemkin/internal/metrics"
 	"potemkin/internal/netsim"
+	"potemkin/internal/scenario"
+	"potemkin/internal/score"
 	"potemkin/internal/telescope"
 )
 
@@ -40,6 +42,22 @@ type clusterScenario struct {
 	Idle     time.Duration
 	Profile  *guest.Profile
 	Seed     uint64
+	// Campaign, when non-nil, runs a deterministic attacker scenario
+	// (-scenario): it derives the guest profile and lateral-movement
+	// topology, the coordinator feeds its compiled packet plan, and the
+	// run is scored into an effectiveness scorecard. Both roles compile
+	// the same plan from the same flags (SPMD).
+	Campaign *potemkin.Scenario
+}
+
+// compile builds the campaign's packet plan. Deterministic: both roles,
+// and every retry, compile identical plans from the same scenario.
+func (sc clusterScenario) compile() (*scenario.Plan, error) {
+	space, err := netsim.ParsePrefix(sc.Space)
+	if err != nil {
+		return nil, fmt.Errorf("invalid -space %q: %v", sc.Space, err)
+	}
+	return scenario.Compile(sc.Campaign, sc.Seed, space)
 }
 
 // engineConfig builds the shard engine configuration exactly as the
@@ -68,6 +86,16 @@ func (sc clusterScenario) engineConfig() (core.ShardEngineConfig, error) {
 		return core.ShardEngineConfig{}, fmt.Errorf("unknown policy %q", sc.Policy)
 	}
 	gc.IdleTimeout = sc.Idle // 0 disables, matching Options.IdleTimeout < 0
+	if sc.Campaign != nil {
+		// Match the facade's scenario wiring exactly: the campaign
+		// derives the guest personality and the P2P target picker.
+		plan, err := sc.compile()
+		if err != nil {
+			return core.ShardEngineConfig{}, err
+		}
+		fc.Profile = plan.Profile
+		fc.PickTargetFor = plan.PickTargetFor()
+	}
 	return core.ShardEngineConfig{
 		Shards:   sc.Shards,
 		Parallel: sc.Parallel,
@@ -80,8 +108,14 @@ func (sc clusterScenario) engineConfig() (core.ShardEngineConfig, error) {
 // tag canonically renders the scenario; coordinator and workers must
 // produce the same string or the handshake fails.
 func (sc clusterScenario) tag() string {
-	return fmt.Sprintf("space=%s servers=%d shards=%d policy=%s idle=%s guest=%s seed=%d",
+	t := fmt.Sprintf("space=%s servers=%d shards=%d policy=%s idle=%s guest=%s seed=%d",
 		sc.Space, sc.Servers, sc.Shards, sc.Policy, sc.Idle, sc.Profile.Name, sc.Seed)
+	if sc.Campaign != nil {
+		// The content hash catches roles launched with divergent scenario
+		// files that happen to share a name.
+		t += fmt.Sprintf(" scenario=%s#%016x", sc.Campaign.Name, sc.Campaign.Hash())
+	}
+	return t
 }
 
 // clusterLogf writes cluster progress to stderr, keeping stdout clean
@@ -110,6 +144,9 @@ type coordinatorRun struct {
 	epochLog *os.File
 	jsonOut  bool
 	snapOut  string
+	// scorecardOut receives the campaign scorecard (JSON) when the run
+	// carries a -scenario.
+	scorecardOut string
 	// debugAddr serves the farm-wide /metrics and /cluster health views
 	// (plus expvar/pprof) while the run is live.
 	debugAddr string
@@ -134,10 +171,20 @@ func runClusterCoordinator(r coordinatorRun) int {
 	if r.epochLog != nil {
 		ec.EpochLog = r.epochLog
 	}
-	if r.debugAddr != "" || r.epochLog != nil {
+	var plan *scenario.Plan
+	if r.scenario.Campaign != nil {
+		plan, err = r.scenario.compile()
+		if err != nil {
+			clusterLogf("%v", err)
+			return 1
+		}
+	}
+	if r.debugAddr != "" || r.epochLog != nil || plan != nil {
 		// The registry turns on worker-side telemetry too (the assign
 		// message carries the flag); heartbeats piggyback the snapshots
-		// the farm-wide /metrics merge is built from.
+		// the farm-wide /metrics merge is built from. A scenario run
+		// needs it unconditionally: the scorecard is computed from the
+		// workers' merged final snapshots.
 		ec.Metrics = metrics.NewRegistry()
 	}
 	c, err := cluster.New(cluster.Config{
@@ -197,7 +244,16 @@ func runClusterCoordinator(r coordinatorRun) int {
 	fmt.Printf("workers ready; starting feed\n")
 
 	var src telescope.Source
+	// The feed epilogue: how long the farm keeps simulating after the
+	// last packet. Scenario runs use the campaign's settle window so the
+	// scorecard sees the same horizon as a facade run.
+	epilogue := time.Millisecond
 	switch {
+	case plan != nil:
+		src = &telescope.SliceSource{Recs: plan.Records}
+		epilogue = plan.Settle
+		fmt.Printf("scenario %q: replaying %d campaign packets, settling %v\n",
+			r.scenario.Campaign.Name, len(plan.Records), plan.Settle)
 	case r.traceFile != "":
 		f, err := os.Open(r.traceFile)
 		if err != nil {
@@ -241,7 +297,7 @@ func runClusterCoordinator(r coordinatorRun) int {
 		src = &telescope.SliceSource{Recs: recs}
 	}
 
-	injected, rerr := c.Replay(src, interrupted.Load, time.Millisecond)
+	injected, rerr := c.Replay(src, interrupted.Load, epilogue)
 	if interrupted.Load() {
 		fmt.Println("\ninterrupted: flushing writers and reporting partial results")
 	}
@@ -268,6 +324,16 @@ func runClusterCoordinator(r coordinatorRun) int {
 	}
 	for _, ev := range c.RecoveryEvents() {
 		fmt.Fprintf(os.Stderr, "potemkind: recovery: %s\n", ev)
+	}
+	if plan != nil {
+		// The merged worker snapshots carry the same counters a single
+		// process would have accumulated, so this card is byte-identical
+		// to the facade's for the same scenario, seed, and shard count.
+		card := score.Compute(plan.Facts(r.scenario.Policy), res.Metrics)
+		if err := emitScorecard(card, r.scorecardOut, r.jsonOut); err != nil {
+			clusterLogf("%v", err)
+			exit = 1
+		}
 	}
 
 	st := clusterStats(res)

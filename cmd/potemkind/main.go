@@ -33,6 +33,8 @@
 //	-debug-addr A    serve /snapshot, /metrics, expvar and pprof on this HTTP address
 //	-epoch-log F     write the parallel engine's JSONL epoch timeline (tracetool -epochs)
 //	-snapshot-out F  write the final JSON snapshot
+//	-scenario S      run a deterministic attacker campaign (builtin family or JSON file)
+//	-scorecard-out F write the campaign's effectiveness scorecard (JSON; cmd/scorecard renders it)
 //
 // Cluster mode distributes the shards across worker processes while
 // keeping results byte-identical to a single-process run (see
@@ -117,6 +119,8 @@ func main() {
 		debug     = flag.String("debug-addr", "", "serve /snapshot, /metrics, /debug/vars (expvar) and /debug/pprof on this address while running")
 		epochLog  = flag.String("epoch-log", "", "write the parallel engine's JSONL epoch timeline to this file (see tracetool -epochs)")
 		snapOut   = flag.String("snapshot-out", "", "write the final JSON snapshot to this file")
+		scenarioF = flag.String("scenario", "", "run a deterministic attacker campaign: builtin family name or scenario JSON file")
+		scoreOut  = flag.String("scorecard-out", "", "write the campaign's effectiveness scorecard (JSON) to this file (requires -scenario; see cmd/scorecard)")
 
 		coordAddr  = flag.String("coordinator", "", "run as cluster coordinator, serving workers on this TCP address")
 		workerAddr = flag.String("worker", "", "run as cluster worker, dialing the coordinator at this TCP address")
@@ -127,6 +131,8 @@ func main() {
 		recWait    = flag.Duration("recovery-wait", 30*time.Second, "how long the coordinator waits for a replacement worker before degrading")
 	)
 	flag.Parse()
+	setFlags := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
 
 	// Flag validation reports every problem, one per line, before
 	// exiting — a misconfigured invocation should not take N runs to
@@ -159,7 +165,7 @@ func main() {
 			"-trace": *traceF != "", "-pcap": *pcapF != "", "-json": *jsonOut,
 			"-eventlog": *eventLog != "", "-trace-out": *traceOut != "",
 			"-snapshot-out": *snapOut != "", "-debug-addr": *debug != "",
-			"-epoch-log": *epochLog != "",
+			"-epoch-log": *epochLog != "", "-scorecard-out": *scoreOut != "",
 		} {
 			if set {
 				badFlags("%s is a coordinator flag; the worker ships its output over the cluster protocol", name)
@@ -178,6 +184,24 @@ func main() {
 	}
 	if *epochLog != "" && !*parallel && *coordAddr == "" {
 		badFlags("-epoch-log requires -parallel or -coordinator (the timeline profiles epoch barriers)")
+	}
+	if *scoreOut != "" && *scenarioF == "" {
+		badFlags("-scorecard-out requires -scenario (the scorecard scores a campaign run)")
+	}
+	if *scenarioF != "" {
+		for name, set := range map[string]bool{
+			"-trace": *traceF != "", "-pcap": *pcapF != "",
+			"-listen": *listen != "", "-profile": *profileF != "",
+		} {
+			if set {
+				badFlags("%s conflicts with -scenario (the scenario defines the feed and the guest)", name)
+			}
+		}
+		for _, name := range []string{"guest", "rate", "duration"} {
+			if setFlags[name] {
+				badFlags("-%s conflicts with -scenario (the scenario defines the feed and the guest)", name)
+			}
+		}
 	}
 
 	opts := potemkin.Options{
@@ -212,6 +236,16 @@ func main() {
 		opts.Guest = potemkin.GuestLinuxServer
 	default:
 		badFlags("unknown guest %q (want winxp, sqlserver, or linux)", *guestN)
+	}
+	var campaign *potemkin.Scenario
+	if *scenarioF != "" {
+		c, err := potemkin.LoadScenario(*scenarioF)
+		if err != nil {
+			badFlags("%v", err)
+		} else {
+			campaign = c
+			opts.Scenario = campaign
+		}
 	}
 	if !clusterMode {
 		if err := opts.Validate(); err != nil {
@@ -255,7 +289,7 @@ func main() {
 		sc := clusterScenario{
 			Space: *space, Servers: *servers, Shards: *shards,
 			Parallel: *parallel, Policy: *policy, Idle: *idle,
-			Profile: prof, Seed: *seed,
+			Profile: prof, Seed: *seed, Campaign: campaign,
 		}
 		if *workerAddr != "" {
 			os.Exit(runClusterWorker(sc, *workerAddr, *workerName, *heartbeat))
@@ -265,6 +299,7 @@ func main() {
 			heartbeat: *heartbeat, heartbeatTimeout: *hbTimeout, recoveryWait: *recWait,
 			traceFile: *traceF, pcapFile: *pcapF, duration: *duration, rate: *rate,
 			jsonOut: *jsonOut, snapOut: *snapOut, debugAddr: *debug,
+			scorecardOut: *scoreOut,
 		}
 		if *eventLog != "" {
 			f, err := os.Create(*eventLog)
@@ -427,6 +462,16 @@ func main() {
 	var bridge *ingest.Bridge
 	halt := interrupted.Load
 	switch {
+	case campaign != nil:
+		fmt.Printf("scenario %q: replaying the compiled campaign\n", campaign.Name)
+		card, err := hf.RunScenario(potemkin.WithHalt(halt))
+		if err != nil {
+			fatalf("scenario: %v", err)
+		}
+		injected = card.Facts.Steps
+		if err := emitScorecard(card, *scoreOut, *jsonOut); err != nil {
+			fatalf("%v", err)
+		}
 	case *listen != "":
 		l, err := ingest.Listen(ingest.Config{
 			Addr:        *listen,
@@ -564,6 +609,33 @@ func main() {
 		}
 		fmt.Printf("\n[snapshot] %s\n", *snapOut)
 	}
+}
+
+// emitScorecard renders card on stdout (suppressed under -json, which
+// owns stdout for the stats object) and writes the deterministic JSON
+// form to path when set.
+func emitScorecard(card *potemkin.Scorecard, path string, jsonOut bool) error {
+	if !jsonOut {
+		card.Render(os.Stdout)
+	}
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := card.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if !jsonOut {
+		fmt.Printf("[scorecard] %s\n", path)
+	}
+	return nil
 }
 
 // moreThanOne reports whether more than one of the flags is set.

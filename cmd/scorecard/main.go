@@ -1,0 +1,74 @@
+// Command scorecard renders and merges the effectiveness scorecards a
+// scenario run writes (potemkind -scenario ... -scorecard-out FILE, or
+// the potemkin facade's RunScenario + WriteJSON).
+//
+// Usage:
+//
+//	scorecard [flags] FILE...
+//
+//	-merge   union the cards into one (counters add, first detection
+//	         takes the earliest, rates rederive); all cards must come
+//	         from partitions of the same logical run
+//	-json    emit deterministic JSON instead of the human rendering
+//
+// With several files and no -merge, each card renders in argument
+// order. Merging cards from different runs (different scenario, seed,
+// space, policy, or guest) is an error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"potemkin/internal/score"
+)
+
+func main() {
+	merge := flag.Bool("merge", false, "merge all cards into one (they must describe the same run)")
+	jsonOut := flag.Bool("json", false, "emit deterministic JSON instead of the human rendering")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: scorecard [-merge] [-json] FILE...")
+		os.Exit(2)
+	}
+
+	cards := make([]*score.Scorecard, 0, flag.NArg())
+	for _, path := range flag.Args() {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		var card score.Scorecard
+		if err := json.Unmarshal(b, &card); err != nil {
+			fatalf("%s: %v", path, err)
+		}
+		cards = append(cards, &card)
+	}
+	if *merge {
+		merged, err := score.Merge(cards...)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		cards = cards[:0]
+		cards = append(cards, merged)
+	}
+	for i, card := range cards {
+		if *jsonOut {
+			if err := card.WriteJSON(os.Stdout); err != nil {
+				fatalf("%v", err)
+			}
+			continue
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		card.Render(os.Stdout)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "scorecard: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -22,10 +22,12 @@ import (
 	"potemkin/internal/sim"
 )
 
-// Checkpoint magic/version ("PCLU", cluster replay checkpoint v1).
+// Checkpoint magic/version ("PCLU", cluster replay checkpoint). v2
+// tracks the protocol's v3 record codec: epoch input lists embed
+// stored payload bytes, so a v1 reader would misparse them.
 const (
 	checkpointMagic   = 0x50434c55
-	checkpointVersion = 1
+	checkpointVersion = 2
 )
 
 // Bounds applied before allocating while reading untrusted checkpoint

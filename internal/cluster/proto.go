@@ -37,8 +37,10 @@ import (
 // ProtoVersion is bumped on any wire-format change; coordinator and
 // worker refuse to pair across versions. v2 added metric piggybacks:
 // worker heartbeats carry a registry snapshot and results frames carry
-// the final one, feeding the coordinator's farm-wide /metrics.
-const ProtoVersion = 2
+// the final one, feeding the coordinator's farm-wide /metrics. v3
+// extends replay-record inputs with payload content so scenario
+// exploit packets cross the cluster boundary losslessly.
+const ProtoVersion = 3
 
 // maxFrame bounds a single frame payload. Results frames carry whole
 // buffered event logs, so the bound is generous; everything else is
@@ -300,7 +302,10 @@ func appendCross(b []byte, at sim.Time, pkt *netsim.Packet) []byte {
 	return appendPacket(b, pkt)
 }
 
-// appendRecord appends a replay-record input.
+// appendRecord appends a replay-record input. The stored-payload
+// length is separate from PayLen: most telescope records carry only a
+// size, but scenario exploit records carry content that must survive
+// the trip to the owning worker.
 func appendRecord(b []byte, at sim.Time, rec telescope.Record) []byte {
 	b = append(b, inputRecord)
 	b = binary.BigEndian.AppendUint64(b, uint64(at))
@@ -310,7 +315,8 @@ func appendRecord(b []byte, at sim.Time, rec telescope.Record) []byte {
 	b = binary.BigEndian.AppendUint16(b, rec.SrcPort)
 	b = binary.BigEndian.AppendUint16(b, rec.DstPort)
 	b = binary.BigEndian.AppendUint16(b, rec.PayLen)
-	return b
+	b = binary.BigEndian.AppendUint16(b, uint16(len(rec.Payload)))
+	return append(b, rec.Payload...)
 }
 
 // appendPacket appends a lossless packet encoding (every netsim.Packet
@@ -494,10 +500,22 @@ func decodeInput(r *byteReader) (input, error) {
 		if err != nil {
 			return in, err
 		}
+		stored, err := r.u16()
+		if err != nil {
+			return in, err
+		}
+		var payload []byte
+		if stored > 0 {
+			s, err := r.take(int(stored))
+			if err != nil {
+				return in, err
+			}
+			payload = append([]byte(nil), s...)
+		}
 		in.Rec = telescope.Record{
 			At: in.At, Src: netsim.Addr(src), Dst: netsim.Addr(dst),
 			Proto: netsim.Proto(proto), Flags: flags,
-			SrcPort: sport, DstPort: dport, PayLen: paylen,
+			SrcPort: sport, DstPort: dport, PayLen: paylen, Payload: payload,
 		}
 	default:
 		return in, fmt.Errorf("cluster: unknown input kind %d", kind)

@@ -598,6 +598,9 @@ func AddGuestStats(dst, src *guest.Stats) {
 	dst.DNSQueries += src.DNSQueries
 	dst.DNSResponses += src.DNSResponses
 	dst.Stage2Fetches += src.Stage2Fetches
+	dst.CanariesOut += src.CanariesOut
+	dst.BeaconsOut += src.BeaconsOut
+	dst.Fingerprinted += src.Fingerprinted
 }
 
 // LiveVMs sums running VMs across domains.

@@ -91,6 +91,13 @@ type Config struct {
 	// defaults to uniform over the IPv4 space.
 	PickTarget guest.TargetPicker
 
+	// PickTargetFor, when set, builds a self-aware target picker per
+	// guest address and takes precedence over PickTarget. Structured
+	// propagation (P2P overlays, lateral movement) needs the picker to
+	// know who is asking: each infected guest scans its own peer table
+	// rather than one shared distribution.
+	PickTargetFor func(self netsim.Addr) guest.TargetPicker
+
 	// OnInfected observes guest compromises (experiments hook this).
 	OnInfected func(now sim.Time, in *guest.Instance)
 
@@ -172,6 +179,7 @@ type Farm struct {
 
 	stats Stats
 	met   farmMetrics
+	gi    *guest.Instruments
 	rr    int // round-robin cursor for tie-breaking
 	// tr, when non-nil, records placement spans under the gateway's
 	// binding trace (shared via the tracer's per-address context).
@@ -192,6 +200,7 @@ func New(k *sim.Kernel, cfg Config) (*Farm, error) {
 		cfg.PickTarget = func(r *sim.RNG) netsim.Addr { return netsim.Addr(r.Uint64n(1 << 32)) }
 	}
 	f := &Farm{Cfg: cfg, K: k, byAddr: make(map[netsim.Addr]*FarmVM)}
+	f.gi = guest.NewInstruments(cfg.Metrics)
 	if m := cfg.Metrics; m != nil {
 		f.met = farmMetrics{
 			spawns:        m.Counter("farm_spawns_total"),
@@ -317,6 +326,9 @@ func (f *Farm) GuestTotals() guest.Stats {
 		sum.DNSQueries += st.DNSQueries
 		sum.DNSResponses += st.DNSResponses
 		sum.Stage2Fetches += st.Stage2Fetches
+		sum.CanariesOut += st.CanariesOut
+		sum.BeaconsOut += st.BeaconsOut
+		sum.Fingerprinted += st.Fingerprinted
 	}
 	return sum
 }
@@ -557,14 +569,21 @@ func (f *Farm) attachGuest(h *vmm.VMHost, vm *vmm.VM, addr netsim.Addr) *FarmVM 
 			}
 		})
 	}
-	hooks := guest.Hooks{OnInfected: func(in *guest.Instance) {
-		f.stats.Infections++
-		f.met.infections.Inc()
-		if f.Cfg.OnInfected != nil {
-			f.Cfg.OnInfected(f.K.Now(), in)
-		}
-	}}
-	fv.Guest = guest.New(f.K, vm, f.profileFor(addr), send, f.Cfg.PickTarget, hooks)
+	hooks := guest.Hooks{
+		OnInfected: func(in *guest.Instance) {
+			f.stats.Infections++
+			f.met.infections.Inc()
+			if f.Cfg.OnInfected != nil {
+				f.Cfg.OnInfected(f.K.Now(), in)
+			}
+		},
+		Metrics: f.gi,
+	}
+	pick := f.Cfg.PickTarget
+	if f.Cfg.PickTargetFor != nil {
+		pick = f.Cfg.PickTargetFor(addr)
+	}
+	fv.Guest = guest.New(f.K, vm, f.profileFor(addr), send, pick, hooks)
 	fv.Guest.Start()
 	// A late clone for a recycled-and-rebound address must not displace
 	// the current holder's registration; it will be destroyed right after

@@ -323,6 +323,14 @@ type gatewayMetrics struct {
 	proxyReturns  *metrics.Counter
 	bindingsLive  *metrics.Gauge
 	pendingQueued *metrics.Gauge
+	// Scorecard taps: every outbound packet that aims outside the farm
+	// counts as attempted; only the ones the policy actually lets reach
+	// the world count as permitted. detectTime records the sim-time (ms
+	// since start) of each scan-detector firing, so Min is the farm's
+	// time-to-first-detection.
+	outAttempted *metrics.Counter
+	outPermitted *metrics.Counter
+	detectTime   *metrics.Hist
 }
 
 // scanKey identifies a scanner's probe signature.
@@ -368,6 +376,9 @@ func New(k *sim.Kernel, cfg Config, backend Backend) *Gateway {
 			proxyReturns:  m.Counter("gateway_proxy_returns_total"),
 			bindingsLive:  m.Gauge("gateway_bindings_live"),
 			pendingQueued: m.Gauge("gateway_pending_queued"),
+			outAttempted:  m.Counter("gateway_egress_attempted_total"),
+			outPermitted:  m.Counter("gateway_egress_permitted_total"),
+			detectTime:    m.Hist("gateway_detect_time_ms"),
 		}
 	}
 	g.startScrubber()

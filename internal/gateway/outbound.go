@@ -67,6 +67,12 @@ func (g *Gateway) HandleOutbound(now sim.Time, pkt *netsim.Packet) Disposition {
 		return DispInternal
 	}
 
+	// From here down the packet aims outside the farm: that is one
+	// egress attempt, and whichever arm emits to the real world below
+	// counts it permitted. The attempted/permitted pair is the
+	// containment leak-rate numerator and denominator.
+	g.met.outAttempted.Inc()
+
 	switch g.Cfg.Policy {
 	case PolicyOpen:
 		if !g.allowOutbound(now, b) {
@@ -74,6 +80,7 @@ func (g *Gateway) HandleOutbound(now sim.Time, pkt *netsim.Packet) Disposition {
 			return DispDropped
 		}
 		g.stats.OutAllowedOpen++
+		g.met.outPermitted.Inc()
 		g.emit(now, pkt)
 		return DispAllowedOpen
 	case PolicyDropAll:
@@ -90,6 +97,7 @@ func (g *Gateway) HandleOutbound(now sim.Time, pkt *netsim.Packet) Disposition {
 				return DispDropped
 			}
 			g.stats.OutToSource++
+			g.met.outPermitted.Inc()
 			g.emit(now, pkt)
 			return DispToSource
 		}
@@ -186,6 +194,7 @@ func (g *Gateway) detect(now sim.Time, b *Binding, dst netsim.Addr) {
 		b.detected = true
 		g.stats.DetectedInfected++
 		g.met.detected.Inc()
+		g.met.detectTime.Observe(float64(now) / 1e6)
 		g.logEvent(now, EvDetected, b.Addr, dst, "")
 		if g.Cfg.OnDetected != nil {
 			g.Cfg.OnDetected(now, b.Addr, len(b.outTargets))

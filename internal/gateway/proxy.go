@@ -63,6 +63,7 @@ func (g *Gateway) tryProxy(now sim.Time, pkt *netsim.Packet) (Disposition, bool)
 	fwd.Dst = rule.Host
 	g.stats.OutProxied++
 	g.met.proxied.Inc()
+	g.met.outPermitted.Inc()
 	g.emit(now, fwd)
 	return DispProxied, true
 }

@@ -78,5 +78,14 @@ func (p *Profile) Validate() error {
 	if p.PayloadHost != "" && p.PayloadServer != 0 {
 		return fmt.Errorf("guest: profile %q sets both PayloadHost and PayloadServer", p.Name)
 	}
+	if p.CanaryRatePerSec < 0 || p.CanaryTimeoutMS < 0 || p.FingerprintThreshold < 0 {
+		return fmt.Errorf("guest: profile %q has negative fingerprinting parameters", p.Name)
+	}
+	if p.BeaconPeriodMS < 0 {
+		return fmt.Errorf("guest: profile %q has negative beacon period", p.Name)
+	}
+	if p.C2Server == 0 && (p.C2Port != 0 || p.BeaconPeriodMS != 0) {
+		return fmt.Errorf("guest: profile %q configures C2 beaconing without a C2Server", p.Name)
+	}
 	return nil
 }

@@ -1,0 +1,145 @@
+package guest
+
+import (
+	"time"
+
+	"potemkin/internal/netsim"
+	"potemkin/internal/sim"
+	"potemkin/internal/vmm"
+)
+
+// Honeypot fingerprinting and C2 beaconing: the adversary behaviours
+// ROADMAP item 4 asks for. A fingerprinting guest probes canary
+// destinations after infection and counts consecutive silences; a
+// contained farm either answers nothing (drop-all — fast fingerprint)
+// or answers everything through internal reflection (slow or never —
+// the deception holds, at clone cost). A C2 guest beacons its
+// controller on a fixed period, giving the containment policy a
+// steady stream of egress attempts to score. Both stop the moment the
+// guest goes quiet, which is what the scorecard's deception-survival
+// metric measures.
+
+// active reports whether the guest should still run attacker behaviour.
+func (in *Instance) active() bool {
+	return !in.stopped && in.Infected && !in.quiet && in.VM.State != vmm.StateDead
+}
+
+// startDeception launches the canary and beacon processes; called once
+// on infection.
+func (in *Instance) startDeception() {
+	in.scheduleCanary()
+	in.scheduleBeacon()
+}
+
+func (in *Instance) scheduleCanary() {
+	if in.Profile.CanaryRatePerSec <= 0 || in.pick == nil {
+		return
+	}
+	gap := time.Duration(in.rng.Exp(1e9 / in.Profile.CanaryRatePerSec))
+	in.K.After(gap, func(sim.Time) {
+		if !in.active() {
+			return
+		}
+		if in.VM.State == vmm.StateRunning {
+			in.emitCanary()
+		}
+		in.scheduleCanary()
+	})
+}
+
+// emitCanary opens a canary connection: a plain SYN to a picked
+// address on the canary port, tracked client-side so the SYN-ACK (if
+// any) clears suspicion. The timeout fires on the kernel, so the whole
+// check is deterministic.
+func (in *Instance) emitCanary() {
+	dst := in.pick(in.rng)
+	srcPort := in.ephemeralPort()
+	now := in.K.Now()
+	c := &tcpConn{
+		key: netsim.FlowKey{
+			Src: in.IP, Dst: dst, SrcPort: srcPort, DstPort: in.Profile.canaryPort(),
+			Proto: netsim.ProtoTCP,
+		},
+		state:  tcpSynSent,
+		iss:    uint32(in.rng.Uint64()) | 1,
+		client: true,
+		canary: true,
+	}
+	c.sndNxt = c.iss + 1
+	in.conns.insert(now, c)
+	in.stats.CanariesOut++
+	in.actions++
+	in.inst.Canaries.Inc()
+	in.VM.Touch(now)
+	in.sendSegment(dst, srcPort, c.key.DstPort, c.iss, 0, netsim.FlagSYN, nil)
+
+	key := c.key
+	in.K.After(in.Profile.canaryTimeout(), func(sim.Time) {
+		cc := in.conns.lookup(key)
+		if cc == nil || !cc.canary || cc.state != tcpSynSent {
+			return // answered (or evicted); answered canaries reset suspicion
+		}
+		in.conns.remove(key)
+		if in.stopped || !in.Infected || in.quiet {
+			return
+		}
+		in.suspicion++
+		if in.suspicion >= in.Profile.fingerprintThreshold() {
+			in.goQuiet()
+		}
+	})
+}
+
+// canaryAnswered handles a SYN-ACK on a canary connection: something
+// out there talks back, so the world looks real again.
+func (in *Instance) canaryAnswered(c *tcpConn) {
+	in.suspicion = 0
+	// Be polite: reset the probe connection like a scanner would.
+	in.sendSegment(c.key.Dst, c.key.SrcPort, c.key.DstPort,
+		c.sndNxt, c.rcvNxt, netsim.FlagRST, nil)
+	in.conns.remove(c.key)
+}
+
+// goQuiet is the fingerprint decision: the guest concludes it is in a
+// honeypot and ceases all attacker behaviour. The deception-survival
+// histogram records how many actions the farm extracted first.
+func (in *Instance) goQuiet() {
+	if in.quiet {
+		return
+	}
+	in.quiet = true
+	in.stats.Fingerprinted++
+	in.inst.Fingerprints.Inc()
+	in.inst.Deception.Observe(float64(in.actions))
+}
+
+func (in *Instance) scheduleBeacon() {
+	if in.Profile.C2Server == 0 {
+		return
+	}
+	in.K.After(in.Profile.beaconPeriod(), func(sim.Time) {
+		if !in.active() {
+			return
+		}
+		if in.VM.State == vmm.StateRunning {
+			in.emitBeacon()
+		}
+		in.scheduleBeacon()
+	})
+}
+
+// emitBeacon sends one C2 check-in: a SYN|PSH to the controller
+// carrying a recognizable marker, egress for the containment policy to
+// allow, reflect, or drop.
+func (in *Instance) emitBeacon() {
+	in.stats.BeaconsOut++
+	in.actions++
+	in.inst.Beacons.Inc()
+	now := in.K.Now()
+	in.VM.Touch(now)
+	b := netsim.TCPSyn(in.IP, in.Profile.C2Server, in.ephemeralPort(),
+		in.Profile.c2Port(), uint32(in.rng.Uint64()))
+	b.Flags |= netsim.FlagPSH
+	b.Payload = []byte("C2 beacon gen" + string([]byte{byte('0' + in.Generation%10)}))
+	in.reply(b)
+}

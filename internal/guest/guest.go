@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"potemkin/internal/mem"
+	"potemkin/internal/metrics"
 	"potemkin/internal/netsim"
 	"potemkin/internal/sim"
 	"potemkin/internal/vmm"
@@ -82,6 +83,30 @@ type Profile struct {
 	// which the gateway rewrites to its safe resolver.
 	PayloadHost string
 	DNSServer   netsim.Addr
+
+	// Honeypot fingerprinting: an infected guest that suspects it is
+	// jailed probes "canary" destinations and counts the silences. Real
+	// internet hosts answer some canaries; a contained honeyfarm
+	// answers none (drop-all) or answers with its own impersonations
+	// (internal reflection). CanaryRatePerSec > 0 enables the check:
+	// each canary is a TCP SYN to a picked address on CanaryPort; if no
+	// SYN-ACK arrives within CanaryTimeoutMS the guest's suspicion
+	// rises, and at FingerprintThreshold consecutive silences it
+	// decides it is in a honeypot and goes quiet — no more scans,
+	// beacons, or canaries. Deception survival time is the number of
+	// attacker actions executed before that happens.
+	CanaryRatePerSec     float64
+	CanaryPort           uint16 // default 80
+	CanaryTimeoutMS      int    // default 2000
+	FingerprintThreshold int    // default 3 consecutive unanswered canaries
+
+	// Command-and-control: an infected guest beacons C2Server on
+	// C2Port every BeaconPeriodMS (defaults 443/30000). Beacons are
+	// egress the containment policy must score: every one that leaves
+	// is a leak, every one reflected or dropped is containment working.
+	C2Server       netsim.Addr
+	C2Port         uint16
+	BeaconPeriodMS int
 }
 
 // ttl returns the profile's IP TTL fingerprint.
@@ -98,6 +123,47 @@ func (p *Profile) window() uint16 {
 		return 65535
 	}
 	return p.TCPWindow
+}
+
+// canaryPort returns the port fingerprinting canaries probe.
+func (p *Profile) canaryPort() uint16 {
+	if p.CanaryPort == 0 {
+		return 80
+	}
+	return p.CanaryPort
+}
+
+// canaryTimeout returns how long a canary waits for its SYN-ACK.
+func (p *Profile) canaryTimeout() time.Duration {
+	if p.CanaryTimeoutMS <= 0 {
+		return 2 * time.Second
+	}
+	return time.Duration(p.CanaryTimeoutMS) * time.Millisecond
+}
+
+// fingerprintThreshold returns the consecutive-silence count at which
+// the guest concludes it is jailed.
+func (p *Profile) fingerprintThreshold() int {
+	if p.FingerprintThreshold <= 0 {
+		return 3
+	}
+	return p.FingerprintThreshold
+}
+
+// c2Port returns the beacon destination port.
+func (p *Profile) c2Port() uint16 {
+	if p.C2Port == 0 {
+		return 443
+	}
+	return p.C2Port
+}
+
+// beaconPeriod returns the C2 beacon interval.
+func (p *Profile) beaconPeriod() time.Duration {
+	if p.BeaconPeriodMS <= 0 {
+		return 30 * time.Second
+	}
+	return time.Duration(p.BeaconPeriodMS) * time.Millisecond
 }
 
 // service returns the spec listening on (proto, port), or nil.
@@ -166,6 +232,31 @@ type TargetPicker func(r *sim.RNG) netsim.Addr
 type Hooks struct {
 	// OnInfected fires when the guest transitions to infected.
 	OnInfected func(in *Instance)
+	// Metrics receives deception telemetry (canaries, beacons,
+	// fingerprint events). Nil disables, at nil-handle cost.
+	Metrics *Instruments
+}
+
+// Instruments are the guest-side live telemetry handles, shared across
+// every instance the farm runs (the registry's atomics do the
+// aggregation). All handles are nil-safe, so a zero Instruments is a
+// valid telemetry-off value.
+type Instruments struct {
+	Canaries     *metrics.Counter // guest_canaries_total
+	Beacons      *metrics.Counter // guest_beacons_total
+	Fingerprints *metrics.Counter // guest_fingerprints_total
+	Deception    *metrics.Hist    // guest_deception_actions: attacker actions executed before going quiet
+}
+
+// NewInstruments registers the guest telemetry series on m (nil m
+// yields nil-handle no-op instruments).
+func NewInstruments(m *metrics.Registry) *Instruments {
+	return &Instruments{
+		Canaries:     m.Counter("guest_canaries_total"),
+		Beacons:      m.Counter("guest_beacons_total"),
+		Fingerprints: m.Counter("guest_fingerprints_total"),
+		Deception:    m.Hist("guest_deception_actions"),
+	}
 }
 
 // Stats counts guest activity.
@@ -183,6 +274,9 @@ type Stats struct {
 	DNSQueries       uint64 // lookups issued (second-stage resolution)
 	DNSResponses     uint64 // answers consumed
 	Stage2Fetches    uint64 // second-stage fetch connections opened
+	CanariesOut      uint64 // fingerprinting probes issued
+	BeaconsOut       uint64 // C2 beacons issued
+	Fingerprinted    uint64 // guests that concluded they are jailed and went quiet
 }
 
 // Instance is one running guest bound to a VM.
@@ -202,6 +296,7 @@ type Instance struct {
 	send    Sender
 	pick    TargetPicker
 	hooks   Hooks
+	inst    *Instruments
 	rng     *sim.RNG
 	stats   Stats
 	stopped bool
@@ -211,6 +306,14 @@ type Instance struct {
 
 	// dnsPending is the outstanding second-stage lookup ID (0 = none).
 	dnsPending uint16
+
+	// Fingerprinting state: consecutive unanswered canaries, whether
+	// the guest has concluded it is jailed, and the attacker actions
+	// (scans, canaries, beacons) executed so far — the deception
+	// survival clock.
+	suspicion int
+	quiet     bool
+	actions   uint64
 }
 
 // New binds a guest instance to a VM. send must be non-nil; pick may be
@@ -219,9 +322,13 @@ func New(k *sim.Kernel, vm *vmm.VM, profile *Profile, send Sender, pick TargetPi
 	if send == nil {
 		panic("guest: nil sender")
 	}
+	inst := hooks.Metrics
+	if inst == nil {
+		inst = &Instruments{}
+	}
 	return &Instance{
 		K: k, VM: vm, Profile: profile, IP: vm.IP,
-		send: send, pick: pick, hooks: hooks,
+		send: send, pick: pick, hooks: hooks, inst: inst,
 		rng:   k.Stream("guest").Fork(vm.IP.String()),
 		conns: newConnTable(),
 	}
@@ -229,6 +336,10 @@ func New(k *sim.Kernel, vm *vmm.VM, profile *Profile, send Sender, pick TargetPi
 
 // Stats returns a copy of the counters.
 func (in *Instance) Stats() Stats { return in.stats }
+
+// Quiet reports whether the guest has fingerprinted the farm and shut
+// its attacker behaviour down.
+func (in *Instance) Quiet() bool { return in.quiet }
 
 // Start begins the guest's memory workload: an initial burst of dirty
 // pages followed by a steady touch process.

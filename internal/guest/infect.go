@@ -88,6 +88,7 @@ func (in *Instance) becomeInfected(generation int) {
 		in.hooks.OnInfected(in)
 	}
 	in.scheduleScan()
+	in.startDeception()
 }
 
 // ForceInfect compromises the guest directly (the worm simulator's
@@ -105,7 +106,9 @@ func (in *Instance) scheduleScan() {
 	}
 	gap := time.Duration(in.rng.Exp(1e9 / in.Profile.ScanRatePerSec))
 	in.K.After(gap, func(sim.Time) {
-		if in.stopped || !in.Infected || in.VM.State == vmm.StateDead {
+		// quiet only ever flips for fingerprinting profiles, so the
+		// check cannot perturb existing non-fingerprinting runs.
+		if in.stopped || !in.Infected || in.quiet || in.VM.State == vmm.StateDead {
 			return
 		}
 		if in.VM.State == vmm.StateRunning {
@@ -123,6 +126,7 @@ func (in *Instance) emitScan() {
 		proto = netsim.ProtoTCP
 	}
 	in.stats.ScansOut++
+	in.actions++
 	in.VM.Touch(in.K.Now())
 	switch {
 	case proto == netsim.ProtoUDP:

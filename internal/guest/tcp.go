@@ -56,7 +56,8 @@ type tcpConn struct {
 	sndNxt     uint32 // next sequence we will send
 	rcvNxt     uint32 // next sequence we expect
 	lastActive sim.Time
-	client     bool // we initiated (exploit dialogue)
+	client     bool // we initiated (exploit dialogue or canary probe)
+	canary     bool // fingerprinting probe: SYN-ACK means the world answered
 	rxBytes    int
 }
 
@@ -218,6 +219,13 @@ func (in *Instance) handleClientTCP(now sim.Time, c *tcpConn, pkt *netsim.Packet
 	case pkt.Flags&netsim.FlagRST != 0:
 		in.conns.remove(c.key)
 	case c.state == tcpSynSent && pkt.Flags&(netsim.FlagSYN|netsim.FlagACK) == netsim.FlagSYN|netsim.FlagACK:
+		if c.canary {
+			// A canary got its SYN-ACK: something answered, so the
+			// guest's honeypot suspicion resets. No payload follows.
+			c.rcvNxt = pkt.Seq + 1
+			in.canaryAnswered(c)
+			return
+		}
 		// Handshake completes: ACK and fire the exploit payload.
 		c.state = tcpEstablished
 		c.rcvNxt = pkt.Seq + 1

@@ -60,7 +60,7 @@ func TestWireLoopbackRoundTrip(t *testing.T) {
 	}
 	got := collect(t, l, len(recs))
 	for i := range recs {
-		if got[i] != recs[i] {
+		if !got[i].Equal(&recs[i]) {
 			t.Fatalf("record %d: got %+v, want %+v", i, got[i], recs[i])
 		}
 	}
@@ -132,7 +132,7 @@ func TestWireLoopbackSharded(t *testing.T) {
 			t.Fatalf("dst %s: %d records, want %d", dst, len(g), len(want))
 		}
 		for i := range want {
-			if g[i] != want[i] {
+			if !g[i].Equal(&want[i]) {
 				t.Fatalf("dst %s record %d: got %+v, want %+v", dst, i, g[i], want[i])
 			}
 		}

@@ -96,7 +96,7 @@ func TestPcapSourceRoundTrip(t *testing.T) {
 		if err := src.Read(&rec); err != nil {
 			t.Fatalf("record %d: %v", i, err)
 		}
-		if rec != recs[i] {
+		if !rec.Equal(&recs[i]) {
 			t.Fatalf("record %d: got %+v, want %+v", i, rec, recs[i])
 		}
 	}

@@ -1,0 +1,57 @@
+package pace
+
+import (
+	"testing"
+	"time"
+)
+
+func TestScheduleArithmetic(t *testing.T) {
+	if got := Schedule(0, 100); got != 0 {
+		t.Fatalf("Schedule(0) = %v", got)
+	}
+	if got := Schedule(50, 100); got != 500*time.Millisecond {
+		t.Fatalf("Schedule(50, 100/s) = %v, want 500ms", got)
+	}
+	if got := Schedule(10, 0); got != 0 {
+		t.Fatalf("unpaced schedule should be 0, got %v", got)
+	}
+}
+
+// Schedule must space events exactly like the legacy floodgen loop:
+// start + n/rate seconds.
+func TestScheduleMatchesLegacyFloodgenArithmetic(t *testing.T) {
+	for _, n := range []uint64{1, 64, 1000, 999999} {
+		rate := 48000.0
+		legacy := time.Duration(float64(n) / rate * float64(time.Second))
+		if got := Schedule(n, rate); got != legacy {
+			t.Fatalf("Schedule(%d) = %v, legacy = %v", n, got, legacy)
+		}
+	}
+}
+
+func TestGovernorPacesTowardSchedule(t *testing.T) {
+	start := time.Now()
+	g := NewGovernor(start, 2000, 10)
+	for i := 0; i < 100; i++ {
+		g.Pace()
+	}
+	if g.Sent() != 100 {
+		t.Fatalf("Sent = %d", g.Sent())
+	}
+	// 100 events at 2000/s schedule out to 50 ms; allow generous slack
+	// below but insist the governor actually slept most of it.
+	if el := time.Since(start); el < 40*time.Millisecond {
+		t.Fatalf("governor finished in %v, schedule says >= ~50ms", el)
+	}
+}
+
+func TestGovernorUnpacedNeverSleeps(t *testing.T) {
+	g := NewGovernor(time.Now(), 0, 4)
+	done := time.Now().Add(50 * time.Millisecond)
+	for i := 0; i < 1_000_000; i++ {
+		g.Pace()
+	}
+	if time.Now().After(done) {
+		t.Fatal("unpaced governor took suspiciously long")
+	}
+}

@@ -1,0 +1,84 @@
+package scenario
+
+// The three shipped scenario families (EXPERIMENTS.md E14). Each is a
+// function returning a value, not a shared pointer, so callers can
+// mutate their copy; scenarios/*.json carries the same three campaigns
+// in file form for the CLI and smoke scripts.
+var builtins = map[string]func() Scenario{
+	// multistage: the classic kill chain. A recon sweep maps the space,
+	// an exploit wave compromises hosts, the infected guests beacon an
+	// external C2 server and scan onward (uniform lateral movement).
+	// Scores detection speed and C2 containment.
+	"multistage": func() Scenario {
+		return Scenario{
+			Version: Version,
+			Name:    "multistage",
+			Notes:   "recon sweep, exploit wave, C2 beaconing, uniform lateral movement",
+			Guest: GuestSpec{
+				Base: "winxp",
+				// Slow the worm down from the stock profile's 20 pps: under
+				// internal reflection every lateral scan becomes a fresh
+				// honeypot, so an unthrottled epidemic saturates the
+				// reflection budget within seconds and the rest of the run
+				// measures only drops.
+				ScanRatePerSec: 2,
+				C2Server:       "198.51.100.77",
+				C2Port:         443,
+				BeaconPeriodMS: 4000,
+			},
+			Stages: []Stage{
+				{AtMS: 0, Kind: "recon", Count: 48, Sources: 4, SpreadMS: 2000},
+				{AtMS: 3000, Kind: "exploit", Count: 6, Sources: 2, SpreadMS: 1000},
+			},
+			SettleMS: 12000,
+		}
+	},
+	// fingerprint: deception-aware malware. Compromised guests probe
+	// random external addresses with canary connections; a farm whose
+	// containment swallows them is fingerprinted and the malware goes
+	// quiet. Scores deception survival time against the containment
+	// policy (internal reflection answers canaries; drop-all does not).
+	"fingerprint": func() Scenario {
+		return Scenario{
+			Version: Version,
+			Name:    "fingerprint",
+			Notes:   "exploit wave, then canary probes that fingerprint the farm and go quiet",
+			Guest: GuestSpec{
+				Base: "winxp",
+				// Canary-only malware: scanning off isolates the deception
+				// signal from worm noise.
+				ScanRatePerSec:       -1,
+				CanaryRatePerSec:     2,
+				CanaryTimeoutMS:      800,
+				FingerprintThreshold: 3,
+			},
+			Stages: []Stage{
+				{AtMS: 0, Kind: "exploit", Count: 8, Sources: 4, SpreadMS: 1000},
+			},
+			SettleMS: 12000,
+		}
+	},
+	// p2p: structured overlay propagation. A few seed infections spread
+	// through a Chord-style finger table inside the monitored space
+	// instead of uniform scanning — the traffic stays internal, so the
+	// farm sees the whole epidemic. Scores capture cost as the overlay
+	// saturates.
+	"p2p": func() Scenario {
+		return Scenario{
+			Version: Version,
+			Name:    "p2p",
+			Notes:   "seed exploits, then peer-table lateral movement through a Chord-style overlay",
+			Guest: GuestSpec{
+				Base: "winxp",
+				// Propagation rides the scan loop; 4 pps through 16 fingers
+				// saturates the reachable overlay without flooding.
+				ScanRatePerSec: 4,
+				P2PPeers:       16,
+			},
+			Stages: []Stage{
+				{AtMS: 0, Kind: "exploit", Count: 4, Sources: 4, SpreadMS: 500},
+			},
+			SettleMS: 12000,
+		}
+	},
+}

@@ -1,0 +1,116 @@
+package score
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"potemkin/internal/metrics"
+)
+
+// snapshotFor builds a registry snapshot with the scorecard's series
+// populated from small synthetic runs.
+func snapshotFor(detectAtMS float64, detections, attempted, permitted, fp int, acts []float64) []metrics.Point {
+	r := metrics.NewRegistry()
+	for i := 0; i < detections; i++ {
+		r.Counter("gateway_detected_infected_total").Inc()
+	}
+	if detections > 0 {
+		r.Hist("gateway_detect_time_ms").Observe(detectAtMS)
+	}
+	r.Counter("gateway_egress_attempted_total").Add(uint64(attempted))
+	r.Counter("gateway_egress_permitted_total").Add(uint64(permitted))
+	for i := 0; i < fp; i++ {
+		r.Counter("guest_fingerprints_total").Inc()
+	}
+	for _, a := range acts {
+		r.Hist("guest_deception_actions").Observe(a)
+	}
+	r.Counter("guest_canaries_total").Add(7)
+	r.Counter("farm_infections_total").Add(3)
+	r.Counter("vmm_clones_total").Add(12)
+	// A wall-clock series the scorecard must ignore.
+	r.Hist("epoch_advance_ms").Observe(123.456)
+	return r.Snapshot()
+}
+
+func TestComputeReadsOnlyNamedSeries(t *testing.T) {
+	facts := Facts{Scenario: "t", Version: 1, Seed: 9, Space: "10.5.0.0/16", Policy: "internal-reflect", Guest: "winxp", Steps: 10, HorizonMS: 5000}
+	c := Compute(facts, snapshotFor(250, 2, 40, 8, 1, []float64{30}))
+	if c.Detections != 2 || c.FirstDetectMS != 250 {
+		t.Fatalf("detection: %+v", c)
+	}
+	if c.EgressAttempted != 40 || c.EgressPermitted != 8 || c.LeakRatePct != 20 {
+		t.Fatalf("containment: %+v", c)
+	}
+	if c.Fingerprints != 1 || c.DeceptionSteps != 30 || c.MeanSurvivalActs != 30 {
+		t.Fatalf("deception: %+v", c)
+	}
+	if c.Clones != 12 || c.ClonesPerCapture != 6 {
+		t.Fatalf("capture: %+v", c)
+	}
+}
+
+func TestNoDetectionsScoresMinusOne(t *testing.T) {
+	c := Compute(Facts{Scenario: "quiet"}, snapshotFor(0, 0, 0, 0, 0, nil))
+	if c.FirstDetectMS != -1 {
+		t.Fatalf("FirstDetectMS = %v, want -1", c.FirstDetectMS)
+	}
+	if c.LeakRatePct != 0 || c.ClonesPerCapture != 0 {
+		t.Fatalf("derived rates should be 0 with empty denominators: %+v", c)
+	}
+}
+
+// The MergePoints-union property the cluster path relies on: scoring a
+// merged snapshot equals merging per-partition scorecards.
+func TestMergeMatchesMergedSnapshot(t *testing.T) {
+	facts := Facts{Scenario: "u", Version: 1, Seed: 4}
+	a := snapshotFor(400, 1, 30, 3, 1, []float64{12})
+	b := snapshotFor(150, 1, 10, 2, 2, []float64{5, 9})
+
+	fromMergedPoints := Compute(facts, metrics.MergePoints(a, b))
+	merged, err := Merge(Compute(facts, a), Compute(facts, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *merged != *fromMergedPoints {
+		t.Fatalf("Merge(cards) = %+v\nCompute(MergePoints) = %+v", merged, fromMergedPoints)
+	}
+	if merged.FirstDetectMS != 150 {
+		t.Fatalf("first detect should take the earliest partition: %v", merged.FirstDetectMS)
+	}
+}
+
+func TestMergeRejectsDifferentRuns(t *testing.T) {
+	a := Compute(Facts{Scenario: "a"}, nil)
+	b := Compute(Facts{Scenario: "b"}, nil)
+	if _, err := Merge(a, b); err == nil {
+		t.Fatal("merging cards with different facts should fail")
+	}
+	if _, err := Merge(); err == nil {
+		t.Fatal("merging nothing should fail")
+	}
+}
+
+func TestWriteJSONDeterministicAndRenders(t *testing.T) {
+	c := Compute(Facts{Scenario: "t", Version: 1}, snapshotFor(250, 2, 40, 8, 1, []float64{30}))
+	var b1, b2 bytes.Buffer
+	if err := c.WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("WriteJSON is not deterministic")
+	}
+	var txt strings.Builder
+	if err := c.Render(&txt); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"leak rate", "time to first detect", "clones per sample"} {
+		if !strings.Contains(txt.String(), want) {
+			t.Fatalf("Render missing %q:\n%s", want, txt.String())
+		}
+	}
+}

@@ -39,7 +39,7 @@ func FuzzReadAll(f *testing.F) {
 			t.Fatalf("round trip count %d != %d", len(again), len(recs))
 		}
 		for i := range recs {
-			if again[i] != recs[i] {
+			if !again[i].Equal(&recs[i]) {
 				t.Fatalf("record %d diverged", i)
 			}
 		}

@@ -29,7 +29,7 @@ func TestTraceRoundTrip(t *testing.T) {
 		t.Fatalf("len = %d", len(got))
 	}
 	for i := range recs {
-		if got[i] != recs[i] {
+		if !got[i].Equal(&recs[i]) {
 			t.Errorf("record %d: %+v != %+v", i, got[i], recs[i])
 		}
 	}
@@ -61,7 +61,7 @@ func TestTraceRoundTripProperty(t *testing.T) {
 			return false
 		}
 		for i := range recs {
-			if got[i] != recs[i] {
+			if !got[i].Equal(&recs[i]) {
 				return false
 			}
 		}
@@ -170,7 +170,7 @@ func TestGenerateDeterministic(t *testing.T) {
 		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
 	}
 	for i := range a {
-		if a[i] != b[i] {
+		if !a[i].Equal(&b[i]) {
 			t.Fatalf("record %d differs", i)
 		}
 	}
@@ -178,7 +178,7 @@ func TestGenerateDeterministic(t *testing.T) {
 	c, _ := Generate(cfg)
 	same := 0
 	for i := 0; i < len(a) && i < len(c); i++ {
-		if a[i] == c[i] {
+		if a[i].Equal(&c[i]) {
 			same++
 		}
 	}

@@ -9,6 +9,7 @@ package telescope
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -18,7 +19,10 @@ import (
 	"potemkin/internal/sim"
 )
 
-// Record is one captured/synthesized packet arrival.
+// Record is one captured/synthesized packet arrival. Payload carries
+// actual content when the producer has it (scenario exploit steps need
+// the signature bytes to reach the guest); most telescope records carry
+// only PayLen, the snap-length-zero convention of the original feed.
 type Record struct {
 	At      sim.Time
 	Src     netsim.Addr
@@ -28,22 +32,37 @@ type Record struct {
 	DstPort uint16
 	Flags   byte // TCP flags
 	PayLen  uint16
+	Payload []byte // optional content; when set, len(Payload) == PayLen
 }
 
-// Packet materializes the record as a wire-ready packet. Payload bytes
-// are zero-filled to PayLen (telescope traces carry sizes, not content).
+// Packet materializes the record as a wire-ready packet. When the
+// record carries content the packet gets a copy of it; otherwise
+// payload bytes are zero-filled to PayLen (telescope traces carry
+// sizes, not content).
 func (r *Record) Packet() *netsim.Packet {
 	p := &netsim.Packet{
 		Src: r.Src, Dst: r.Dst, Proto: r.Proto, TTL: 116,
 		SrcPort: r.SrcPort, DstPort: r.DstPort, Flags: r.Flags,
 	}
-	if r.PayLen > 0 {
+	switch {
+	case len(r.Payload) > 0:
+		p.Payload = append([]byte(nil), r.Payload...)
+	case r.PayLen > 0:
 		p.Payload = make([]byte, r.PayLen)
 	}
 	if r.Proto == netsim.ProtoICMP {
 		p.ICMPType = 8
 	}
 	return p
+}
+
+// Equal reports whether two records are identical, payload content
+// included (Record is not ==-comparable because of the payload slice).
+func (r *Record) Equal(o *Record) bool {
+	return r.At == o.At && r.Src == o.Src && r.Dst == o.Dst &&
+		r.Proto == o.Proto && r.SrcPort == o.SrcPort && r.DstPort == o.DstPort &&
+		r.Flags == o.Flags && r.PayLen == o.PayLen &&
+		bytes.Equal(r.Payload, o.Payload)
 }
 
 // RecordOf captures a live packet as a trace record at virtual time
@@ -62,11 +81,14 @@ func RecordOf(now sim.Time, pkt *netsim.Packet) Record {
 	}
 }
 
-// Trace file format: magic, version, then fixed-size records.
+// Trace file format: magic, version, then records. Version 1 records
+// are fixed-size (24 bytes). Version 2 appends a u16 stored-payload
+// length and that many content bytes to every record, so traces can
+// carry exploit payloads losslessly; the reader accepts both.
 const (
 	traceMagic   = 0x504f544d // "POTM"
-	traceVersion = 1
-	recordSize   = 8 + 4 + 4 + 1 + 2 + 2 + 1 + 2 // 24 bytes
+	traceVersion = 2
+	recordSize   = 8 + 4 + 4 + 1 + 2 + 2 + 1 + 2 // 24 fixed bytes per record
 )
 
 // Format errors.
@@ -102,8 +124,15 @@ func (tw *Writer) Write(r *Record) error {
 	if tw.begun && r.At < tw.last {
 		return ErrOutOfOrder
 	}
+	if len(r.Payload) > 0xffff {
+		return fmt.Errorf("telescope: payload %d exceeds record limit", len(r.Payload))
+	}
 	tw.begun = true
 	tw.last = r.At
+	payLen := r.PayLen
+	if len(r.Payload) > 0 {
+		payLen = uint16(len(r.Payload))
+	}
 	b := tw.buf[:]
 	binary.LittleEndian.PutUint64(b[0:], uint64(r.At))
 	binary.LittleEndian.PutUint32(b[8:], uint32(r.Src))
@@ -112,9 +141,19 @@ func (tw *Writer) Write(r *Record) error {
 	binary.LittleEndian.PutUint16(b[17:], r.SrcPort)
 	binary.LittleEndian.PutUint16(b[19:], r.DstPort)
 	b[21] = r.Flags
-	binary.LittleEndian.PutUint16(b[22:], r.PayLen)
+	binary.LittleEndian.PutUint16(b[22:], payLen)
 	if _, err := tw.w.Write(b); err != nil {
 		return err
+	}
+	var stored [2]byte
+	binary.LittleEndian.PutUint16(stored[:], uint16(len(r.Payload)))
+	if _, err := tw.w.Write(stored[:]); err != nil {
+		return err
+	}
+	if len(r.Payload) > 0 {
+		if _, err := tw.w.Write(r.Payload); err != nil {
+			return err
+		}
 	}
 	tw.n++
 	return nil
@@ -126,10 +165,12 @@ func (tw *Writer) Count() uint64 { return tw.n }
 // Flush flushes buffered records to the underlying writer.
 func (tw *Writer) Flush() error { return tw.w.Flush() }
 
-// Reader streams records from a trace file.
+// Reader streams records from a trace file. Both format versions are
+// accepted: v1 fixed-size records, v2 payload-carrying records.
 type Reader struct {
-	r   *bufio.Reader
-	buf [recordSize]byte
+	r       *bufio.Reader
+	version uint32
+	buf     [recordSize]byte
 }
 
 // NewReader validates the header of r and returns a record reader.
@@ -142,10 +183,11 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if binary.LittleEndian.Uint32(hdr[0:]) != traceMagic {
 		return nil, ErrBadMagic
 	}
-	if binary.LittleEndian.Uint32(hdr[4:]) != traceVersion {
+	v := binary.LittleEndian.Uint32(hdr[4:])
+	if v < 1 || v > traceVersion {
 		return nil, ErrBadVersion
 	}
-	return &Reader{r: br}, nil
+	return &Reader{r: br, version: v}, nil
 }
 
 // Read returns the next record, or io.EOF at end of trace.
@@ -165,6 +207,20 @@ func (tr *Reader) Read(r *Record) error {
 	r.DstPort = binary.LittleEndian.Uint16(b[19:])
 	r.Flags = b[21]
 	r.PayLen = binary.LittleEndian.Uint16(b[22:])
+	r.Payload = nil
+	if tr.version < 2 {
+		return nil
+	}
+	var stored [2]byte
+	if _, err := io.ReadFull(tr.r, stored[:]); err != nil {
+		return fmt.Errorf("telescope: truncated record: %w", err)
+	}
+	if n := binary.LittleEndian.Uint16(stored[:]); n > 0 {
+		r.Payload = make([]byte, n)
+		if _, err := io.ReadFull(tr.r, r.Payload); err != nil {
+			return fmt.Errorf("telescope: truncated payload: %w", err)
+		}
+	}
 	return nil
 }
 

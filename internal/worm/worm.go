@@ -43,6 +43,13 @@ const (
 	// susceptible pool in finite time, and then goes quiet — including
 	// at the telescope, a distinctive signature.
 	Permutation
+	// P2P propagates over a structured overlay: instances pick targets
+	// from a shared peer table (Chord-style fingers over the telescope
+	// space) instead of drawing uniformly, so the materialized traffic
+	// concentrates on a small stable working set of addresses — the
+	// botnet-shaped load the paper's uniform-scanning experiments never
+	// exercise.
+	P2P
 )
 
 // String names the strategy.
@@ -56,9 +63,78 @@ func (s Strategy) String() string {
 		return "hitlist"
 	case Permutation:
 		return "permutation"
+	case P2P:
+		return "p2p"
 	default:
 		return "unknown"
 	}
+}
+
+// Targeter materializes the destination sequence of telescope-bound
+// scans for one strategy. Every implementation draws exactly once from
+// the caller's RNG per packet, so switching strategies never shifts
+// the shared stream consumed by the rest of the epidemic — and the
+// same seed pins the same target sequence (see TestTargeterDeterminism).
+type Targeter interface {
+	// Next returns the next scan destination inside the telescope.
+	Next(r *sim.RNG) netsim.Addr
+}
+
+// NewTargeter builds the materialization targeter for a strategy.
+// Uniform, LocalPref, Hitlist, and Permutation all materialize
+// telescope hits uniformly (their structure lives in the aggregate SI
+// model — local scans never reach the dark telescope, and hitlist /
+// permutation phases only change who scans, not where telescope hits
+// land), so they share one implementation whose draw sequence is
+// byte-identical to the pre-seam code. P2P scans from a peer table
+// derived from the seed.
+func NewTargeter(s Strategy, tel netsim.Prefix, seed uint64) Targeter {
+	if s == P2P {
+		return NewP2PTargeter(tel, seed, 0)
+	}
+	return uniformTargeter{tel: tel}
+}
+
+// uniformTargeter draws uniformly over the telescope prefix.
+type uniformTargeter struct {
+	tel netsim.Prefix
+}
+
+func (t uniformTargeter) Next(r *sim.RNG) netsim.Addr {
+	return t.tel.Nth(r.Uint64n(t.tel.Size()))
+}
+
+// p2pTargeter scans a fixed peer table: `peers` addresses placed by a
+// seed-keyed hash over the telescope space, one uniform index draw per
+// packet. The working set is tiny and stable, so the gateway sees the
+// same bindings hit over and over — overlay maintenance traffic, not a
+// sweep.
+type p2pTargeter struct {
+	peers []netsim.Addr
+}
+
+// NewP2PTargeter builds a peer-table targeter with the given table
+// size (<= 0 selects the default of 64 peers).
+func NewP2PTargeter(tel netsim.Prefix, seed uint64, peers int) Targeter {
+	if peers <= 0 {
+		peers = 64
+	}
+	if u := tel.Size(); uint64(peers) > u {
+		peers = int(u)
+	}
+	t := &p2pTargeter{peers: make([]netsim.Addr, peers)}
+	for i := range t.peers {
+		x := seed + uint64(i+1)*0x9e3779b97f4a7c15
+		x ^= x >> 33
+		x *= 0xff51afd7ed558ccd
+		x ^= x >> 33
+		t.peers[i] = tel.Nth(x % tel.Size())
+	}
+	return t
+}
+
+func (t *p2pTargeter) Next(r *sim.RNG) netsim.Addr {
+	return t.peers[r.Uint64n(uint64(len(t.peers)))]
 }
 
 // Config parameterizes an epidemic.
@@ -153,6 +229,7 @@ type Epidemic struct {
 	infected    float64
 	stats       Stats
 	rng         *sim.RNG
+	targeter    Targeter
 	srcSeq      uint32
 	ticker      *sim.Ticker
 	sampler     *sim.Ticker
@@ -197,6 +274,7 @@ func New(k *sim.Kernel, cfg Config) *Epidemic {
 		susceptible: float64(cfg.Susceptible - initial),
 		infected:    float64(initial),
 		rng:         sim.NewRNG(cfg.Seed ^ 0x776f726d),
+		targeter:    NewTargeter(cfg.Strategy, cfg.Telescope, cfg.Seed),
 	}
 	e.initialSusc = e.susceptible
 	e.Curve.Name = "infected"
@@ -348,10 +426,10 @@ func (e *Epidemic) sampleCount(m float64) float64 {
 }
 
 // scanPacket materializes one telescope-bound probe from a random
-// infected host.
+// infected host, with the destination drawn by the strategy's targeter.
 func (e *Epidemic) scanPacket() *netsim.Packet {
 	src := e.randomExternal()
-	dst := e.Cfg.Telescope.Nth(e.rng.Uint64n(e.Cfg.Telescope.Size()))
+	dst := e.targeter.Next(e.rng)
 	e.srcSeq++
 	switch e.Cfg.Proto {
 	case netsim.ProtoUDP:

@@ -43,6 +43,7 @@ import (
 	"potemkin/internal/ingest"
 	"potemkin/internal/metrics"
 	"potemkin/internal/netsim"
+	"potemkin/internal/scenario"
 	"potemkin/internal/sim"
 	"potemkin/internal/telescope"
 	"potemkin/internal/trace"
@@ -153,6 +154,14 @@ type Options struct {
 	// personality (see guest.LoadProfile for the JSON form; the
 	// potemkind -profile flag loads one). Must Validate.
 	GuestProfile *guest.Profile
+
+	// Scenario, when non-nil, arms a deterministic attacker campaign:
+	// the scenario derives the guest personality (Guest and
+	// GuestProfile must be unset) and RunScenario replays its compiled
+	// packet plan and scores the run. Telemetry is forced on — the
+	// scorecard is computed from the metrics registry. Load one with
+	// LoadScenario (builtin family name or JSON file path).
+	Scenario *Scenario
 
 	// FullBoot disables flash cloning (baseline mode).
 	FullBoot bool
@@ -294,6 +303,17 @@ func (o Options) Validate() error {
 			add("invalid guest profile: %v", err)
 		}
 	}
+	if o.Scenario != nil {
+		if err := o.Scenario.Validate(); err != nil {
+			errs = append(errs, err)
+		}
+		if o.GuestProfile != nil {
+			add("Scenario and GuestProfile are mutually exclusive (the scenario derives the guest)")
+		}
+		if o.Guest != GuestWindowsXP {
+			add("Scenario and Guest are mutually exclusive (the scenario derives the guest)")
+		}
+	}
 	if o.SnapshotWarmup < 0 {
 		add("negative SnapshotWarmup")
 	}
@@ -401,6 +421,9 @@ type Honeyfarm struct {
 	opts    Options
 	space   netsim.Prefix
 	profile *guest.Profile
+	// plan is the compiled attacker campaign when Options.Scenario is
+	// set; RunScenario replays and scores it.
+	plan *scenario.Plan
 
 	// Sequential engine (nil when Parallel).
 	k        *sim.Kernel
@@ -430,7 +453,28 @@ func New(opts Options) (*Honeyfarm, error) {
 		return nil, err
 	}
 	space, _ := netsim.ParsePrefix(opts.MonitoredSpace)
-	hf := &Honeyfarm{opts: opts, space: space, profile: opts.guestProfile()}
+	var plan *scenario.Plan
+	if opts.Scenario != nil {
+		var err error
+		plan, err = scenario.Compile(opts.Scenario, opts.Seed, space)
+		if err != nil {
+			return nil, err
+		}
+		// A scenario run is always scored, and the scorecard is computed
+		// from the telemetry registry.
+		opts.Metrics = true
+		// Scenario runs execute on the shard engine (see below), which
+		// counts shards from 1.
+		if opts.GatewayShards < 1 {
+			opts.GatewayShards = 1
+		}
+	}
+	hf := &Honeyfarm{opts: opts, space: space, plan: plan}
+	if plan != nil {
+		hf.profile = plan.Profile
+	} else {
+		hf.profile = opts.guestProfile()
+	}
 	if opts.Metrics {
 		hf.metrics = metrics.NewRegistry()
 	}
@@ -440,6 +484,9 @@ func New(opts Options) (*Honeyfarm, error) {
 	fc.HostConfig.MemoryBytes = opts.ServerMemory
 	fc.FullBoot = opts.FullBoot
 	fc.Profile = hf.profile
+	if plan != nil {
+		fc.PickTargetFor = plan.PickTargetFor()
+	}
 
 	gc := gateway.DefaultConfig()
 	gc.Space = space
@@ -457,7 +504,15 @@ func New(opts Options) (*Honeyfarm, error) {
 
 	hooks := opts.effectiveHooks()
 	if opts.Parallel {
-		return hf.buildParallel(fc, gc, hooks)
+		return hf.buildEngine(fc, gc, hooks, true)
+	}
+	if plan != nil {
+		// Scenario runs always execute on the shard engine — with
+		// Parallel off the domains advance on one goroutine, but the
+		// topology, kernels, and RNG streams are exactly the parallel
+		// (and cluster) ones, so the same plan at the same shard count
+		// replays byte-identically under all three execution modes.
+		return hf.buildEngine(fc, gc, hooks, false)
 	}
 	return hf.buildSequential(fc, gc, hooks)
 }
@@ -565,14 +620,16 @@ func (hf *Honeyfarm) buildSequential(fc farm.Config, gc gateway.Config, hooks Ho
 	return hf, nil
 }
 
-// buildParallel wires the conservative parallel shard engine: one
-// domain (kernel + gateway + farm slice + resolver) per shard, epochs
-// synchronized by core.ShardEngine.
-func (hf *Honeyfarm) buildParallel(fc farm.Config, gc gateway.Config, hooks Hooks) (*Honeyfarm, error) {
+// buildEngine wires the conservative shard engine: one domain (kernel
+// + gateway + farm slice + resolver) per shard, epochs synchronized by
+// core.ShardEngine. With parallel the domains run on one goroutine
+// each; without, the same engine advances single-threaded — same
+// bytes either way.
+func (hf *Honeyfarm) buildEngine(fc farm.Config, gc gateway.Config, hooks Hooks, parallel bool) (*Honeyfarm, error) {
 	opts := hf.opts
 	ec := core.ShardEngineConfig{
 		Shards:         opts.GatewayShards,
-		Parallel:       true,
+		Parallel:       parallel,
 		AdaptiveEpochs: opts.AdaptiveEpochs,
 		Seed:           opts.Seed,
 		Gateway:        gc,

@@ -1,0 +1,74 @@
+package potemkin
+
+// Scenario-driven campaigns through the facade: Options.Scenario arms
+// a compiled attacker campaign, RunScenario replays it and returns the
+// effectiveness scorecard. The same (scenario, seed, options) always
+// produces a byte-identical scorecard — across the sequential engine,
+// Options.Parallel, and potemkind's cluster mode — because the plan is
+// pure data, the engines are deterministic, and the card reads only
+// deterministic telemetry series.
+
+import (
+	"errors"
+
+	"potemkin/internal/scenario"
+	"potemkin/internal/score"
+)
+
+// Scenario is a declarative attacker campaign: versioned JSON (or a
+// builtin family) describing staged recon and exploit waves plus the
+// guest behavior they trigger — C2 beaconing, honeypot-fingerprinting
+// canaries, structured P2P lateral movement. See internal/scenario.
+type Scenario = scenario.Scenario
+
+// Scorecard is a scenario run's effectiveness report: time to
+// detection, containment leak rate, deception survival, and resource
+// cost per captured sample. See internal/score.
+type Scorecard = score.Scorecard
+
+// ScorecardFacts identifies the run a Scorecard describes.
+type ScorecardFacts = score.Facts
+
+// LoadScenario resolves arg as a builtin scenario family
+// (ScenarioNames lists them) or as a path to a scenario JSON file.
+func LoadScenario(arg string) (*Scenario, error) {
+	return scenario.Lookup(arg)
+}
+
+// ScenarioNames lists the builtin scenario families, sorted.
+func ScenarioNames() []string { return scenario.Names() }
+
+// MergeScorecards unions cards from partitions of one logical run
+// (counters add, first detection takes the earliest, rates rederive).
+// All cards must carry identical Facts.
+func MergeScorecards(cards ...*Scorecard) (*Scorecard, error) {
+	return score.Merge(cards...)
+}
+
+// RunScenario replays the farm's compiled campaign — every packet
+// scheduled by Options.Scenario, then the scenario's settle period —
+// and scores the run. Replay options (WithHalt for signal handling)
+// pass through; the epilogue is the scenario's settle period unless an
+// explicit WithEpilogue overrides it. Requires Options.Scenario.
+func (hf *Honeyfarm) RunScenario(opts ...ReplayOption) (*Scorecard, error) {
+	if hf.plan == nil {
+		return nil, errors.New("potemkin: RunScenario requires Options.Scenario")
+	}
+	ropts := append([]ReplayOption{WithEpilogue(hf.plan.Settle)}, opts...)
+	if _, err := hf.Replay(SliceSource(hf.plan.Records), ropts...); err != nil {
+		return nil, err
+	}
+	return score.Compute(hf.plan.Facts(hf.opts.Policy.String()), hf.metrics.Snapshot()), nil
+}
+
+// RunScenario builds a honeyfarm from opts (which must set Scenario),
+// runs the campaign end to end, closes the farm, and returns the
+// scorecard.
+func RunScenario(opts Options) (*Scorecard, error) {
+	hf, err := New(opts)
+	if err != nil {
+		return nil, err
+	}
+	defer hf.Close()
+	return hf.RunScenario()
+}

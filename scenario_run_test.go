@@ -1,0 +1,146 @@
+package potemkin
+
+import (
+	"bytes"
+	"testing"
+
+	"potemkin/internal/guest"
+)
+
+// scenarioCard runs one scenario end to end and returns the rendered
+// scorecard JSON.
+func scenarioCard(t *testing.T, opts Options) (*Scorecard, []byte) {
+	t.Helper()
+	hf, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hf.Close()
+	card, err := hf.RunScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := card.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return card, buf.Bytes()
+}
+
+// Every builtin family must produce byte-identical scorecards from the
+// sequential scenario engine and the parallel one at the same shard
+// count — the facade half of the acceptance criterion (the cluster
+// half lives in internal/cluster).
+func TestScenarioSequentialMatchesParallel(t *testing.T) {
+	for _, name := range ScenarioNames() {
+		t.Run(name, func(t *testing.T) {
+			sc, err := LoadScenario(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := Options{
+				Seed:           9,
+				MonitoredSpace: "10.5.0.0/22",
+				Servers:        4,
+				GatewayShards:  2,
+				Policy:         InternalReflect,
+				Scenario:       sc,
+			}
+			par := base
+			par.Parallel = true
+			seqCard, seqJSON := scenarioCard(t, base)
+			_, parJSON := scenarioCard(t, par)
+			if !bytes.Equal(seqJSON, parJSON) {
+				t.Errorf("scorecards differ between sequential and parallel:\n--- sequential\n%s--- parallel\n%s", seqJSON, parJSON)
+			}
+			if seqCard.Infections == 0 {
+				t.Errorf("scenario %s captured no infections:\n%s", name, seqJSON)
+			}
+			// Same options, same seed: running it again reproduces the bytes.
+			_, again := scenarioCard(t, base)
+			if !bytes.Equal(seqJSON, again) {
+				t.Error("same-seed rerun changed the scorecard")
+			}
+		})
+	}
+}
+
+func TestMultistageScoresDetectionAndC2(t *testing.T) {
+	sc, err := LoadScenario("multistage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	card, js := scenarioCard(t, Options{Seed: 3, MonitoredSpace: "10.5.0.0/22", Policy: InternalReflect, Scenario: sc})
+	if card.Detections == 0 || card.FirstDetectMS < 0 {
+		t.Errorf("campaign should be detected:\n%s", js)
+	}
+	if card.Beacons == 0 {
+		t.Errorf("infected guests should beacon C2:\n%s", js)
+	}
+	if card.EgressAttempted == 0 {
+		t.Errorf("beacons and scans should attempt egress:\n%s", js)
+	}
+	if card.Facts.Policy != "internal-reflect" || card.Facts.Scenario != "multistage" {
+		t.Errorf("facts: %+v", card.Facts)
+	}
+}
+
+// Under drop-all every canary vanishes, so fingerprinting malware
+// concludes it is jailed; under internal reflection the canaries are
+// answered by impersonating VMs and the deception survives longer.
+func TestFingerprintScenarioScoresDeception(t *testing.T) {
+	sc, err := LoadScenario("fingerprint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	drop, dropJS := scenarioCard(t, Options{Seed: 3, MonitoredSpace: "10.5.0.0/22", Policy: DropAll, Scenario: sc})
+	if drop.Fingerprints == 0 {
+		t.Errorf("drop-all should be fingerprinted:\n%s", dropJS)
+	}
+	if drop.Canaries == 0 {
+		t.Errorf("no canaries went out:\n%s", dropJS)
+	}
+	refl, _ := scenarioCard(t, Options{Seed: 3, MonitoredSpace: "10.5.0.0/22", Policy: InternalReflect, Scenario: sc})
+	if refl.Fingerprints > drop.Fingerprints {
+		t.Errorf("internal reflection should survive fingerprinting at least as long as drop-all (refl %d, drop %d)",
+			refl.Fingerprints, drop.Fingerprints)
+	}
+}
+
+func TestP2PScenarioPropagatesInternally(t *testing.T) {
+	sc, err := LoadScenario("p2p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	card, js := scenarioCard(t, Options{Seed: 3, MonitoredSpace: "10.5.0.0/22", Policy: DropAll, Scenario: sc})
+	// 4 seed exploits; overlay lateral movement must spread beyond them.
+	if card.Infections <= 4 {
+		t.Errorf("overlay propagation should spread past the %d seeds:\n%s", 4, js)
+	}
+}
+
+func TestRunScenarioRequiresScenario(t *testing.T) {
+	hf := MustNew(Options{})
+	defer hf.Close()
+	if _, err := hf.RunScenario(); err == nil {
+		t.Fatal("RunScenario without Options.Scenario should fail")
+	}
+}
+
+func TestScenarioOptionConflicts(t *testing.T) {
+	sc, err := LoadScenario("p2p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := (Options{Scenario: sc, GuestProfile: guest.WindowsXP()}).Validate(); err == nil {
+		t.Fatal("Scenario+GuestProfile should not validate")
+	}
+	if err := (Options{Scenario: sc, Guest: GuestSQLServer}).Validate(); err == nil {
+		t.Fatal("Scenario+Guest should not validate")
+	}
+	bad := *sc
+	bad.Stages = nil
+	if err := (Options{Scenario: &bad}).Validate(); err == nil {
+		t.Fatal("invalid scenario should not validate")
+	}
+}
