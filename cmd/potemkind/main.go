@@ -12,11 +12,15 @@
 //	-trace FILE      replay a recorded .potm trace (streamed; bounded memory)
 //	-pcap FILE       replay a pcap savefile instead
 //	-listen ADDR     serve live GRE-over-UDP wire ingest on this UDP address
+//	                 (works under -parallel: arrivals are quantized onto the
+//	                 epoch grid, and the run replays exactly from -wire-pcap)
 //	-listen-for D    stop serving after this much wall time (0: until ^C)
 //	-listen-shards N decap shards/queues for -listen (default 1)
 //	-queue N         per-shard ingest queue length (default 4096)
 //	-plain-gre       -listen expects plain GRE framing (no timestamp prefix)
 //	-speedup F       wall->virtual scale for plain-framing arrivals
+//	-wire-pcap FILE  capture every live wire injection to this pcap — the
+//	                 run's replayable artifact (-pcap FILE reproduces it)
 //	-duration D      length of synthesized feed (default 2m)
 //	-rate PPS        synthesized feed packet rate (default 200)
 //	-servers N       physical servers (default 4)
@@ -98,6 +102,7 @@ func main() {
 		queueLen  = flag.Int("queue", 4096, "per-shard ingest queue length (frames)")
 		plainGRE  = flag.Bool("plain-gre", false, "expect plain GRE framing on -listen (no timestamp prefix; arrival clock maps to virtual time)")
 		speedup   = flag.Float64("speedup", 1, "wall-to-virtual time scale for plain-framing arrivals")
+		wirePcap  = flag.String("wire-pcap", "", "capture every live wire injection to this pcap savefile (requires -listen; replay it with -pcap)")
 		duration  = flag.Duration("duration", 2*time.Minute, "synthesized feed duration")
 		rate      = flag.Float64("rate", 200, "synthesized feed rate (packets/sec)")
 		servers   = flag.Int("servers", 4, "physical servers")
@@ -145,8 +150,8 @@ func main() {
 	if moreThanOne(*traceF != "", *pcapF != "", *listen != "") {
 		badFlags("-trace, -pcap, and -listen are mutually exclusive")
 	}
-	if *parallel && *listen != "" {
-		badFlags("-parallel does not support -listen (wire arrivals defeat conservative lookahead)")
+	if *wirePcap != "" && *listen == "" {
+		badFlags("-wire-pcap requires -listen (it captures the live wire feed)")
 	}
 	if *coordAddr != "" && *workerAddr != "" {
 		badFlags("-coordinator and -worker are mutually exclusive")
@@ -236,6 +241,17 @@ func main() {
 		opts.Guest = potemkin.GuestLinuxServer
 	default:
 		badFlags("unknown guest %q (want winxp, sqlserver, or linux)", *guestN)
+	}
+	if *listen != "" && !clusterMode {
+		opts.Wire = &potemkin.WireOptions{
+			Addr:      *listen,
+			Shards:    *shardsIn,
+			QueueLen:  *queueLen,
+			PlainGRE:  *plainGRE,
+			Speedup:   *speedup,
+			ListenFor: *listenFor,
+			Capture:   *wirePcap,
+		}
 	}
 	var campaign *potemkin.Scenario
 	if *scenarioF != "" {
@@ -458,8 +474,7 @@ func main() {
 	}
 
 	var injected int
-	var ingestStats *ingest.Stats
-	var bridge *ingest.Bridge
+	var wireStats *potemkin.WireStats
 	halt := interrupted.Load
 	switch {
 	case campaign != nil:
@@ -473,13 +488,7 @@ func main() {
 			fatalf("%v", err)
 		}
 	case *listen != "":
-		l, err := ingest.Listen(ingest.Config{
-			Addr:        *listen,
-			Shards:      *shardsIn,
-			QueueLen:    *queueLen,
-			Timestamped: !*plainGRE,
-			Metrics:     hf.Metrics(),
-		})
+		srv, err := hf.StartWire()
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -488,25 +497,23 @@ func main() {
 			framing = "plain GRE"
 		}
 		fmt.Printf("listening for %s over UDP on %s (%d shard(s), queue %d)\n",
-			framing, l.Addr(), *shardsIn, *queueLen)
-		// The listener stops on signal or after -listen-for; Pump then
-		// drains the queues and returns.
-		var timer *time.Timer
-		if *listenFor > 0 {
-			timer = time.AfterFunc(*listenFor, func() { l.Close() })
+			framing, srv.Addr(), *shardsIn, *queueLen)
+		if *wirePcap != "" {
+			fmt.Printf("capturing wire injections to %s (replay with -pcap %s)\n", *wirePcap, *wirePcap)
 		}
+		// The feed stops on signal or after -listen-for (the facade owns
+		// that timer); Serve then drains the queues, runs the epilogue,
+		// and returns.
 		go func() {
 			<-ctx.Done()
-			l.Close()
+			srv.Stop()
 		}()
-		bridge = hf.WireBridge(*speedup)
-		bridge.Pump(l, time.Millisecond)
-		if timer != nil {
-			timer.Stop()
+		ws, err := srv.Serve(potemkin.WithHalt(halt))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "potemkind: wire serve: %v\n", err)
 		}
-		injected = int(bridge.Delivered)
-		st := l.Stats()
-		ingestStats = &st
+		injected = ws.Injected
+		wireStats = &ws
 	case *traceF != "" || *pcapF != "":
 		name := *traceF
 		var src telescope.Source
@@ -569,15 +576,13 @@ func main() {
 	fmt.Printf("  spawn failures        %d\n", st.SpawnFailures)
 	fmt.Printf("  farm memory in use    %d MiB across %d servers\n", st.MemoryInUse>>20, *servers)
 
-	if ingestStats != nil {
+	if wireStats != nil {
+		ig := wireStats.Ingest
 		tab := metrics.NewTable("\nwire ingest",
 			"datagrams", "decap-errors", "queue-drops", "seq-gaps", "delivered", "clamped", "queue-hwm")
-		tab.AddRow(ingestStats.Received, ingestStats.FrameErrors, ingestStats.Dropped,
-			ingestStats.SeqGaps, bridge.Delivered, bridge.Clamped, ingestStats.QueueHWM)
+		tab.AddRow(ig.Received, ig.FrameErrors, ig.Dropped,
+			ig.SeqGaps, ig.Delivered, ig.Clamped, ig.QueueHWM)
 		tab.Render(os.Stdout)
-		if bridge.QueueDepth.Count() > 0 {
-			fmt.Printf("  queue depth: %s\n", bridge.QueueDepth.Summary())
-		}
 	}
 
 	var gt guest.Stats

@@ -128,7 +128,8 @@ func analyzeEpochs(in io.Reader, top int, csvOut string) {
 	agg := metrics.AggregateEpochs(samples)
 
 	fmt.Printf("%d epochs, %d shards, %.3fs simulated\n", len(samples), shards, float64(simNS)/1e9)
-	fmt.Printf("exchange: %d msgs, %d bytes\n\n", agg.TotalMsgs, agg.TotalBytes)
+	fmt.Printf("exchange: %d msgs, %d bytes\n", agg.TotalMsgs, agg.TotalBytes)
+	fmt.Printf("ingress:  %d frames (per-epoch %s)\n\n", agg.TotalFrames, agg.Ingress.Summary())
 	fmt.Printf("phase wall-clock (ms):\n")
 	fmt.Printf("  epoch wall    %s\n", agg.Wall.Summary())
 	fmt.Printf("  shard advance %s\n", agg.Advance.Summary())
@@ -147,7 +148,7 @@ func analyzeEpochs(in io.Reader, top int, csvOut string) {
 		top = len(order)
 	}
 	tab := metrics.NewTable(fmt.Sprintf("slowest %d epochs", top),
-		"epoch", "t_ms", "wall_ms", "adv_max_ms", "barrier_max_ms", "exch_ms", "msgs", "bytes", "slowest")
+		"epoch", "t_ms", "wall_ms", "adv_max_ms", "barrier_max_ms", "exch_ms", "msgs", "bytes", "ingress", "slowest")
 	for _, i := range order[:top] {
 		s := samples[i]
 		var advMax, waitMax int64
@@ -163,7 +164,7 @@ func analyzeEpochs(in io.Reader, top int, csvOut string) {
 		}
 		tab.AddRow(s.Seq, float64(s.StartNS)/1e6, float64(s.WallNS)/1e6,
 			float64(advMax)/1e6, float64(waitMax)/1e6, float64(s.ExchangeNS)/1e6,
-			s.ExchangeMsgs, s.ExchangeBytes, s.SlowestShard)
+			s.ExchangeMsgs, s.ExchangeBytes, s.IngressFrames, s.SlowestShard)
 	}
 	tab.Render(os.Stdout)
 

@@ -320,7 +320,9 @@ func TestParallelFacade(t *testing.T) {
 }
 
 // TestParallelInternals checks the Internals surface in Parallel mode:
-// Engine set, sequential handles nil, and WireBridge refuses to run.
+// Engine set, sequential handles nil, and WireBridge — which panicked
+// here before live parallel ingest landed — returns a usable bridge
+// routed through the engine's epoch-feeding replay path.
 func TestParallelInternals(t *testing.T) {
 	hf := MustNew(Options{Parallel: true, GatewayShards: 2, Servers: 2})
 	defer hf.Close()
@@ -334,10 +336,14 @@ func TestParallelInternals(t *testing.T) {
 	if hf.Resolver() == nil {
 		t.Error("Resolver() nil in Parallel mode")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("WireBridge did not panic in Parallel mode")
-		}
-	}()
-	hf.WireBridge(1)
+	br := hf.WireBridge(1)
+	if br == nil {
+		t.Fatal("WireBridge returned nil in Parallel mode")
+	}
+	if br.PumpFn == nil {
+		t.Error("Parallel-mode WireBridge should delegate Pump to the engine replay path")
+	}
+	if br.K != nil {
+		t.Error("Parallel-mode WireBridge must not hold a single kernel")
+	}
 }

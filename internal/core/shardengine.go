@@ -321,6 +321,12 @@ type ShardEngine struct {
 	prof    *metrics.EpochProfiler
 	envPool sync.Pool // of *crossEnv
 	closed  bool
+
+	// epochIngress counts records Replay scheduled since the last epoch
+	// observation. Incremented in the pre-epoch hook and read/reset in
+	// the epoch observer — both run on the runner's driver goroutine, so
+	// no atomics are needed.
+	epochIngress int
 }
 
 // crossEnv is a pooled cross-shard delivery envelope. Its fn closure is
@@ -379,6 +385,8 @@ func NewShardEngine(cfg ShardEngineConfig) (*ShardEngine, error) {
 	if cfg.Metrics != nil || cfg.EpochLog != nil {
 		e.prof = metrics.NewEpochProfiler(cfg.Metrics, cfg.EpochLog)
 		e.runner.SetEpochObserver(func(s sim.EpochStats) {
+			ingress := e.epochIngress
+			e.epochIngress = 0
 			e.prof.Record(metrics.EpochSample{
 				Seq:           s.Seq,
 				StartNS:       int64(s.Start),
@@ -389,6 +397,7 @@ func NewShardEngine(cfg ShardEngineConfig) (*ShardEngine, error) {
 				AdvanceNS:     s.AdvanceNS,
 				BarrierWaitNS: s.BarrierWaitNS,
 				SlowestShard:  s.SlowestShard,
+				IngressFrames: ingress,
 			})
 		})
 	}
@@ -501,6 +510,7 @@ func (e *ShardEngine) FaultLog() []string {
 // first source error.
 func (e *ShardEngine) Replay(src telescope.Source, halt func() bool, epilogue time.Duration) (int, error) {
 	return ReplayOver(e.runner, src, halt, epilogue, func(at sim.Time, rec telescope.Record) {
+		e.epochIngress++
 		d := e.domains[e.Owner(rec.Dst)]
 		d.K.At(at, func(now sim.Time) {
 			d.G.HandleInbound(now, rec.Packet())

@@ -2,7 +2,6 @@ package ingest
 
 import (
 	"fmt"
-	"sync"
 	"time"
 
 	"potemkin/internal/metrics"
@@ -44,6 +43,14 @@ type Bridge struct {
 	// E11 queue-occupancy measurement.
 	QueueDepth metrics.Histogram
 
+	// PumpFn, when set, replaces the kernel pump loop entirely: Pump
+	// records the listener for stats and delegates to it. The facade
+	// uses this to route a deprecated WireBridge onto the parallel
+	// engine's epoch-feeding replay path (a WireSource through
+	// core.ReplayOver), where there is no single kernel for the classic
+	// schedule-one/run-to-it loop below.
+	PumpFn func(l *Listener, tail time.Duration) sim.Time
+
 	// listener is the feed last (or currently) pumped, retained so the
 	// facade can surface wire-loss accounting in Snapshot().
 	listener *Listener
@@ -64,12 +71,15 @@ func (b *Bridge) ListenerStats() (Stats, bool) {
 // in-process replay, letting recycling timers settle). It returns the
 // virtual time of the last injection.
 func (b *Bridge) Pump(l *Listener, tail time.Duration) sim.Time {
+	b.listener = l
+	if b.PumpFn != nil {
+		return b.PumpFn(l, tail)
+	}
 	speed := b.Speedup
 	if speed <= 0 {
 		speed = 1
 	}
-	b.listener = l
-	merged := b.merge(l)
+	merged := mergeFrames(l)
 	base := b.K.Now()
 	var last sim.Time
 	var dropsSeen uint64
@@ -110,30 +120,4 @@ func (b *Bridge) Pump(l *Listener, tail time.Duration) sim.Time {
 		b.K.RunFor(tail)
 	}
 	return last
-}
-
-// merge fans the listener's shard queues into one channel. With one
-// shard this is a direct handoff; with several, interleaving across
-// shards follows goroutine scheduling (per-destination order is still
-// preserved, because the listener shards by destination).
-func (b *Bridge) merge(l *Listener) <-chan *Frame {
-	if l.Shards() == 1 {
-		return l.Frames(0)
-	}
-	merged := make(chan *Frame, l.Shards())
-	var wg sync.WaitGroup
-	for i := 0; i < l.Shards(); i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			for f := range l.Frames(i) {
-				merged <- f
-			}
-		}(i)
-	}
-	go func() {
-		wg.Wait()
-		close(merged)
-	}()
-	return merged
 }

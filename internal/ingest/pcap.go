@@ -223,8 +223,10 @@ func (pr *PcapReader) innerIPv4(frame []byte) ([]byte, bool) {
 }
 
 // PcapSource adapts a pcap file to a telescope record Source: each
-// packet is parsed by the netsim wire codec and captured as a Record
-// (sizes, not payload bytes — the telescope trace model). Frames that
+// packet is parsed by the netsim wire codec and captured as a Record.
+// Payload content is retained when it carries any non-zero byte (so
+// exploit signatures survive), and collapses to a bare length
+// otherwise — the telescope trace model. Frames that
 // are not parseable IPv4 (foreign link protocols, truncated captures,
 // packets with IP/TCP options the codec rejects) are skipped and
 // counted in Skipped, so real telescope captures with stray noise still
@@ -262,6 +264,14 @@ func (ps *PcapSource) Read(rec *telescope.Record) error {
 			continue
 		}
 		*rec = telescope.RecordOf(ts, &ps.pkt)
+		// Non-zero payload bytes are content (exploit signatures) and
+		// must survive the round trip — a live wire capture replays the
+		// same infections it served. All-zero payloads collapse to
+		// PayLen-only records, the historical trace model, and
+		// re-materialize as the same zero-filled bytes either way.
+		if hasContent(ps.pkt.Payload) {
+			rec.Payload = append([]byte(nil), ps.pkt.Payload...)
+		}
 		return nil
 	}
 }

@@ -35,6 +35,10 @@ type EpochSample struct {
 	AdvanceNS     []int64 `json:"advance_ns,omitempty"`
 	BarrierWaitNS []int64 `json:"barrier_wait_ns,omitempty"`
 	SlowestShard  int     `json:"slowest_shard"`
+	// IngressFrames counts externally sourced records (replay or live
+	// wire) scheduled into this epoch at its opening barrier — the
+	// epoch-aligned ingress the engine quantizes wire arrivals onto.
+	IngressFrames int `json:"ingress_frames,omitempty"`
 }
 
 // EpochProfiler accumulates epoch samples into histograms (milliseconds)
@@ -46,9 +50,11 @@ type EpochProfiler struct {
 	BarrierWait *Hist // per-shard barrier idle ms
 	Exchange    *Hist // outbox exchange wall ms
 	Flush       *Hist // sink flush wall ms (recorded at Close)
+	Ingress     *Hist // ingress records scheduled per epoch
 	Epochs      *Counter
 	Msgs        *Counter
 	Bytes       *Counter
+	Frames      *Counter // total ingress records
 
 	w    *bufio.Writer
 	err  error
@@ -68,9 +74,11 @@ func NewEpochProfiler(reg *Registry, timeline io.Writer) *EpochProfiler {
 		BarrierWait: reg.Hist("epoch_barrier_wait_ms"),
 		Exchange:    reg.Hist("epoch_exchange_ms"),
 		Flush:       reg.Hist("epoch_sink_flush_ms"),
+		Ingress:     reg.Hist("epoch_ingress_frames"),
 		Epochs:      reg.Counter("epochs_total"),
 		Msgs:        reg.Counter("epoch_exchange_msgs_total"),
 		Bytes:       reg.Counter("epoch_exchange_bytes_total"),
+		Frames:      reg.Counter("epoch_ingress_frames_total"),
 	}
 	if timeline != nil {
 		p.w = bufio.NewWriter(timeline)
@@ -91,7 +99,9 @@ func (p *EpochProfiler) Record(s EpochSample) {
 	p.Epochs.Inc()
 	p.Msgs.Add(uint64(s.ExchangeMsgs))
 	p.Bytes.Add(uint64(s.ExchangeBytes))
+	p.Frames.Add(uint64(s.IngressFrames))
 	p.Exchange.Observe(float64(s.ExchangeNS) / 1e6)
+	p.Ingress.Observe(float64(s.IngressFrames))
 	for _, ns := range s.AdvanceNS {
 		p.Advance.Observe(float64(ns) / 1e6)
 	}
@@ -157,8 +167,10 @@ type EpochAgg struct {
 	BarrierWait Histogram
 	Exchange    Histogram
 	Wall        Histogram
+	Ingress     Histogram
 	TotalMsgs   int64
 	TotalBytes  int64
+	TotalFrames int64
 }
 
 // AggregateEpochs folds samples into per-phase histograms (ms).
@@ -173,8 +185,10 @@ func AggregateEpochs(samples []EpochSample) *EpochAgg {
 		for _, ns := range s.BarrierWaitNS {
 			a.BarrierWait.Observe(float64(ns) / 1e6)
 		}
+		a.Ingress.Observe(float64(s.IngressFrames))
 		a.TotalMsgs += int64(s.ExchangeMsgs)
 		a.TotalBytes += s.ExchangeBytes
+		a.TotalFrames += int64(s.IngressFrames)
 	}
 	return a
 }

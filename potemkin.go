@@ -131,8 +131,10 @@ type Options struct {
 	// Requires GatewayShards >= 2 and at least one server per shard.
 	// Cross-shard traffic pays the engine's 1 ms internal latency, so
 	// results differ from the non-parallel in-process shard router (by
-	// design: that latency is the lookahead budget). WireBridge is not
-	// supported in this mode.
+	// design: that latency is the lookahead budget). Live wire ingest
+	// (Options.Wire) works in this mode: arrivals are quantized onto
+	// the epoch grid, and a run with Wire.Capture set is byte-for-byte
+	// replayable from its own pcap.
 	Parallel bool
 
 	// AdaptiveEpochs caps how many 1 ms lookahead cells one epoch
@@ -154,6 +156,12 @@ type Options struct {
 	// personality (see guest.LoadProfile for the JSON form; the
 	// potemkind -profile flag loads one). Must Validate.
 	GuestProfile *guest.Profile
+
+	// Wire, when non-nil, declares live GRE-over-UDP wire ingest:
+	// StartWire opens the listener, Serve drives the farm from the
+	// feed — on either engine, Parallel included. Mutually exclusive
+	// with Scenario (the scenario defines the feed). See WireOptions.
+	Wire *WireOptions
 
 	// Scenario, when non-nil, arms a deterministic attacker campaign:
 	// the scenario derives the guest personality (Guest and
@@ -338,6 +346,29 @@ func (o Options) Validate() error {
 	if o.AdaptiveEpochs != 0 && !o.Parallel {
 		add("AdaptiveEpochs requires Parallel (it tunes the epoch barrier)")
 	}
+	if w := o.Wire; w != nil {
+		if w.Addr == "" {
+			add("Wire.Addr is required (the UDP listen address)")
+		}
+		if w.Shards < 0 {
+			add("negative Wire.Shards")
+		}
+		if w.QueueLen < 0 {
+			add("negative Wire.QueueLen")
+		}
+		if w.Speedup < 0 {
+			add("negative Wire.Speedup")
+		}
+		if w.Speedup != 0 && w.Speedup != 1 && !w.PlainGRE {
+			add("Wire.Speedup applies only to plain framing (set Wire.PlainGRE); timestamped frames carry exact virtual time")
+		}
+		if w.ListenFor < 0 {
+			add("negative Wire.ListenFor")
+		}
+		if o.Scenario != nil {
+			add("Wire and Scenario are mutually exclusive (the scenario defines the feed)")
+		}
+	}
 	return errors.Join(errs...)
 }
 
@@ -442,6 +473,9 @@ type Honeyfarm struct {
 	// bridge is the wire-ingest bridge last handed out by WireBridge,
 	// retained so Snapshot can surface listener loss accounting.
 	bridge *ingest.Bridge
+	// wire is the server handed out by StartWire (Options.Wire mode),
+	// the preferred ingest accounting source for Snapshot.
+	wire *WireServer
 
 	captures []*captureFile
 }
@@ -807,23 +841,37 @@ func (hf *Honeyfarm) parsePair(src, dst string) (netsim.Addr, netsim.Addr, error
 	return s, d, nil
 }
 
-// WireBridge returns an ingest bridge wired to this honeyfarm's kernel,
-// inbound packet path, and tracer: br.Pump(listener, tail) then serves
-// live GRE-over-UDP traffic into the gateway. speedup scales wall
-// arrival time onto virtual time for plain (non-timestamped) framing.
-// Panics in Parallel mode: wire arrivals are not known a lookahead
-// ahead, which conservative synchronization requires.
+// WireBridge returns an ingest bridge wired to this honeyfarm:
+// br.Pump(listener, tail) then serves live GRE-over-UDP traffic into
+// the gateway. speedup scales wall arrival time onto virtual time for
+// plain (non-timestamped) framing. In Parallel mode the bridge routes
+// the feed through the engine's epoch-aligned replay path (the same
+// machinery Options.Wire uses), so pumping works on either engine.
+//
+// Deprecated: declare Options.Wire and use StartWire/Serve — the
+// listener, framing, capture, and lifetime are then validated by
+// Options.Validate like every other mode.
 func (hf *Honeyfarm) WireBridge(speedup float64) *ingest.Bridge {
+	br := &ingest.Bridge{Speedup: speedup}
 	if hf.eng != nil {
-		panic("potemkin: WireBridge is not supported with Options.Parallel")
-	}
-	hf.bridge = &ingest.Bridge{
-		K: hf.k, Speedup: speedup, Tracer: hf.tracer,
-		Emit: func(now sim.Time, pkt *netsim.Packet) {
+		eng := hf.eng
+		br.PumpFn = func(l *ingest.Listener, tail time.Duration) sim.Time {
+			src := &ingest.WireSource{L: l, Speedup: speedup, Metrics: hf.metrics}
+			n, _ := eng.Replay(src, nil, tail)
+			br.Delivered += uint64(n)
+			br.Clamped += src.Clamped()
+			br.QueueDepth.Merge(&src.QueueDepth)
+			return eng.Now()
+		}
+	} else {
+		br.K = hf.k
+		br.Tracer = hf.tracer
+		br.Emit = func(now sim.Time, pkt *netsim.Packet) {
 			hf.g.HandleInbound(now, pkt)
-		},
+		}
 	}
-	return hf.bridge
+	hf.bridge = br
+	return br
 }
 
 // GenerateTrace synthesizes background-radiation traffic for the

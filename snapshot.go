@@ -44,8 +44,9 @@ type Snapshot struct {
 	// rendered snapshot is deterministic.
 	StagesMs map[string]LatencySummary `json:"stages_ms,omitempty"`
 
-	// Ingest carries wire-listener loss accounting, present only when a
-	// WireBridge has been attached to a live listener.
+	// Ingest carries wire-listener loss accounting, present only when
+	// live wire ingest is attached (Options.Wire via StartWire, or a
+	// deprecated WireBridge pumping a listener).
 	Ingest *IngestSummary `json:"ingest,omitempty"`
 }
 
@@ -57,6 +58,7 @@ type IngestSummary struct {
 	FrameErrors uint64 `json:"frame_errors"`
 	Dropped     uint64 `json:"dropped"`
 	SeqGaps     uint64 `json:"seq_gaps"`
+	Enqueued    uint64 `json:"enqueued"`
 	Delivered   uint64 `json:"delivered"`
 	Clamped     uint64 `json:"clamped"`
 	QueueDepth  int    `json:"queue_depth"`
@@ -90,6 +92,34 @@ func summarize(h *metrics.Histogram) LatencySummary {
 	}
 }
 
+// ingestSummary builds the wire-ingest view for a snapshot: the
+// StartWire server when Options.Wire is live (either engine), else a
+// deprecated WireBridge's listener, else nil. Every counter involved is
+// atomic, so this is safe mid-serve.
+func (hf *Honeyfarm) ingestSummary() *IngestSummary {
+	if w := hf.wire; w != nil {
+		st := w.Stats()
+		return &st.Ingest
+	}
+	if br := hf.bridge; br != nil {
+		if ls, ok := br.ListenerStats(); ok {
+			return &IngestSummary{
+				Received:    ls.Received,
+				Bytes:       ls.Bytes,
+				FrameErrors: ls.FrameErrors,
+				Dropped:     ls.Dropped,
+				SeqGaps:     ls.SeqGaps,
+				Enqueued:    ls.Enqueued,
+				Delivered:   br.Delivered,
+				Clamped:     br.Clamped,
+				QueueDepth:  ls.QueueDepth,
+				QueueHWM:    ls.QueueHWM,
+			}
+		}
+	}
+	return nil
+}
+
 // Snapshot captures the current state.
 func (hf *Honeyfarm) Snapshot() Snapshot {
 	if hf.eng != nil {
@@ -98,7 +128,7 @@ func (hf *Honeyfarm) Snapshot() Snapshot {
 		clone := hf.eng.CloneLatency()
 		// Per-stage tracer histograms are shard-private in Parallel
 		// mode, so OpenSpans/StagesMs stay empty here.
-		return Snapshot{
+		s := Snapshot{
 			TSeconds:         hf.eng.Now().Seconds(),
 			LiveVMs:          hf.eng.LiveVMs(),
 			BindingsLive:     hf.eng.NumBindings(),
@@ -116,6 +146,8 @@ func (hf *Honeyfarm) Snapshot() Snapshot {
 			MemoryInUseBytes: hf.eng.MemoryInUse(),
 			CloneMs:          summarize(&clone),
 		}
+		s.Ingest = hf.ingestSummary()
+		return s
 	}
 
 	gs := hf.g.Stats()
@@ -154,21 +186,7 @@ func (hf *Honeyfarm) Snapshot() Snapshot {
 			}
 		}
 	}
-	if br := hf.bridge; br != nil {
-		if ls, ok := br.ListenerStats(); ok {
-			s.Ingest = &IngestSummary{
-				Received:    ls.Received,
-				Bytes:       ls.Bytes,
-				FrameErrors: ls.FrameErrors,
-				Dropped:     ls.Dropped,
-				SeqGaps:     ls.SeqGaps,
-				Delivered:   br.Delivered,
-				Clamped:     br.Clamped,
-				QueueDepth:  ls.QueueDepth,
-				QueueHWM:    ls.QueueHWM,
-			}
-		}
-	}
+	s.Ingest = hf.ingestSummary()
 	return s
 }
 
